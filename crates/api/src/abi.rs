@@ -1,0 +1,112 @@
+//! Register calling conventions.
+//!
+//! The defining rule of the atomic API (paper §4.4, "Design effort
+//! required"): *updatable system-call parameters are passed in registers,
+//! never in user memory* — modifying a stack-based parameter could itself
+//! page-fault and expose an inconsistent intermediate state. Multi-stage
+//! operations advance their pointer/count registers in place exactly like
+//! the x86 string instructions the paper cites.
+//!
+//! Conventions:
+//!
+//! * `eax` — entrypoint number at the trap; result code on completion. The
+//!   kernel rewrites `eax` (with `eip` left at the trap instruction) to move
+//!   a thread to a different restart entrypoint, e.g. an interrupted
+//!   `cond_wait` becomes a pending `mutex_lock`.
+//! * `ebx` — first argument, usually the object handle (a virtual address).
+//! * `ecx` — count register: byte counts for IPC transfers, word counts for
+//!   state buffers. Decremented in place by multi-stage transfers.
+//! * `edx` — second argument / secondary result value.
+//! * `esi` — send-buffer pointer, advanced in place.
+//! * `edi` — receive-buffer pointer, advanced in place.
+//! * `pr0`, `pr1` — kernel-maintained pseudo-registers carrying intermediate
+//!   multi-stage IPC state (e.g. the pending receive window of a
+//!   send-over-receive while the send stage runs). User code never touches
+//!   them except when saving/restoring thread state.
+
+use fluke_arch::Reg;
+
+/// First argument: object handle.
+pub const ARG_HANDLE: Reg = Reg::Ebx;
+/// Count argument (bytes or words), advanced in place by multi-stage calls.
+pub const ARG_COUNT: Reg = Reg::Ecx;
+/// Second argument / secondary result.
+pub const ARG_VAL: Reg = Reg::Edx;
+/// Send-buffer pointer, advanced in place.
+pub const ARG_SBUF: Reg = Reg::Esi;
+/// Receive-buffer pointer, advanced in place.
+pub const ARG_RBUF: Reg = Reg::Edi;
+/// Result code register (on completion).
+pub const RESULT: Reg = Reg::Eax;
+
+/// Index of the pseudo-register holding the pending receive window of a
+/// send-over-receive operation during its send stage.
+pub const PR_RECV_WINDOW: usize = 0;
+/// Index of the pseudo-register holding IPC engine flags (see `IPC_PR1_*`).
+pub const PR_IPC_FLAGS: usize = 1;
+
+/// `pr1` flag: the current receive stage has already consumed a message
+/// header (informational; reserved).
+pub const IPC_PR1_IN_MESSAGE: u32 = 1 << 0;
+/// `pr1` flag: after the send stage completes, reverse direction and
+/// receive a reply whose window is staged in `pr0` ("send over receive").
+pub const IPC_PR1_PENDING_RECEIVE: u32 = 1 << 1;
+/// `pr1` flag: after the send stage completes, wait for the next request
+/// (window staged in `pr0`).
+pub const IPC_PR1_PENDING_WAIT: u32 = 1 << 2;
+/// `pr1` flag: after the send stage completes, disconnect (acknowledge and
+/// end the exchange).
+pub const IPC_PR1_DISCONNECT: u32 = 1 << 3;
+
+/// Exception-IPC message kind for a page fault delivered to a region keeper.
+pub const EXC_MSG_PAGEFAULT: u32 = 0xfa01;
+/// Number of 32-bit words in a page-fault exception-IPC message:
+/// `[EXC_MSG_PAGEFAULT, region_token, byte_offset, access]`.
+pub const EXC_MSG_WORDS: usize = 4;
+/// `access` word value for a read fault.
+pub const EXC_ACCESS_READ: u32 = 0;
+/// `access` word value for a write fault.
+pub const EXC_ACCESS_WRITE: u32 = 1;
+
+/// The page size of the simulated MMU, in bytes.
+pub const PAGE_SIZE: u32 = 4096;
+
+/// Round an address down to its page base.
+#[inline]
+pub fn page_base(addr: u32) -> u32 {
+    addr & !(PAGE_SIZE - 1)
+}
+
+/// Round a length up to a whole number of pages.
+#[inline]
+pub fn pages_spanning(len: u32) -> u32 {
+    len.div_ceil(PAGE_SIZE)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn page_math() {
+        assert_eq!(page_base(0), 0);
+        assert_eq!(page_base(4095), 0);
+        assert_eq!(page_base(4096), 4096);
+        assert_eq!(page_base(0x1234_5678), 0x1234_5000);
+        assert_eq!(pages_spanning(0), 0);
+        assert_eq!(pages_spanning(1), 1);
+        assert_eq!(pages_spanning(4096), 1);
+        assert_eq!(pages_spanning(4097), 2);
+    }
+
+    #[test]
+    fn updatable_params_are_registers_not_memory() {
+        // The ABI constants must all name registers; this is the paper's
+        // "parameters in registers" design rule made executable.
+        let regs = [ARG_HANDLE, ARG_COUNT, ARG_VAL, ARG_SBUF, ARG_RBUF, RESULT];
+        let mut uniq: Vec<u8> = regs.iter().map(|r| r.index() as u8).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), regs.len(), "conventions must not overlap");
+    }
+}

@@ -1,0 +1,110 @@
+//! Result codes returned by kernel entrypoints.
+//!
+//! On successful *completion* of a system call the kernel writes
+//! [`ErrorCode::Success`] (or a specific error) into `eax` and advances the
+//! instruction pointer past the trap instruction. While an operation is
+//! in progress or restarting, `eax` instead holds the entrypoint number —
+//! the two uses never overlap because a restarting call has, by definition,
+//! not completed.
+
+use serde::{Deserialize, Serialize};
+
+/// A kernel result code, delivered in `eax` on system call completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u32)]
+pub enum ErrorCode {
+    /// The operation completed successfully.
+    Success = 0,
+    /// `eax` did not name a known entrypoint.
+    InvalidEntrypoint = 1,
+    /// A handle argument did not name a kernel object.
+    InvalidHandle = 2,
+    /// A handle named an object of the wrong type.
+    WrongType = 3,
+    /// The caller lacks the required access to the object.
+    PermissionDenied = 4,
+    /// A `trylock`-style operation would have had to sleep.
+    WouldBlock = 5,
+    /// An IPC operation was attempted without a live connection.
+    NotConnected = 6,
+    /// A connect was attempted while a connection already exists.
+    AlreadyConnected = 7,
+    /// The IPC peer disconnected (or was destroyed) mid-operation.
+    PeerDisconnected = 8,
+    /// An argument value was out of range or malformed.
+    InvalidArg = 9,
+    /// Physical memory exhausted.
+    NoMemory = 10,
+    /// An object already exists at the given location.
+    AlreadyExists = 11,
+    /// The operation was interrupted by `thread_interrupt` (only reported by
+    /// entrypoints documented as interruption-visible, e.g. `thread_sleep`;
+    /// everything else restarts transparently).
+    Interrupted = 12,
+    /// A `region_search` found no further objects in the range.
+    NotFound = 13,
+    /// A memory access touched an address with no mapping and no keeper to
+    /// page it in (a fatal user error, delivered as an exception).
+    BadAddress = 14,
+    /// A state buffer was too small for the object's state frame.
+    BufferTooSmall = 15,
+    /// The target thread is not stopped, for operations requiring it.
+    NotStopped = 16,
+    /// The IPC peer's receive window was exhausted before the send finished;
+    /// the remaining count is in `ecx`.
+    Truncated = 17,
+}
+
+impl ErrorCode {
+    /// Decode a result code from an `eax` value.
+    pub fn from_u32(v: u32) -> Option<ErrorCode> {
+        use ErrorCode::*;
+        Some(match v {
+            0 => Success,
+            1 => InvalidEntrypoint,
+            2 => InvalidHandle,
+            3 => WrongType,
+            4 => PermissionDenied,
+            5 => WouldBlock,
+            6 => NotConnected,
+            7 => AlreadyConnected,
+            8 => PeerDisconnected,
+            9 => InvalidArg,
+            10 => NoMemory,
+            11 => AlreadyExists,
+            12 => Interrupted,
+            13 => NotFound,
+            14 => BadAddress,
+            15 => BufferTooSmall,
+            16 => NotStopped,
+            17 => Truncated,
+            _ => return None,
+        })
+    }
+
+    /// Whether this code means success.
+    pub fn is_success(self) -> bool {
+        self == ErrorCode::Success
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_codes() {
+        for v in 0..18u32 {
+            let c = ErrorCode::from_u32(v).expect("code defined");
+            assert_eq!(c as u32, v);
+        }
+        assert_eq!(ErrorCode::from_u32(999), None);
+    }
+
+    #[test]
+    fn success_is_zero() {
+        assert_eq!(ErrorCode::Success as u32, 0);
+        assert!(ErrorCode::Success.is_success());
+        assert!(!ErrorCode::InvalidHandle.is_success());
+    }
+}

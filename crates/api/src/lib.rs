@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! The Fluke kernel ABI, shared between the kernel (`fluke-core`) and
+//! user-mode code (`fluke-user`, `fluke-workloads`).
+//!
+//! This crate is the reproduction of the paper's *interface* contribution:
+//! the purely atomic system-call API. It defines
+//!
+//! * the full set of kernel entrypoints with their Table-1 classification
+//!   (trivial / short / long / multi-stage) — [`sysnum`];
+//! * the register calling conventions, including the in-place parameter
+//!   advance rules for multi-stage calls — [`abi`];
+//! * result codes — [`error`];
+//! * the nine primitive kernel object types of Table 2 — [`objtype`];
+//! * the exportable state frames used by `get_state`/`set_state`, encoded as
+//!   flat arrays of 32-bit words so ordinary user-mode programs can save and
+//!   restore them — [`state`].
+
+pub mod abi;
+pub mod error;
+pub mod objtype;
+pub mod state;
+pub mod sysnum;
+
+pub use abi::*;
+pub use error::ErrorCode;
+pub use objtype::ObjType;
+pub use state::{
+    CondStateFrame, MappingStateFrame, MutexStateFrame, ObjStateFrame, PortStateFrame,
+    PsetStateFrame, RefStateFrame, RegionStateFrame, SpaceStateFrame, ThreadStateFrame,
+};
+pub use sysnum::{Family, Sys, SysClass, SysDesc, SYSCALLS};

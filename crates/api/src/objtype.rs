@@ -1,0 +1,132 @@
+//! The nine primitive object types exported by the Fluke kernel
+//! (the paper's Table 2).
+//!
+//! All types support the common operations *create*, *destroy*,
+//! *get-state*, *set-state*, *move* ("rename") and *reference*
+//! ("point-a-reference-at"). Kernel objects live **in** application memory:
+//! an object's handle is the virtual address at which it was created, and
+//! memory protections provide access control — so any space that can map
+//! the page holding an object can name and operate on it (paper §4.3,
+//! footnote 3).
+
+use serde::{Deserialize, Serialize};
+
+/// A primitive kernel object type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[repr(u32)]
+pub enum ObjType {
+    /// A kernel-supported mutex, safe for sharing between processes.
+    Mutex = 0,
+    /// A kernel-supported condition variable.
+    Cond = 1,
+    /// Encapsulates an imported region of memory; associated with a Space
+    /// (destination) and a Region (source).
+    Mapping = 2,
+    /// Encapsulates an exportable region of memory; associated with a Space.
+    Region = 3,
+    /// Server-side endpoint of an IPC.
+    Port = 4,
+    /// A set of Ports on which a server thread waits.
+    Portset = 5,
+    /// Associates memory and threads.
+    Space = 6,
+    /// A thread of control, associated with a Space.
+    Thread = 7,
+    /// A cross-process handle on a Mapping, Region, Port, Thread or Space;
+    /// most often a handle on a Port used for initiating client-side IPC.
+    Reference = 8,
+}
+
+impl ObjType {
+    /// All nine types, in Table 2 order.
+    pub const ALL: [ObjType; 9] = [
+        ObjType::Mutex,
+        ObjType::Cond,
+        ObjType::Mapping,
+        ObjType::Region,
+        ObjType::Port,
+        ObjType::Portset,
+        ObjType::Space,
+        ObjType::Thread,
+        ObjType::Reference,
+    ];
+
+    /// Decode from a `u32` (as carried in registers and state frames).
+    pub fn from_u32(v: u32) -> Option<ObjType> {
+        ObjType::ALL.get(v as usize).copied()
+    }
+
+    /// The type's display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ObjType::Mutex => "Mutex",
+            ObjType::Cond => "Cond",
+            ObjType::Mapping => "Mapping",
+            ObjType::Region => "Region",
+            ObjType::Port => "Port",
+            ObjType::Portset => "Portset",
+            ObjType::Space => "Space",
+            ObjType::Thread => "Thread",
+            ObjType::Reference => "Reference",
+        }
+    }
+
+    /// The Table 2 description of the type.
+    pub fn description(self) -> &'static str {
+        match self {
+            ObjType::Mutex => "A kernel-supported mutex which is safe for sharing between processes.",
+            ObjType::Cond => "A kernel-supported condition variable.",
+            ObjType::Mapping => {
+                "Encapsulates an imported region of memory; associated with a Space (destination) and Region (source)."
+            }
+            ObjType::Region => {
+                "Encapsulates an exportable region of memory; associated with a Space."
+            }
+            ObjType::Port => "Server-side endpoint of an IPC.",
+            ObjType::Portset => "A set of Ports on which a server thread waits.",
+            ObjType::Space => "Associates memory and threads.",
+            ObjType::Thread => "A thread of control, associated with a Space.",
+            ObjType::Reference => {
+                "A cross-process handle on a Mapping, Region, Port, Thread or Space. Most often used as a handle on a Port that is used for initiating client-side IPC."
+            }
+        }
+    }
+
+    /// Size in bytes an object of this type occupies in application memory
+    /// (objects live in user pages; their handle is their address).
+    pub fn footprint(self) -> u32 {
+        // One cache-line-ish slot per object keeps handle arithmetic simple.
+        32
+    }
+}
+
+impl std::fmt::Display for ObjType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_types_in_order() {
+        assert_eq!(ObjType::ALL.len(), 9);
+        for (i, t) in ObjType::ALL.into_iter().enumerate() {
+            assert_eq!(t as u32 as usize, i);
+            assert_eq!(ObjType::from_u32(i as u32), Some(t));
+        }
+        assert_eq!(ObjType::from_u32(9), None);
+    }
+
+    #[test]
+    fn names_and_descriptions_nonempty() {
+        for t in ObjType::ALL {
+            assert!(!t.name().is_empty());
+            assert!(!t.description().is_empty());
+            assert!(t.footprint() > 0);
+        }
+        assert_eq!(format!("{}", ObjType::Portset), "Portset");
+    }
+}

@@ -1,0 +1,372 @@
+//! The kernel entrypoint table — the reproduction of the paper's Table 1.
+//!
+//! The Fluke API comprises 107 entrypoints in four classes:
+//!
+//! * **Trivial** — always run to completion without ever sleeping
+//!   (e.g. [`Sys::ThreadSelf`], the paper's `getpid` analogue).
+//! * **Short** — usually complete immediately but may encounter a page fault
+//!   (every handle is a virtual address, so merely *naming* an object can
+//!   fault); if so the call rolls back and restarts transparently.
+//! * **Long** — expected to sleep indefinitely (e.g. [`Sys::MutexLock`]),
+//!   but with no intermediate state: interruption simply restarts the call.
+//! * **Multi-stage** — can be interrupted at intermediate points, with the
+//!   partial progress recorded *in the caller's registers* (the IPC family,
+//!   [`Sys::CondWait`], and [`Sys::RegionSearch`]).
+//!
+//! Five entrypoints (`*More`) exist primarily as restart points for
+//! interrupted multi-stage operations; per the paper §4.4 they are
+//! nevertheless directly callable and occasionally directly useful.
+
+use serde::{Deserialize, Serialize};
+
+/// Table 1 classification of an entrypoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SysClass {
+    /// Always runs to completion without sleeping.
+    Trivial,
+    /// Usually immediate; may roll back and restart on a page fault.
+    Short,
+    /// May sleep indefinitely; restarts from the beginning if interrupted.
+    Long,
+    /// May sleep indefinitely and be interrupted at intermediate points,
+    /// with progress recorded in user registers.
+    MultiStage,
+}
+
+impl SysClass {
+    /// Display name matching the paper's Table 1.
+    pub fn name(self) -> &'static str {
+        match self {
+            SysClass::Trivial => "Trivial",
+            SysClass::Short => "Short",
+            SysClass::Long => "Long",
+            SysClass::MultiStage => "Multi-stage",
+        }
+    }
+}
+
+/// Which part of the API an entrypoint belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Family {
+    /// Mutex object operations.
+    Mutex,
+    /// Condition variable operations.
+    Cond,
+    /// Mapping (imported memory) operations.
+    Mapping,
+    /// Region (exported memory) operations.
+    Region,
+    /// Port (server IPC endpoint) operations.
+    Port,
+    /// Portset operations.
+    Pset,
+    /// Space operations.
+    Space,
+    /// Thread operations.
+    Thread,
+    /// Reference (cross-process handle) operations.
+    Ref,
+    /// Inter-process communication.
+    Ipc,
+    /// Miscellaneous kernel services.
+    Misc,
+}
+
+/// Static description of one kernel entrypoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SysDesc {
+    /// The entrypoint this row describes.
+    pub sys: Sys,
+    /// The conventional name (`fluke_mutex_lock` style, without the prefix).
+    pub name: &'static str,
+    /// Table 1 class.
+    pub class: SysClass,
+    /// API family.
+    pub family: Family,
+    /// Whether this entrypoint exists primarily as a restart point for an
+    /// interrupted multi-stage operation (paper §4.4 counts five of these).
+    pub restart_point: bool,
+}
+
+macro_rules! syscalls {
+    ($( $variant:ident => ($name:literal, $class:ident, $family:ident, $restart:literal) ),* $(,)?) => {
+        /// A kernel entrypoint number, passed in `eax` at the trap
+        /// instruction. Discriminants are dense from zero and index
+        /// [`SYSCALLS`].
+        #[allow(missing_docs)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+        #[repr(u32)]
+        pub enum Sys { $($variant),* }
+
+        /// Descriptor for every entrypoint, indexed by entrypoint number.
+        pub const SYSCALLS: &[SysDesc] = &[
+            $( SysDesc {
+                sys: Sys::$variant,
+                name: $name,
+                class: SysClass::$class,
+                family: Family::$family,
+                restart_point: $restart,
+            } ),*
+        ];
+    };
+}
+
+syscalls! {
+    // ---- Common object operations (six per primitive type, all Short:
+    // handles are virtual addresses, so each can fault and restart). ----
+    MutexCreate => ("mutex_create", Short, Mutex, false),
+    MutexDestroy => ("mutex_destroy", Short, Mutex, false),
+    MutexGetState => ("mutex_get_state", Short, Mutex, false),
+    MutexSetState => ("mutex_set_state", Short, Mutex, false),
+    MutexMove => ("mutex_move", Short, Mutex, false),
+    MutexReference => ("mutex_reference", Short, Mutex, false),
+
+    CondCreate => ("cond_create", Short, Cond, false),
+    CondDestroy => ("cond_destroy", Short, Cond, false),
+    CondGetState => ("cond_get_state", Short, Cond, false),
+    CondSetState => ("cond_set_state", Short, Cond, false),
+    CondMove => ("cond_move", Short, Cond, false),
+    CondReference => ("cond_reference", Short, Cond, false),
+
+    MappingCreate => ("mapping_create", Short, Mapping, false),
+    MappingDestroy => ("mapping_destroy", Short, Mapping, false),
+    MappingGetState => ("mapping_get_state", Short, Mapping, false),
+    MappingSetState => ("mapping_set_state", Short, Mapping, false),
+    MappingMove => ("mapping_move", Short, Mapping, false),
+    MappingReference => ("mapping_reference", Short, Mapping, false),
+
+    RegionCreate => ("region_create", Short, Region, false),
+    RegionDestroy => ("region_destroy", Short, Region, false),
+    RegionGetState => ("region_get_state", Short, Region, false),
+    RegionSetState => ("region_set_state", Short, Region, false),
+    RegionMove => ("region_move", Short, Region, false),
+    RegionReference => ("region_reference", Short, Region, false),
+
+    PortCreate => ("port_create", Short, Port, false),
+    PortDestroy => ("port_destroy", Short, Port, false),
+    PortGetState => ("port_get_state", Short, Port, false),
+    PortSetState => ("port_set_state", Short, Port, false),
+    PortMove => ("port_move", Short, Port, false),
+    PortReference => ("port_reference", Short, Port, false),
+
+    PsetCreate => ("pset_create", Short, Pset, false),
+    PsetDestroy => ("pset_destroy", Short, Pset, false),
+    PsetGetState => ("pset_get_state", Short, Pset, false),
+    PsetSetState => ("pset_set_state", Short, Pset, false),
+    PsetMove => ("pset_move", Short, Pset, false),
+    PsetReference => ("pset_reference", Short, Pset, false),
+
+    SpaceCreate => ("space_create", Short, Space, false),
+    SpaceDestroy => ("space_destroy", Short, Space, false),
+    SpaceGetState => ("space_get_state", Short, Space, false),
+    SpaceSetState => ("space_set_state", Short, Space, false),
+    SpaceMove => ("space_move", Short, Space, false),
+    SpaceReference => ("space_reference", Short, Space, false),
+
+    ThreadCreate => ("thread_create", Short, Thread, false),
+    ThreadDestroy => ("thread_destroy", Short, Thread, false),
+    ThreadGetState => ("thread_get_state", Short, Thread, false),
+    ThreadSetState => ("thread_set_state", Short, Thread, false),
+    ThreadMove => ("thread_move", Short, Thread, false),
+    ThreadReference => ("thread_reference", Short, Thread, false),
+
+    RefCreate => ("ref_create", Short, Ref, false),
+    RefDestroy => ("ref_destroy", Short, Ref, false),
+    RefGetState => ("ref_get_state", Short, Ref, false),
+    RefSetState => ("ref_set_state", Short, Ref, false),
+    RefMove => ("ref_move", Short, Ref, false),
+    RefReference => ("ref_reference", Short, Ref, false),
+
+    // ---- Type-specific short operations. ----
+    MutexTrylock => ("mutex_trylock", Short, Mutex, false),
+    MutexUnlock => ("mutex_unlock", Short, Mutex, false),
+    CondSignal => ("cond_signal", Short, Cond, false),
+    CondBroadcast => ("cond_broadcast", Short, Cond, false),
+    ThreadInterrupt => ("thread_interrupt", Short, Thread, false),
+    ThreadSchedule => ("thread_schedule", Short, Thread, false),
+    RegionProtect => ("region_protect", Short, Region, false),
+    MappingProtect => ("mapping_protect", Short, Mapping, false),
+    RefCompare => ("ref_compare", Short, Ref, false),
+    IpcClientDisconnect => ("ipc_client_disconnect", Short, Ipc, false),
+    IpcServerDisconnect => ("ipc_server_disconnect", Short, Ipc, false),
+    IpcClientAlert => ("ipc_client_alert", Short, Ipc, false),
+    IpcServerAlert => ("ipc_server_alert", Short, Ipc, false),
+    RegionPopulate => ("region_populate", Short, Region, false),
+
+    // ---- Trivial operations: never touch user memory, never sleep. ----
+    ThreadSelf => ("thread_self", Trivial, Thread, false),
+    SysNull => ("sys_null", Trivial, Misc, false),
+    SysVersion => ("sys_version", Trivial, Misc, false),
+    SysClock => ("sys_clock", Trivial, Misc, false),
+    SysCpuId => ("sys_cpu_id", Trivial, Misc, false),
+    SysYield => ("sys_yield", Trivial, Misc, false),
+    SysTrace => ("sys_trace", Trivial, Misc, false),
+    SysStats => ("sys_stats", Trivial, Misc, false),
+
+    // ---- Long operations: sleep indefinitely, restart from the top. ----
+    MutexLock => ("mutex_lock", Long, Mutex, false),
+    PortWait => ("port_wait", Long, Port, false),
+    PsetWait => ("pset_wait", Long, Pset, false),
+    ThreadWait => ("thread_wait", Long, Thread, false),
+    ThreadSleep => ("thread_sleep", Long, Thread, false),
+    IpcClientConnect => ("ipc_client_connect", Long, Ipc, false),
+    SpaceWaitThreads => ("space_wait_threads", Long, Space, false),
+    SchedDonate => ("sched_donate", Long, Thread, false),
+
+    // ---- Multi-stage operations: interruptible at intermediate points,
+    // progress recorded in user registers. ----
+    CondWait => ("cond_wait", MultiStage, Cond, false),
+    RegionSearch => ("region_search", MultiStage, Region, false),
+
+    IpcClientConnectSend => ("ipc_client_connect_send", MultiStage, Ipc, false),
+    IpcClientSend => ("ipc_client_send", MultiStage, Ipc, false),
+    IpcClientReceive => ("ipc_client_receive", MultiStage, Ipc, false),
+    IpcClientSendOverReceive => ("ipc_client_send_over_receive", MultiStage, Ipc, false),
+    IpcClientConnectSendOverReceive =>
+        ("ipc_client_connect_send_over_receive", MultiStage, Ipc, false),
+    IpcClientAckReceive => ("ipc_client_ack_receive", MultiStage, Ipc, false),
+    IpcClientSendMore => ("ipc_client_send_more", MultiStage, Ipc, true),
+    IpcClientReceiveMore => ("ipc_client_receive_more", MultiStage, Ipc, true),
+
+    IpcServerWaitReceive => ("ipc_server_wait_receive", MultiStage, Ipc, false),
+    IpcServerReceive => ("ipc_server_receive", MultiStage, Ipc, false),
+    IpcServerSend => ("ipc_server_send", MultiStage, Ipc, false),
+    IpcServerSendWaitReceive => ("ipc_server_send_wait_receive", MultiStage, Ipc, false),
+    IpcServerAckSend => ("ipc_server_ack_send", MultiStage, Ipc, false),
+    IpcServerAckSendWaitReceive =>
+        ("ipc_server_ack_send_wait_receive", MultiStage, Ipc, false),
+    IpcServerSendOverReceive => ("ipc_server_send_over_receive", MultiStage, Ipc, false),
+    IpcServerSendMore => ("ipc_server_send_more", MultiStage, Ipc, true),
+    IpcServerReceiveMore => ("ipc_server_receive_more", MultiStage, Ipc, true),
+
+    IpcSendOneway => ("ipc_send_oneway", MultiStage, Ipc, false),
+    IpcWaitReceiveOneway => ("ipc_wait_receive_oneway", MultiStage, Ipc, false),
+    IpcReceiveOneway => ("ipc_receive_oneway", MultiStage, Ipc, false),
+    IpcSendOnewayMore => ("ipc_send_oneway_more", MultiStage, Ipc, true),
+}
+
+impl Sys {
+    /// The entrypoint number (the value user code loads into `eax`).
+    #[inline]
+    pub fn num(self) -> u32 {
+        self as u32
+    }
+
+    /// Decode an entrypoint number from `eax`.
+    pub fn from_u32(n: u32) -> Option<Sys> {
+        SYSCALLS.get(n as usize).map(|d| d.sys)
+    }
+
+    /// The static descriptor for this entrypoint.
+    pub fn desc(self) -> &'static SysDesc {
+        &SYSCALLS[self.num() as usize]
+    }
+
+    /// The entrypoint's Table 1 class.
+    pub fn class(self) -> SysClass {
+        self.desc().class
+    }
+
+    /// The entrypoint's conventional name.
+    pub fn name(self) -> &'static str {
+        self.desc().name
+    }
+}
+
+/// Count entrypoints in each Table 1 class:
+/// `(trivial, short, long, multi-stage)`.
+pub fn class_counts() -> (usize, usize, usize, usize) {
+    let mut t = (0, 0, 0, 0);
+    for d in SYSCALLS {
+        match d.class {
+            SysClass::Trivial => t.0 += 1,
+            SysClass::Short => t.1 += 1,
+            SysClass::Long => t.2 += 1,
+            SysClass::MultiStage => t.3 += 1,
+        }
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_1_counts_match_paper() {
+        // Paper Table 1: 8 trivial (7%), 68 short (64%), 8 long (7%),
+        // 23 multi-stage (22%); 107 total.
+        let (trivial, short, long, multi) = class_counts();
+        assert_eq!(trivial, 8);
+        assert_eq!(short, 68);
+        assert_eq!(long, 8);
+        assert_eq!(multi, 23);
+        assert_eq!(SYSCALLS.len(), 107);
+    }
+
+    #[test]
+    fn table_order_matches_discriminants() {
+        for (i, d) in SYSCALLS.iter().enumerate() {
+            assert_eq!(d.sys.num() as usize, i, "table out of order at {}", d.name);
+        }
+    }
+
+    #[test]
+    fn from_u32_roundtrip() {
+        assert_eq!(Sys::from_u32(Sys::MutexLock.num()), Some(Sys::MutexLock));
+        assert_eq!(Sys::from_u32(107), None);
+        assert_eq!(Sys::from_u32(u32::MAX), None);
+    }
+
+    #[test]
+    fn exactly_five_restart_point_entrypoints() {
+        // Paper §4.4: five system calls are rarely called directly and
+        // usually serve as restart points for interrupted operations.
+        let restart: Vec<_> = SYSCALLS.iter().filter(|d| d.restart_point).collect();
+        assert_eq!(restart.len(), 5);
+        for d in restart {
+            assert_eq!(d.class, SysClass::MultiStage);
+            assert!(d.name.ends_with("_more"));
+        }
+    }
+
+    #[test]
+    fn multi_stage_calls_are_ipc_except_cond_wait_and_region_search() {
+        // Paper §4.2: "Except for cond_wait and region_search ... all of
+        // the multi-stage calls in the Fluke API are IPC-related."
+        for d in SYSCALLS.iter().filter(|d| d.class == SysClass::MultiStage) {
+            if d.family != Family::Ipc {
+                assert!(
+                    d.sys == Sys::CondWait || d.sys == Sys::RegionSearch,
+                    "unexpected non-IPC multi-stage call {}",
+                    d.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = SYSCALLS.iter().map(|d| d.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SYSCALLS.len());
+    }
+
+    #[test]
+    fn every_family_is_populated() {
+        use std::collections::HashSet;
+        let fams: HashSet<_> = SYSCALLS.iter().map(|d| d.family).collect();
+        assert_eq!(fams.len(), 11, "all 11 families appear in the table");
+    }
+
+    #[test]
+    fn class_helpers() {
+        assert_eq!(Sys::ThreadSelf.class(), SysClass::Trivial);
+        assert_eq!(Sys::MutexTrylock.class(), SysClass::Short);
+        assert_eq!(Sys::MutexLock.class(), SysClass::Long);
+        assert_eq!(Sys::CondWait.class(), SysClass::MultiStage);
+        assert_eq!(Sys::MutexLock.name(), "mutex_lock");
+        assert_eq!(SysClass::MultiStage.name(), "Multi-stage");
+    }
+}

@@ -1,0 +1,246 @@
+//! A small assembler with symbolic labels.
+//!
+//! Workload programs (`fluke-workloads`) and the user-mode runtime
+//! (`fluke-user`) build their instruction streams through this type rather
+//! than hand-computing branch targets.
+
+use std::collections::HashMap;
+
+use crate::isa::{Cond, Instr};
+use crate::program::Program;
+use crate::regs::Reg;
+
+/// Builds a [`Program`], resolving label references to instruction indices.
+///
+/// # Examples
+///
+/// ```
+/// use fluke_arch::{Assembler, Cond, Reg};
+///
+/// let mut a = Assembler::new("count");
+/// a.movi(Reg::Ecx, 3);
+/// a.label("loop");
+/// a.subi(Reg::Ecx, 1);
+/// a.cmpi(Reg::Ecx, 0);
+/// a.jcc(Cond::Ne, "loop");
+/// a.halt();
+/// let prog = a.finish();
+/// assert_eq!(prog.len(), 5);
+/// ```
+pub struct Assembler {
+    name: String,
+    instrs: Vec<Instr>,
+    labels: HashMap<String, u32>,
+    fixups: Vec<(usize, String)>,
+}
+
+impl Assembler {
+    /// Start assembling a program called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        Assembler {
+            name: name.into(),
+            instrs: Vec::new(),
+            labels: HashMap::new(),
+            fixups: Vec::new(),
+        }
+    }
+
+    /// Define `label` at the current position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label was already defined (a programming error in the
+    /// workload being assembled).
+    pub fn label(&mut self, label: &str) {
+        let here = self.instrs.len() as u32;
+        if self.labels.insert(label.to_string(), here).is_some() {
+            panic!("assembler: duplicate label `{label}`");
+        }
+    }
+
+    /// Current instruction index (useful for computed entry points).
+    pub fn here(&self) -> u32 {
+        self.instrs.len() as u32
+    }
+
+    /// Append a raw instruction.
+    pub fn emit(&mut self, i: Instr) -> &mut Self {
+        self.instrs.push(i);
+        self
+    }
+
+    /// Conditional jump to `label` (resolved at [`Assembler::finish`]).
+    pub fn jcc(&mut self, cond: Cond, label: &str) -> &mut Self {
+        self.fixups.push((self.instrs.len(), label.to_string()));
+        self.instrs.push(Instr::Jmp(cond, u32::MAX));
+        self
+    }
+
+    /// Unconditional jump to `label`.
+    pub fn jmp(&mut self, label: &str) -> &mut Self {
+        self.jcc(Cond::Always, label)
+    }
+
+    /// `dst <- imm`.
+    pub fn movi(&mut self, dst: Reg, imm: u32) -> &mut Self {
+        self.emit(Instr::MovI(dst, imm))
+    }
+
+    /// `dst <- src`.
+    pub fn mov(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.emit(Instr::Mov(dst, src))
+    }
+
+    /// `dst <- dst + src`.
+    pub fn add(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.emit(Instr::Add(dst, src))
+    }
+
+    /// `dst <- dst + imm`.
+    pub fn addi(&mut self, dst: Reg, imm: u32) -> &mut Self {
+        self.emit(Instr::AddI(dst, imm))
+    }
+
+    /// `dst <- dst - src`.
+    pub fn sub(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.emit(Instr::Sub(dst, src))
+    }
+
+    /// `dst <- dst - imm`.
+    pub fn subi(&mut self, dst: Reg, imm: u32) -> &mut Self {
+        self.emit(Instr::SubI(dst, imm))
+    }
+
+    /// `dst <- dst * src`.
+    pub fn mul(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.emit(Instr::Mul(dst, src))
+    }
+
+    /// `dst <- dst ^ src` (use `xor(r, r)` to zero).
+    pub fn xor(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.emit(Instr::Xor(dst, src))
+    }
+
+    /// Compare registers, setting flags.
+    pub fn cmp(&mut self, lhs: Reg, rhs: Reg) -> &mut Self {
+        self.emit(Instr::Cmp(lhs, rhs))
+    }
+
+    /// Compare register to immediate, setting flags.
+    pub fn cmpi(&mut self, lhs: Reg, imm: u32) -> &mut Self {
+        self.emit(Instr::CmpI(lhs, imm))
+    }
+
+    /// 32-bit load `dst <- mem[base+off]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, off: i32) -> &mut Self {
+        self.emit(Instr::Load(dst, base, off))
+    }
+
+    /// 32-bit store `mem[base+off] <- src`.
+    pub fn store(&mut self, base: Reg, off: i32, src: Reg) -> &mut Self {
+        self.emit(Instr::Store(base, off, src))
+    }
+
+    /// 8-bit load.
+    pub fn loadb(&mut self, dst: Reg, base: Reg, off: i32) -> &mut Self {
+        self.emit(Instr::LoadB(dst, base, off))
+    }
+
+    /// 8-bit store.
+    pub fn storeb(&mut self, base: Reg, off: i32, src: Reg) -> &mut Self {
+        self.emit(Instr::StoreB(base, off, src))
+    }
+
+    /// Trap into the kernel (entrypoint number already in `eax`).
+    pub fn syscall(&mut self) -> &mut Self {
+        self.emit(Instr::Syscall)
+    }
+
+    /// Burn `n` cycles of simulated computation.
+    pub fn compute(&mut self, n: u32) -> &mut Self {
+        self.emit(Instr::Compute(n))
+    }
+
+    /// Terminate the thread.
+    pub fn halt(&mut self) -> &mut Self {
+        self.emit(Instr::Halt)
+    }
+
+    /// Resolve labels and produce the program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced label was never defined.
+    pub fn finish(mut self) -> Program {
+        for (at, label) in &self.fixups {
+            let target = *self
+                .labels
+                .get(label)
+                .unwrap_or_else(|| panic!("assembler: undefined label `{label}`"));
+            match &mut self.instrs[*at] {
+                Instr::Jmp(_, t) => *t = target,
+                other => unreachable!("fixup at non-jump instruction {other:?}"),
+            }
+        }
+        Program::new(self.name, self.instrs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut a = Assembler::new("t");
+        a.jmp("end"); // forward reference
+        a.label("mid");
+        a.movi(Reg::Eax, 1);
+        a.label("end");
+        a.jcc(Cond::Always, "mid"); // backward reference
+        a.halt();
+        let p = a.finish();
+        assert_eq!(p.fetch(0), Some(Instr::Jmp(Cond::Always, 2)));
+        assert_eq!(p.fetch(2), Some(Instr::Jmp(Cond::Always, 1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn undefined_label_panics() {
+        let mut a = Assembler::new("t");
+        a.jmp("nowhere");
+        let _ = a.finish();
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut a = Assembler::new("t");
+        a.label("x");
+        a.label("x");
+    }
+
+    #[test]
+    fn builder_methods_emit_expected_instrs() {
+        let mut a = Assembler::new("t");
+        a.movi(Reg::Ebx, 5).addi(Reg::Ebx, 1).syscall().halt();
+        let p = a.finish();
+        assert_eq!(
+            p.instrs(),
+            &[
+                Instr::MovI(Reg::Ebx, 5),
+                Instr::AddI(Reg::Ebx, 1),
+                Instr::Syscall,
+                Instr::Halt
+            ]
+        );
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut a = Assembler::new("t");
+        assert_eq!(a.here(), 0);
+        a.halt();
+        assert_eq!(a.here(), 1);
+    }
+}

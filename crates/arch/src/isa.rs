@@ -1,0 +1,132 @@
+//! The user-mode instruction set.
+//!
+//! A deliberately small, fully restartable ISA. Two design rules carry the
+//! paper's argument through to the hardware level:
+//!
+//! 1. **Precise traps.** Any instruction that cannot complete (page fault,
+//!    system call, halt) leaves `eip` pointing at itself; the kernel decides
+//!    whether to advance it. Resuming a thread therefore re-executes the
+//!    interrupted instruction.
+//! 2. **In-place parameter advance.** The string instructions
+//!    ([`Instr::RepMovsB`], [`Instr::RepStosB`]) keep their operands in
+//!    registers (`esi`, `edi`, `ecx`) and advance them as bytes move, so an
+//!    instruction interrupted in the middle resumes exactly where it left
+//!    off — the hardware analogue of Fluke's multi-stage system calls
+//!    (paper §4.2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::regs::Reg;
+
+/// A branch condition, evaluated against the flags set by `Cmp`/`CmpI`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Cond {
+    /// Branch always.
+    Always,
+    /// Branch if the last comparison was equal (`ZF`).
+    Eq,
+    /// Branch if the last comparison was not equal (`!ZF`).
+    Ne,
+    /// Branch if the last comparison was unsigned less-than (`LT`).
+    Lt,
+    /// Branch if the last comparison was unsigned greater-or-equal (`!LT`).
+    Ge,
+}
+
+/// One user-mode instruction.
+///
+/// Branch targets are instruction indices; the [`crate::Assembler`] resolves
+/// symbolic labels to these indices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Instr {
+    /// `dst <- imm`.
+    MovI(Reg, u32),
+    /// `dst <- src`.
+    Mov(Reg, Reg),
+    /// `dst <- dst + src` (wrapping).
+    Add(Reg, Reg),
+    /// `dst <- dst + imm` (wrapping).
+    AddI(Reg, u32),
+    /// `dst <- dst - src` (wrapping).
+    Sub(Reg, Reg),
+    /// `dst <- dst - imm` (wrapping).
+    SubI(Reg, u32),
+    /// `dst <- dst * src` (wrapping).
+    Mul(Reg, Reg),
+    /// `dst <- dst ^ src`; `Xor(r, r)` is the idiomatic zeroing form.
+    Xor(Reg, Reg),
+    /// `dst <- dst & imm`.
+    AndI(Reg, u32),
+    /// `dst <- dst >> imm` (logical).
+    ShrI(Reg, u32),
+    /// `dst <- dst << imm`.
+    ShlI(Reg, u32),
+    /// Compare `lhs` with `rhs`, setting `ZF`/`LT`.
+    Cmp(Reg, Reg),
+    /// Compare `lhs` with immediate `rhs`, setting `ZF`/`LT`.
+    CmpI(Reg, u32),
+    /// Conditional branch to an absolute instruction index.
+    Jmp(Cond, u32),
+    /// 32-bit load: `dst <- mem[base + off]`. May fault.
+    Load(Reg, Reg, i32),
+    /// 32-bit store: `mem[base + off] <- src`. May fault.
+    Store(Reg, i32, Reg),
+    /// 8-bit load (zero-extended): `dst <- mem[base + off]`. May fault.
+    LoadB(Reg, Reg, i32),
+    /// 8-bit store (low byte of `src`): `mem[base + off] <- src`. May fault.
+    StoreB(Reg, i32, Reg),
+    /// Push `src` on the user stack: `esp -= 4; mem[esp] <- src`. May fault.
+    Push(Reg),
+    /// Pop into `dst`: `dst <- mem[esp]; esp += 4`. May fault.
+    Pop(Reg),
+    /// Copy `ecx` bytes from `[esi]` to `[edi]`, advancing all three
+    /// registers as it goes. Interruptible and restartable mid-copy: on a
+    /// fault the registers hold the exact partial progress. May fault.
+    RepMovsB,
+    /// Store the low byte of `eax` to `ecx` bytes at `[edi]`, advancing
+    /// `edi`/`ecx`. Same restartability as `RepMovsB`. May fault.
+    RepStosB,
+    /// Trap to the kernel; the entrypoint number is in `eax` and arguments
+    /// follow the convention in `fluke-api`. `eip` is left pointing at this
+    /// instruction so the kernel controls whether the call restarts
+    /// (leave `eip`) or completes (advance `eip`).
+    Syscall,
+    /// Model `n` cycles of pure user-mode computation in one step.
+    Compute(u32),
+    /// Terminate the thread.
+    Halt,
+    /// Do nothing for one cycle.
+    Nop,
+}
+
+impl Instr {
+    /// Whether this instruction can touch user memory (and therefore fault).
+    pub fn may_fault(&self) -> bool {
+        matches!(
+            self,
+            Instr::Load(..)
+                | Instr::Store(..)
+                | Instr::LoadB(..)
+                | Instr::StoreB(..)
+                | Instr::Push(..)
+                | Instr::Pop(..)
+                | Instr::RepMovsB
+                | Instr::RepStosB
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn may_fault_classification() {
+        assert!(Instr::Load(Reg::Eax, Reg::Ebx, 0).may_fault());
+        assert!(Instr::RepMovsB.may_fault());
+        assert!(Instr::Push(Reg::Eax).may_fault());
+        assert!(!Instr::MovI(Reg::Eax, 1).may_fault());
+        assert!(!Instr::Syscall.may_fault());
+        assert!(!Instr::Compute(100).may_fault());
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+//! Simulated hardware substrate for the Fluke kernel reproduction.
+//!
+//! The paper's evaluation ran on a 200MHz Pentium Pro. This crate replaces
+//! that testbed with a deterministic register machine whose surface mirrors
+//! the properties the paper's argument depends on:
+//!
+//! * an x86-flavoured register file with few registers, forcing the kernel to
+//!   provide *pseudo-registers* for intermediate IPC state (§4.4 of the paper);
+//! * *restartable string instructions* ([`Instr::RepMovsB`], [`Instr::RepStosB`])
+//!   whose parameter registers advance in place as they work, so an interrupted
+//!   instruction resumes exactly where it left off — the paper's explicit
+//!   analogy for the atomic system-call API (§4.2);
+//! * precise traps: on a page fault or syscall the program counter points *at*
+//!   the trapping instruction, so re-entering user mode re-executes it;
+//! * a deterministic cycle-accurate [`cost::CostModel`] standing in for the
+//!   Pentium Pro's timing, calibrated to the micro-costs the paper publishes.
+//!
+//! Everything in this crate is mechanism shared by kernel and user code; no
+//! policy lives here.
+
+pub mod asm;
+pub mod cost;
+pub mod cpu;
+pub mod isa;
+pub mod mem;
+pub mod program;
+pub mod regs;
+pub mod trap;
+
+pub use asm::Assembler;
+pub use cost::{cycles_to_us, us_to_cycles, CostModel, Cycles, CYCLES_PER_US};
+pub use cpu::{Cpu, StepOutcome};
+pub use isa::{Cond, Instr};
+pub use mem::{AccessKind, MemFault, UserMem};
+pub use program::{Program, ProgramId};
+pub use regs::{Reg, UserRegs, FLAG_LT, FLAG_ZF};
+pub use trap::Trap;

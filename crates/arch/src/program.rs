@@ -1,0 +1,84 @@
+//! User-mode program text.
+//!
+//! Program text is immutable and shared: `eip` indexes into a [`Program`]'s
+//! instruction vector. This stands in for the read-only text segment of a
+//! real address space. For checkpoint and migration the text is identified
+//! by a stable [`ProgramId`] registered with the kernel, playing the role of
+//! the executable image a real checkpointer would re-map (see DESIGN.md,
+//! substitutions).
+
+use serde::{Deserialize, Serialize};
+
+use crate::isa::Instr;
+
+/// Stable identity of a program image, used in exported thread state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ProgramId(pub u64);
+
+/// An immutable user-mode program: a name plus its instruction vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Program {
+    name: String,
+    instrs: Vec<Instr>,
+}
+
+impl Program {
+    /// Build a program from raw instructions (prefer [`crate::Assembler`]).
+    pub fn new(name: impl Into<String>, instrs: Vec<Instr>) -> Self {
+        Program {
+            name: name.into(),
+            instrs,
+        }
+    }
+
+    /// The program's human-readable name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Fetch the instruction at `eip`, or `None` past the end (an
+    /// [`crate::Trap::Illegal`] condition).
+    #[inline]
+    pub fn fetch(&self, eip: u32) -> Option<Instr> {
+        self.instrs.get(eip as usize).copied()
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// The full instruction listing (for disassembly / debugging).
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Instr;
+    use crate::regs::Reg;
+
+    #[test]
+    fn fetch_in_and_out_of_range() {
+        let p = Program::new("t", vec![Instr::Nop, Instr::Halt]);
+        assert_eq!(p.fetch(0), Some(Instr::Nop));
+        assert_eq!(p.fetch(1), Some(Instr::Halt));
+        assert_eq!(p.fetch(2), None);
+        assert_eq!(p.len(), 2);
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn name_and_listing() {
+        let p = Program::new("demo", vec![Instr::MovI(Reg::Eax, 1)]);
+        assert_eq!(p.name(), "demo");
+        assert_eq!(p.instrs().len(), 1);
+    }
+}

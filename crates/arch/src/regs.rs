@@ -1,0 +1,222 @@
+//! The user-visible register file.
+//!
+//! Fluke's atomic API requires that *every* long-term blocking state of a
+//! thread be representable in its user-visible register state (paper §4).
+//! On the x86 the register file is small, so Fluke added two 32-bit
+//! *pseudo-registers* maintained by the kernel to hold intermediate IPC state
+//! (paper §4.4, "Thread state size"). We reproduce exactly that layout:
+//! eight general-purpose registers, an instruction pointer, a flags word, and
+//! two pseudo-registers.
+
+use serde::{Deserialize, Serialize};
+
+/// Zero flag: set by comparison instructions when the operands were equal.
+pub const FLAG_ZF: u32 = 1 << 0;
+/// Less-than flag: set by comparison instructions when `lhs < rhs` (unsigned).
+pub const FLAG_LT: u32 = 1 << 1;
+
+/// A general-purpose register name.
+///
+/// The names mirror the x86 so the paper's examples translate directly: IPC
+/// transfers keep their source pointer in `esi`/`edi` and their remaining
+/// byte count in `ecx`, advancing them in place as data moves — the same
+/// convention as the x86 string instructions the paper cites as its analogy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Reg {
+    /// Accumulator; holds the syscall entrypoint number on kernel entry and
+    /// the result code on completion.
+    Eax = 0,
+    /// First syscall argument.
+    Ebx = 1,
+    /// Count register; byte counts for string instructions and IPC transfers.
+    Ecx = 2,
+    /// Second value/result register.
+    Edx = 3,
+    /// Source pointer for string instructions and IPC sends.
+    Esi = 4,
+    /// Destination pointer for string instructions and IPC receives.
+    Edi = 5,
+    /// Frame/base register (free for user code).
+    Ebp = 6,
+    /// Stack pointer (free for user code; the ISA has push/pop helpers).
+    Esp = 7,
+}
+
+impl Reg {
+    /// All registers, in encoding order.
+    pub const ALL: [Reg; 8] = [
+        Reg::Eax,
+        Reg::Ebx,
+        Reg::Ecx,
+        Reg::Edx,
+        Reg::Esi,
+        Reg::Edi,
+        Reg::Ebp,
+        Reg::Esp,
+    ];
+
+    /// The register's index in [`UserRegs::gpr`].
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// The conventional lower-case name ("eax", "ebx", ...).
+    pub fn name(self) -> &'static str {
+        match self {
+            Reg::Eax => "eax",
+            Reg::Ebx => "ebx",
+            Reg::Ecx => "ecx",
+            Reg::Edx => "edx",
+            Reg::Esi => "esi",
+            Reg::Edi => "edi",
+            Reg::Ebp => "ebp",
+            Reg::Esp => "esp",
+        }
+    }
+}
+
+impl std::fmt::Display for Reg {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The complete user-visible register state of a thread.
+///
+/// This structure *is* the continuation: per the paper's central claim, when
+/// a thread blocks for an indefinite time the kernel has already written all
+/// partial progress back into these registers, so they fully describe how to
+/// resume (or checkpoint, or migrate) the thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UserRegs {
+    /// General-purpose registers, indexed by [`Reg::index`].
+    pub gpr: [u32; 8],
+    /// Instruction pointer: an index into the thread's [`crate::Program`].
+    /// On a trap it points *at* the trapping instruction.
+    pub eip: u32,
+    /// Condition flags ([`FLAG_ZF`], [`FLAG_LT`]).
+    pub eflags: u32,
+    /// Kernel-maintained pseudo-registers holding intermediate multi-stage
+    /// IPC state (paper §4.4). User code only touches these when saving and
+    /// restoring thread state.
+    pub pr: [u32; 2],
+}
+
+impl UserRegs {
+    /// Register state of a freshly created thread: everything zeroed, entry
+    /// point at instruction 0.
+    pub fn new() -> Self {
+        UserRegs {
+            gpr: [0; 8],
+            eip: 0,
+            eflags: 0,
+            pr: [0; 2],
+        }
+    }
+
+    /// Read a general-purpose register.
+    #[inline]
+    pub fn get(&self, r: Reg) -> u32 {
+        self.gpr[r.index()]
+    }
+
+    /// Write a general-purpose register.
+    #[inline]
+    pub fn set(&mut self, r: Reg, v: u32) {
+        self.gpr[r.index()] = v;
+    }
+
+    /// Set or clear a flag bit.
+    #[inline]
+    pub fn set_flag(&mut self, flag: u32, on: bool) {
+        if on {
+            self.eflags |= flag;
+        } else {
+            self.eflags &= !flag;
+        }
+    }
+
+    /// Test a flag bit.
+    #[inline]
+    pub fn flag(&self, flag: u32) -> bool {
+        self.eflags & flag != 0
+    }
+}
+
+impl Default for UserRegs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Display for UserRegs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for r in Reg::ALL {
+            write!(f, "{}={:#010x} ", r, self.get(r))?;
+        }
+        write!(
+            f,
+            "eip={:#x} eflags={:#x} pr0={:#x} pr1={:#x}",
+            self.eip, self.eflags, self.pr[0], self.pr[1]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_regs_are_zeroed() {
+        let r = UserRegs::new();
+        for reg in Reg::ALL {
+            assert_eq!(r.get(reg), 0);
+        }
+        assert_eq!(r.eip, 0);
+        assert_eq!(r.pr, [0, 0]);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut r = UserRegs::new();
+        for (i, reg) in Reg::ALL.into_iter().enumerate() {
+            r.set(reg, 0x1000 + i as u32);
+        }
+        for (i, reg) in Reg::ALL.into_iter().enumerate() {
+            assert_eq!(r.get(reg), 0x1000 + i as u32);
+        }
+    }
+
+    #[test]
+    fn flags_set_and_clear() {
+        let mut r = UserRegs::new();
+        r.set_flag(FLAG_ZF, true);
+        assert!(r.flag(FLAG_ZF));
+        assert!(!r.flag(FLAG_LT));
+        r.set_flag(FLAG_LT, true);
+        r.set_flag(FLAG_ZF, false);
+        assert!(!r.flag(FLAG_ZF));
+        assert!(r.flag(FLAG_LT));
+    }
+
+    #[test]
+    fn reg_names_match_encoding_order() {
+        assert_eq!(Reg::Eax.index(), 0);
+        assert_eq!(Reg::Esp.index(), 7);
+        assert_eq!(Reg::Ecx.name(), "ecx");
+        assert_eq!(format!("{}", Reg::Esi), "esi");
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let mut r = UserRegs::new();
+        r.set(Reg::Eax, 42);
+        r.eip = 7;
+        r.pr = [1, 2];
+        let s = serde_json::to_string(&r).unwrap();
+        let back: UserRegs = serde_json::from_str(&s).unwrap();
+        assert_eq!(back, r);
+    }
+}

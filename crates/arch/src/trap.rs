@@ -1,0 +1,54 @@
+//! Traps: the events that transfer control from user mode to the kernel.
+
+use crate::mem::MemFault;
+
+/// Why the CPU left user mode.
+///
+/// In every case `eip` still points at the instruction that trapped; the
+/// kernel advances it only when the operation is complete, which is what
+/// makes every trap site a clean restart point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// A `Syscall` instruction; the entrypoint number is in `eax`.
+    Syscall,
+    /// A load or store could not be translated or violated protections.
+    PageFault(MemFault),
+    /// The thread executed `Halt` and is done.
+    Halt,
+    /// The thread did something undefined (e.g. `eip` past the end of its
+    /// program). Delivered to the kernel as a fatal exception.
+    Illegal,
+}
+
+impl Trap {
+    /// Short human-readable tag for logs and stats.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Trap::Syscall => "syscall",
+            Trap::PageFault(_) => "pagefault",
+            Trap::Halt => "halt",
+            Trap::Illegal => "illegal",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mem::AccessKind;
+
+    #[test]
+    fn trap_names() {
+        assert_eq!(Trap::Syscall.name(), "syscall");
+        assert_eq!(
+            Trap::PageFault(MemFault {
+                addr: 0,
+                kind: AccessKind::Read
+            })
+            .name(),
+            "pagefault"
+        );
+        assert_eq!(Trap::Halt.name(), "halt");
+        assert_eq!(Trap::Illegal.name(), "illegal");
+    }
+}

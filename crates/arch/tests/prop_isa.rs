@@ -1,0 +1,185 @@
+//! Property tests of the ISA's restartability invariants.
+
+use proptest::prelude::*;
+
+use fluke_arch::mem::FlatMem;
+use fluke_arch::{Assembler, Cond, CostModel, Cpu, Instr, Program, Reg, Trap, UserMem, UserRegs};
+
+/// A straight-line arithmetic program and a pure-Rust oracle of it.
+fn arith_program(ops: &[(u8, u8, u32)]) -> (Program, [u32; 8]) {
+    let mut a = Assembler::new("prop");
+    let mut model = [0u32; 8];
+    for &(op, reg, imm) in ops {
+        let r = Reg::ALL[(reg % 8) as usize];
+        let i = r.index();
+        match op % 5 {
+            0 => {
+                a.movi(r, imm);
+                model[i] = imm;
+            }
+            1 => {
+                a.addi(r, imm);
+                model[i] = model[i].wrapping_add(imm);
+            }
+            2 => {
+                a.subi(r, imm);
+                model[i] = model[i].wrapping_sub(imm);
+            }
+            3 => {
+                a.emit(Instr::ShlI(r, imm & 31));
+                model[i] <<= imm & 31;
+            }
+            4 => {
+                a.emit(Instr::AndI(r, imm));
+                model[i] &= imm;
+            }
+            _ => unreachable!(),
+        }
+    }
+    a.halt();
+    (a.finish(), model)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The CPU agrees with a straight-line oracle on every register.
+    #[test]
+    fn arithmetic_matches_oracle(ops in proptest::collection::vec((0u8..5, 0u8..8, any::<u32>()), 1..40)) {
+        let (prog, model) = arith_program(&ops);
+        let mut cpu = Cpu::new(0);
+        let mut regs = UserRegs::new();
+        let mut mem = FlatMem::new(0);
+        let cost = CostModel::default();
+        loop {
+            match cpu.step(&mut regs, &prog, &mut mem, &cost) {
+                None => continue,
+                Some(Trap::Halt) => break,
+                Some(t) => panic!("unexpected trap {t:?}"),
+            }
+        }
+        prop_assert_eq!(regs.gpr, model);
+    }
+
+    /// RepMovsB interrupted by an arbitrary fault boundary and resumed
+    /// copies every byte exactly once (the restartable-instruction law).
+    #[test]
+    fn rep_movs_resume_is_exact(
+        len in 1u32..6000,
+        src_off in 0u32..64,
+        dst_gap in 1u32..64,
+        cut in 0u32..6000,
+    ) {
+        let src = src_off;
+        let dst = src_off + len + dst_gap;
+        let total = dst + len;
+        let mut a = Assembler::new("copy");
+        a.movi(Reg::Esi, src);
+        a.movi(Reg::Edi, dst);
+        a.movi(Reg::Ecx, len);
+        a.emit(Instr::RepMovsB);
+        a.halt();
+        let prog = a.finish();
+
+        // First run against a memory truncated at `dst + cut`: the copy
+        // faults exactly at the first inaccessible destination byte (if
+        // the cut lands inside the transfer).
+        let cut = cut.min(len);
+        let mut small = FlatMem::new((dst + cut) as usize);
+        for i in 0..len.min(dst + cut) {
+            if src + i < dst + cut {
+                small.write_u8(src + i, (i % 251) as u8).unwrap();
+            }
+        }
+        let mut cpu = Cpu::new(0);
+        let mut regs = UserRegs::new();
+        let cost = CostModel::default();
+        let mut faulted = false;
+        loop {
+            match cpu.step(&mut regs, &prog, &mut small, &cost) {
+                None => continue,
+                Some(Trap::Halt) => break,
+                Some(Trap::PageFault(f)) => {
+                    faulted = true;
+                    prop_assert_eq!(f.addr, dst + cut, "fault at the cut");
+                    break;
+                }
+                Some(t) => panic!("unexpected trap {t:?}"),
+            }
+        }
+        prop_assert_eq!(faulted, cut < len);
+        // "Resolve" the fault: same bytes, full memory; resume from the
+        // exact same registers.
+        let mut big = FlatMem::new(total as usize + 8);
+        for i in 0..(dst + cut).min(total) {
+            let b = small.read_u8(i).unwrap();
+            big.write_u8(i, b).unwrap();
+        }
+        for i in 0..len {
+            big.write_u8(src + i, (i % 251) as u8).unwrap();
+        }
+        loop {
+            match cpu.step(&mut regs, &prog, &mut big, &cost) {
+                None => continue,
+                Some(Trap::Halt) => break,
+                Some(t) => panic!("unexpected trap after resume {t:?}"),
+            }
+        }
+        for i in 0..len {
+            prop_assert_eq!(big.read_u8(dst + i).unwrap(), (i % 251) as u8);
+        }
+        prop_assert_eq!(regs.get(Reg::Ecx), 0);
+        prop_assert_eq!(regs.get(Reg::Esi), src + len);
+        prop_assert_eq!(regs.get(Reg::Edi), dst + len);
+    }
+
+    /// A counted loop assembled with symbolic labels runs its body exactly
+    /// `n` times for any n.
+    #[test]
+    fn counted_loops_iterate_exactly(n in 1u32..500) {
+        let mut a = Assembler::new("loop");
+        a.movi(Reg::Ecx, n);
+        a.xor(Reg::Ebx, Reg::Ebx);
+        a.label("top");
+        a.addi(Reg::Ebx, 1);
+        a.subi(Reg::Ecx, 1);
+        a.cmpi(Reg::Ecx, 0);
+        a.jcc(Cond::Ne, "top");
+        a.halt();
+        let prog = a.finish();
+        let mut cpu = Cpu::new(0);
+        let mut regs = UserRegs::new();
+        let mut mem = FlatMem::new(0);
+        let cost = CostModel::default();
+        loop {
+            match cpu.step(&mut regs, &prog, &mut mem, &cost) {
+                None => continue,
+                Some(Trap::Halt) => break,
+                Some(t) => panic!("unexpected {t:?}"),
+            }
+        }
+        prop_assert_eq!(regs.get(Reg::Ebx), n);
+    }
+
+    /// The cycle clock is deterministic: running the same program twice
+    /// charges exactly the same cycles.
+    #[test]
+    fn simulation_is_deterministic(ops in proptest::collection::vec((0u8..5, 0u8..8, any::<u32>()), 1..30)) {
+        let (prog, _) = arith_program(&ops);
+        let run = || {
+            let mut cpu = Cpu::new(0);
+            let mut regs = UserRegs::new();
+            let mut mem = FlatMem::new(0);
+            let cost = CostModel::default();
+            loop {
+                match cpu.step(&mut regs, &prog, &mut mem, &cost) {
+                    None => continue,
+                    Some(Trap::Halt) => break,
+                    Some(t) => panic!("unexpected {t:?}"),
+                }
+            }
+            (cpu.now, regs)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,187 @@
+//! Ablation studies: isolate each model-differentiating cost and show
+//! which table it drives.
+//!
+//! Every effect in Tables 5 and 6 traces to a specific constant in the
+//! cost model or a specific structural choice. The ablations rerun the
+//! relevant workload with one knob moved and everything else fixed,
+//! confirming the attribution:
+//!
+//! * `ctx_switch_kernel_regs` → the interrupt model's flukeperf advantage;
+//! * `interrupt_entry_extra` → the §5.5 null-syscall penalty;
+//! * the partial-preemption chunk size → PP's Table 6 maximum;
+//! * the `region_search` charge → PP's non-IPC latency ceiling.
+
+use fluke_core::{Config, Kernel};
+use fluke_user::FlukeAsm;
+use fluke_workloads::common::run_workload;
+use fluke_workloads::latency::install_probe;
+use fluke_workloads::{flukeperf, FlukeperfParams};
+
+use crate::report::TextTable;
+
+/// flukeperf elapsed cycles under `cfg` with a tweaked cost model.
+fn flukeperf_with(cfg: Config, tweak: impl Fn(&mut fluke_arch::CostModel)) -> u64 {
+    let mut run = flukeperf::build(cfg, &FlukeperfParams::quick());
+    tweak(&mut run.kernel.cost);
+    run_workload(run, 8_000_000_000).elapsed
+}
+
+/// Ablation 1: zeroing the kernel-register save/restore cost erases the
+/// interrupt model's flukeperf advantage.
+pub fn ablate_ctx_switch_regs() -> (f64, f64) {
+    let process = flukeperf_with(Config::process_np(), |_| {});
+    let interrupt = flukeperf_with(Config::interrupt_np(), |_| {});
+    let with_cost = interrupt as f64 / process as f64;
+    let process0 = flukeperf_with(Config::process_np(), |m| m.ctx_switch_kernel_regs = 0);
+    let interrupt0 = flukeperf_with(Config::interrupt_np(), |m| m.ctx_switch_kernel_regs = 0);
+    let without_cost = interrupt0 as f64 / process0 as f64;
+    (with_cost, without_cost)
+}
+
+/// Ablation 2: the interrupt-model entry penalty scales the null-syscall
+/// gap linearly (§5.5's six cycles are the only difference).
+pub fn ablate_entry_penalty() -> Vec<(u64, f64)> {
+    let mut out = Vec::new();
+    for extra in [0u64, 3, 12, 48] {
+        let null_cost = |cfg: Config| {
+            let mut k = Kernel::new(cfg);
+            k.cost.interrupt_entry_extra = extra;
+            k.cost.interrupt_exit_extra = extra;
+            let mut p = fluke_user::proc::ChildProc::new(&mut k);
+            let _ = p.alloc_obj();
+            let mut a = fluke_arch::Assembler::new("nulls");
+            fluke_workloads::common::counted_loop(&mut a, "l", p.mem_base + 0x200, 2_000, |a| {
+                a.sys(fluke_api::Sys::SysNull);
+            });
+            a.halt();
+            let t = p.start(&mut k, a.finish(), 8);
+            assert!(fluke_user::proc::run_to_halt(&mut k, &[t], 1_000_000_000));
+            k.stats.kernel_cycles as f64 / 2_000.0
+        };
+        let p = null_cost(Config::process_np());
+        let i = null_cost(Config::interrupt_np());
+        out.push((extra, (i - p) / p * 100.0));
+    }
+    out
+}
+
+/// Ablation 3: the partial-preemption chunk bounds PP's maximum latency on
+/// the copy path — sweep the chunk and watch the IPC-attributable maximum
+/// track it.
+pub fn ablate_pp_chunk() -> Vec<(u32, f64)> {
+    // The chunk constant is structural (config), so emulate the sweep by
+    // scaling the copy cost instead: a 2× copy cost doubles the time per
+    // 8KB chunk, which must double the copy-bound latency ceiling.
+    let mut out = Vec::new();
+    for scale in [1u64, 2, 4] {
+        let mut params = FlukeperfParams::quick();
+        params.big_sends = 2;
+        params.big_size = 512 << 10;
+        params.searches = 0; // isolate the IPC path
+        params.medium_sends = 30;
+        let mut run = flukeperf::build(Config::process_pp(), &params);
+        run.kernel.cost.copy_byte_per = scale;
+        install_probe(&mut run.kernel, 1);
+        let res = run_workload(run, 16_000_000_000);
+        out.push((
+            fluke_core::PP_CHUNK_BYTES * scale as u32,
+            res.stats.probe_max_us(),
+        ));
+    }
+    out
+}
+
+/// Ablation 4: removing the `region_search` charge collapses PP's overall
+/// latency ceiling to the copy-chunk bound.
+pub fn ablate_search_cost() -> (f64, f64) {
+    let mut params = FlukeperfParams::quick();
+    params.big_sends = 0;
+    params.searches = 10;
+    params.search_pages = 300;
+    params.medium_sends = 10;
+    let run_with = |per_page: u64| {
+        let mut run = flukeperf::build(Config::process_pp(), &params);
+        run.kernel.cost.region_search_page = per_page;
+        install_probe(&mut run.kernel, 1);
+        run_workload(run, 16_000_000_000).stats.probe_max_us()
+    };
+    (run_with(800), run_with(8))
+}
+
+/// Render the full ablation report.
+pub fn render() -> String {
+    let mut out = String::new();
+    let (with, without) = ablate_ctx_switch_regs();
+    let mut t = TextTable::new(&["ctx_switch_kernel_regs", "interrupt/process flukeperf"]);
+    t.row(&["150 (calibrated)".into(), format!("{with:.3}")]);
+    t.row(&["0 (ablated)".into(), format!("{without:.3}")]);
+    out.push_str(&format!(
+        "Ablation 1: the interrupt model's flukeperf advantage is the saved\n\
+         kernel-register state on context switches (Table 5).\n\n{t}\n"
+    ));
+    let mut t = TextTable::new(&[
+        "interrupt entry/exit extra (cycles)",
+        "null-syscall overhead",
+    ]);
+    for (extra, pct) in ablate_entry_penalty() {
+        t.row(&[extra.to_string(), format!("{pct:.1}%")]);
+    }
+    out.push_str(&format!(
+        "Ablation 2: the §5.5 architectural-bias penalty scales with the\n\
+         per-entry state-copy cost.\n\n{t}\n"
+    ));
+    let mut t = TextTable::new(&["effective chunk cost (bytes × cost)", "PP max latency (µs)"]);
+    for (chunk, max) in ablate_pp_chunk() {
+        t.row(&[chunk.to_string(), format!("{max:.0}")]);
+    }
+    out.push_str(&format!(
+        "Ablation 3: PP's copy-path latency ceiling tracks the preemption\n\
+         chunk (Table 6).\n\n{t}\n"
+    ));
+    let (expensive, cheap) = ablate_search_cost();
+    let mut t = TextTable::new(&["region_search per-page cost", "PP max latency (µs)"]);
+    t.row(&["800 (calibrated)".into(), format!("{expensive:.0}")]);
+    t.row(&["8 (ablated)".into(), format!("{cheap:.0}")]);
+    out.push_str(&format!(
+        "Ablation 4: with the unpointed region_search made cheap, PP's\n\
+         latency ceiling collapses toward the copy-chunk bound (Table 6).\n\n{t}"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctx_switch_regs_explains_interrupt_advantage() {
+        let (with, without) = ablate_ctx_switch_regs();
+        assert!(with < 1.0, "interrupt should win with the cost: {with}");
+        assert!(
+            without > with && without > 0.99,
+            "advantage must collapse when ablated: {without}"
+        );
+    }
+
+    #[test]
+    fn entry_penalty_scales_monotonically() {
+        let rows = ablate_entry_penalty();
+        for w in rows.windows(2) {
+            assert!(w[1].1 > w[0].1, "penalty must grow: {rows:?}");
+        }
+        // At zero extra, the models' null-syscall costs coincide.
+        assert!(
+            rows[0].1.abs() < 0.5,
+            "zero-ablation should be ~0: {rows:?}"
+        );
+    }
+
+    #[test]
+    fn search_cost_drives_pp_ceiling() {
+        let (expensive, cheap) = ablate_search_cost();
+        assert!(
+            expensive > 4.0 * cheap,
+            "search ceiling should collapse: {expensive} vs {cheap}"
+        );
+    }
+}

@@ -1,0 +1,4 @@
+//! Ablation report: which cost drives which table.
+fn main() {
+    println!("{}", fluke_bench::ablation::render());
+}

@@ -1,0 +1,18 @@
+//! Regenerate the paper's Figure 1: the kernel execution-model and
+//! API-model continuums, as a 2x2 text chart.
+fn main() {
+    println!("Figure 1: The kernel execution and API model continuums.");
+    println!("(V was originally pure interrupt-model, later partly process-model;");
+    println!(" Mach was pure process-model, later partly interrupt-model; Fluke");
+    println!(" supports either execution model via a build-time option.)\n");
+    println!("                      Execution Model");
+    println!("                Interrupt            Process");
+    println!("             +--------------------+--------------------+");
+    println!("   Atomic    |  Fluke (interrupt) |  Fluke (process)   |");
+    println!("             |  V (original)      |  ITS               |");
+    println!("  API        +--------------------+--------------------+");
+    println!("   Conven-   |  Mach (Draves,     |  BSD, Linux, NT    |");
+    println!("   tional    |   continuations)   |  Mach (original)   |");
+    println!("             |  QNX, exokernels   |  V (Carter)        |");
+    println!("             +--------------------+--------------------+");
+}

@@ -1,0 +1,64 @@
+//! Multiprocessor scaling: compute-bound and syscall-bound workloads on
+//! 1, 2, 4 and 8 simulated processors (beyond the paper's uniprocessor
+//! measurements; the abstract's MP claim made measurable).
+use fluke_arch::{Assembler, Cond, Reg, UserRegs};
+use fluke_bench::TextTable;
+use fluke_core::{Config, Kernel};
+use fluke_user::proc::{run_to_halt, ChildProc};
+use fluke_user::FlukeAsm;
+
+fn run_mix(cpus: usize, syscall_heavy: bool) -> (u64, u64) {
+    let mut k = Kernel::new(Config::process_np().with_cpus(cpus));
+    let p = ChildProc::new(&mut k);
+    let mut a = Assembler::new("worker");
+    a.movi(Reg::Ecx, 3_000);
+    a.label("top");
+    if syscall_heavy {
+        a.sys(fluke_api::Sys::SysNull);
+        a.compute(200);
+    } else {
+        a.compute(2_000);
+    }
+    a.subi(Reg::Ecx, 1);
+    a.cmpi(Reg::Ecx, 0);
+    a.jcc(Cond::Ne, "top");
+    a.halt();
+    let prog = k.register_program(a.finish());
+    let ts: Vec<_> = (0..8)
+        .map(|_| k.spawn_thread(p.space, prog, UserRegs::new(), 8))
+        .collect();
+    assert!(run_to_halt(&mut k, &ts, 200_000_000_000));
+    (k.now(), k.stats.klock_cycles)
+}
+
+fn main() {
+    let mut t = TextTable::new(&[
+        "CPUs",
+        "compute-bound (ms)",
+        "speedup",
+        "syscall-bound (ms)",
+        "speedup",
+        "lock wait (ms)",
+    ]);
+    let (c1, _) = run_mix(1, false);
+    let (s1, _) = run_mix(1, true);
+    for cpus in [1usize, 2, 4, 8] {
+        let (c, _) = run_mix(cpus, false);
+        let (s, lw) = run_mix(cpus, true);
+        t.row(&[
+            cpus.to_string(),
+            format!("{:.1}", c as f64 / 200_000.0),
+            format!("{:.2}x", c1 as f64 / c as f64),
+            format!("{:.1}", s as f64 / 200_000.0),
+            format!("{:.2}x", s1 as f64 / s as f64),
+            format!("{:.1}", lw as f64 / 200_000.0),
+        ]);
+    }
+    println!(
+        "Multiprocessor scaling, 8 worker threads (big-kernel-lock MP kernel):\n\
+         compute scales nearly linearly; syscall-heavy work serializes on\n\
+         the kernel lock — the reason Table 4's NP/PP rows are uniprocessor\n\
+         designs.\n"
+    );
+    println!("{t}");
+}

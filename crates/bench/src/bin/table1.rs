@@ -1,0 +1,4 @@
+//! Regenerate the paper's Table 1 (syscall classification).
+fn main() {
+    println!("{}", fluke_bench::table1::render());
+}

@@ -1,0 +1,12 @@
+//! Regenerate the paper's Table 2 (the nine primitive object types).
+use fluke_api::ObjType;
+use fluke_bench::TextTable;
+
+fn main() {
+    let mut t = TextTable::new(&["Object", "Description"]);
+    for ty in ObjType::ALL {
+        t.row(&[ty.name().to_string(), ty.description().to_string()]);
+    }
+    println!("Table 2: The primitive object types exported by the Fluke kernel.\n");
+    println!("{t}");
+}

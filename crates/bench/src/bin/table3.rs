@@ -1,0 +1,4 @@
+//! Regenerate the paper's Table 3.
+fn main() {
+    println!("{}", fluke_bench::table3::render());
+}

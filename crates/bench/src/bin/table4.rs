@@ -1,0 +1,25 @@
+//! Regenerate the paper's Table 4 (kernel configuration matrix).
+use fluke_bench::TextTable;
+use fluke_core::{Config, Preemption};
+
+fn main() {
+    let mut t = TextTable::new(&["Configuration", "Description"]);
+    for cfg in Config::all_five() {
+        let desc = match (cfg.model, cfg.preempt) {
+            (fluke_core::ExecModel::Process, Preemption::None) =>
+                "Process model with no kernel preemption. Requires no kernel-internal locking. Comparable to a uniprocessor Unix system.",
+            (fluke_core::ExecModel::Process, Preemption::Partial) =>
+                "Process model with \"partial\" kernel preemption: a single explicit preemption point on the IPC data copy path, checked after every 8k transferred. No kernel locking.",
+            (fluke_core::ExecModel::Process, Preemption::Full) =>
+                "Process model with full kernel preemption. Requires blocking mutex locks for kernel locking.",
+            (fluke_core::ExecModel::Interrupt, Preemption::None) =>
+                "Interrupt model with no kernel preemption. Requires no kernel locking.",
+            (fluke_core::ExecModel::Interrupt, Preemption::Partial) =>
+                "Interrupt model with partial preemption: the same IPC preemption point as Process PP. No kernel locking.",
+            (fluke_core::ExecModel::Interrupt, Preemption::Full) => unreachable!(),
+        };
+        t.row(&[cfg.label.to_string(), desc.to_string()]);
+    }
+    println!("Table 4: Labels and characteristics of the kernel configurations.\n");
+    println!("{t}");
+}

@@ -1,0 +1,7 @@
+//! Regenerate the paper's Table 5.
+fn main() {
+    println!(
+        "{}",
+        fluke_bench::table5::render(fluke_bench::Scale::from_env())
+    );
+}

@@ -1,0 +1,7 @@
+//! Regenerate the paper's Table 6.
+fn main() {
+    println!(
+        "{}",
+        fluke_bench::table6::render(fluke_bench::Scale::from_env())
+    );
+}

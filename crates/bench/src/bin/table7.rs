@@ -1,0 +1,4 @@
+//! Regenerate the paper's Table 7 (per-thread kernel memory overhead).
+fn main() {
+    println!("{}", fluke_bench::table7::render());
+}

@@ -1,0 +1,83 @@
+//! Table 1: breakdown of the number and types of system calls in the
+//! Fluke API.
+
+use fluke_api::sysnum::{class_counts, SysClass, SYSCALLS};
+
+use crate::report::TextTable;
+
+/// One row of Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// The class.
+    pub class: SysClass,
+    /// An example entrypoint of that class (the paper's choices).
+    pub example: &'static str,
+    /// Number of entrypoints.
+    pub count: usize,
+    /// Percentage of the API.
+    pub percent: f64,
+}
+
+/// Compute the four rows of Table 1.
+pub fn rows() -> Vec<Row> {
+    let (t, s, l, m) = class_counts();
+    let total = SYSCALLS.len() as f64;
+    let mk = |class, example, count: usize| Row {
+        class,
+        example,
+        count,
+        percent: (count as f64 / total * 100.0).round(),
+    };
+    vec![
+        mk(SysClass::Trivial, "thread_self", t),
+        mk(SysClass::Short, "mutex_trylock", s),
+        mk(SysClass::Long, "mutex_lock", l),
+        mk(SysClass::MultiStage, "cond_wait, IPC", m),
+    ]
+}
+
+/// Render Table 1 like the paper.
+pub fn render() -> String {
+    let mut t = TextTable::new(&["Type", "Examples", "Count", "Percent"]);
+    for r in rows() {
+        t.row(&[
+            r.class.name().to_string(),
+            r.example.to_string(),
+            r.count.to_string(),
+            format!("{:.0}%", r.percent),
+        ]);
+    }
+    t.row(&[
+        "Total".into(),
+        String::new(),
+        SYSCALLS.len().to_string(),
+        "100%".into(),
+    ]);
+    format!("Table 1: Breakdown of the number and types of system calls in the Fluke API.\n\n{t}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_paper_counts_exactly() {
+        // Paper Table 1: 8 / 68 / 8 / 23 of 107 (7% / 64% / 7% / 22%).
+        let r = rows();
+        assert_eq!(r[0].count, 8);
+        assert_eq!(r[1].count, 68);
+        assert_eq!(r[2].count, 8);
+        assert_eq!(r[3].count, 23);
+        assert_eq!(r[0].percent, 7.0);
+        assert_eq!(r[1].percent, 64.0);
+        assert_eq!(r[2].percent, 7.0);
+        assert_eq!(r[3].percent, 21.0); // 23/107 = 21.5 → paper rounds to 22
+    }
+
+    #[test]
+    fn render_contains_total() {
+        let s = render();
+        assert!(s.contains("107"));
+        assert!(s.contains("Multi-stage"));
+    }
+}

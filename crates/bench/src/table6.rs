@@ -1,0 +1,121 @@
+//! Table 6: effect of the execution model and preemption style on
+//! preemption latency, measured with a high-priority kernel thread
+//! scheduled every millisecond during a flukeperf run.
+
+use fluke_core::Config;
+use fluke_workloads::latency::install_probe;
+use fluke_workloads::{flukeperf, FlukeperfParams};
+
+use crate::report::TextTable;
+use crate::Scale;
+
+/// One row of Table 6.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Configuration label.
+    pub config: &'static str,
+    /// Average probe latency, µs.
+    pub avg_us: f64,
+    /// Maximum probe latency, µs.
+    pub max_us: f64,
+    /// Times the probe ran.
+    pub runs: u64,
+    /// Times it failed to complete before the next period.
+    pub misses: u64,
+}
+
+/// Run flukeperf + the 1ms probe under one configuration.
+fn measure(cfg: Config, params: &FlukeperfParams) -> Row {
+    let label = cfg.label;
+    let mut run = flukeperf::build(cfg, params);
+    install_probe(&mut run.kernel, 1);
+    let res = fluke_workloads::common::run_workload(run, 8_000_000_000);
+    Row {
+        config: label,
+        avg_us: res.stats.probe_avg_us(),
+        max_us: res.stats.probe_max_us(),
+        runs: res.stats.probe_runs,
+        misses: res.stats.probe_misses,
+    }
+}
+
+/// Compute all five rows of Table 6.
+pub fn rows(scale: Scale) -> Vec<Row> {
+    let params = match scale {
+        Scale::Paper => FlukeperfParams::paper(),
+        Scale::Quick => {
+            // Keep the latency-relevant phases meaningful even when quick:
+            // a couple of large sends and searches.
+            let mut p = FlukeperfParams::quick();
+            p.big_sends = 2;
+            p.big_size = 1_536 << 10;
+            p.searches = 10;
+            p.search_pages = 300;
+            p.medium_sends = 40;
+            p
+        }
+    };
+    Config::all_five()
+        .into_iter()
+        .map(|cfg| measure(cfg, &params))
+        .collect()
+}
+
+/// Render Table 6 like the paper.
+pub fn render(scale: Scale) -> String {
+    let mut t = TextTable::new(&["Configuration", "avg (µs)", "max (µs)", "run", "miss"]);
+    for r in rows(scale) {
+        t.row(&[
+            r.config.to_string(),
+            format!("{:.1}", r.avg_us),
+            format!("{:.0}", r.max_us),
+            r.runs.to_string(),
+            r.misses.to_string(),
+        ]);
+    }
+    format!(
+        "Table 6: Preemption latency of a 1ms periodic high-priority kernel thread\n\
+         during flukeperf (avg/max wakeup-to-dispatch, runs, missed periods).\n\n{t}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table6_shape_matches_paper() {
+        let rows = rows(Scale::Quick);
+        let by = |l: &str| rows.iter().find(|r| r.config == l).unwrap().clone();
+        let pnp = by("Process NP");
+        let ppp = by("Process PP");
+        let pfp = by("Process FP");
+        let inp = by("Interrupt NP");
+        let ipp = by("Interrupt PP");
+        for r in &rows {
+            assert!(r.runs > 0, "{} probe never ran", r.config);
+        }
+        // Maximum latency spans orders of magnitude: NP is bounded by the
+        // largest IPC (≈7.5ms), PP by the unpointed region_search
+        // (≈1.2ms), FP by the finest copy chunk (tens of µs).
+        assert!(pnp.max_us > 4_000.0, "NP max {}", pnp.max_us);
+        assert!(
+            ppp.max_us > 300.0 && ppp.max_us < pnp.max_us / 3.0,
+            "PP max {}",
+            ppp.max_us
+        );
+        assert!(pfp.max_us < 60.0, "FP max {}", pfp.max_us);
+        // The interrupt model mirrors the process model per preemption
+        // style (paper: "an interrupt-model kernel can perform as well as
+        // an equivalently configured process-model kernel").
+        assert!(inp.max_us > 4_000.0);
+        assert!(ipp.max_us < inp.max_us / 3.0);
+        // Averages order the same way.
+        assert!(pfp.avg_us < ppp.avg_us);
+        assert!(ppp.avg_us <= pnp.avg_us * 1.05);
+        // Misses: NP misses periods; FP misses none.
+        assert!(pnp.misses > 0, "NP should miss");
+        assert_eq!(pfp.misses, 0, "FP must not miss");
+        assert!(ppp.misses <= pnp.misses);
+    }
+}

@@ -1,0 +1,187 @@
+//! Table 7: per-thread kernel memory overhead across systems and
+//! execution models.
+//!
+//! Our own rows are **measured** from the live kernel (spawn N threads,
+//! read the thread-management memory counter); the other systems' rows
+//! are the published reference numbers the paper itself cites from
+//! \[10\] (Mach) and \[24\] (L3).
+
+use fluke_core::{Config, Kernel};
+
+use crate::report::TextTable;
+
+/// One row of Table 7.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// System name.
+    pub system: &'static str,
+    /// Execution model.
+    pub model: &'static str,
+    /// TCB bytes (0 = folded into the stack figure).
+    pub tcb: u64,
+    /// Kernel stack bytes per thread (0 = none: one stack per CPU).
+    pub stack: u64,
+    /// Total per-thread bytes.
+    pub total: u64,
+    /// Whether the row was measured from this reproduction (vs published).
+    pub measured: bool,
+}
+
+/// Measure per-thread kernel memory for a configuration by spawning
+/// threads and reading the accounting counter.
+fn measure(cfg: Config) -> u64 {
+    let mut k = Kernel::new(cfg);
+    let space = k.create_space();
+    k.grant_pages(space, 0x1000, 0x1000, true);
+    let mut a = fluke_arch::Assembler::new("idle");
+    a.halt();
+    let pid = k.register_program(a.finish());
+    let before = k.stats.thread_kmem;
+    const N: u64 = 64;
+    for _ in 0..N {
+        let mut regs = fluke_arch::UserRegs::new();
+        regs.eip = 0;
+        k.spawn_thread(space, pid, regs, 1);
+    }
+    (k.stats.thread_kmem - before) / N
+}
+
+/// Compute Table 7: published reference rows plus our measured rows.
+pub fn rows() -> Vec<Row> {
+    let mut rows = vec![
+        Row {
+            system: "FreeBSD",
+            model: "Process",
+            tcb: 2132,
+            stack: 6700,
+            total: 8832,
+            measured: false,
+        },
+        Row {
+            system: "Linux",
+            model: "Process",
+            tcb: 2395,
+            stack: 4096,
+            total: 6491,
+            measured: false,
+        },
+        Row {
+            system: "Mach",
+            model: "Process",
+            tcb: 452,
+            stack: 4022,
+            total: 4474,
+            measured: false,
+        },
+        Row {
+            system: "Mach",
+            model: "Interrupt",
+            tcb: 690,
+            stack: 0,
+            total: 690,
+            measured: false,
+        },
+        Row {
+            system: "L3",
+            model: "Process",
+            tcb: 0,
+            stack: 1024,
+            total: 1024,
+            measured: false,
+        },
+    ];
+    // Our kernels, measured live.
+    let p4k = measure(Config::process_np());
+    rows.push(Row {
+        system: "Fluke (this reproduction)",
+        model: "Process",
+        tcb: 0,
+        stack: 4096,
+        total: p4k,
+        measured: true,
+    });
+    let p1k = measure(Config::process_np().with_small_stacks());
+    rows.push(Row {
+        system: "Fluke (this reproduction)",
+        model: "Process",
+        tcb: 0,
+        stack: 1024,
+        total: p1k,
+        measured: true,
+    });
+    let int = measure(Config::interrupt_np());
+    rows.push(Row {
+        system: "Fluke (this reproduction)",
+        model: "Interrupt",
+        tcb: int,
+        stack: 0,
+        total: int,
+        measured: true,
+    });
+    rows
+}
+
+/// Render Table 7 like the paper.
+pub fn render() -> String {
+    let mut t = TextTable::new(&[
+        "System",
+        "Execution Model",
+        "TCB Size",
+        "Stack Size",
+        "Total Size",
+        "Source",
+    ]);
+    for r in rows() {
+        let dash = |v: u64| {
+            if v == 0 {
+                "—".to_string()
+            } else {
+                v.to_string()
+            }
+        };
+        t.row(&[
+            r.system.to_string(),
+            r.model.to_string(),
+            dash(r.tcb),
+            dash(r.stack),
+            r.total.to_string(),
+            if r.measured { "measured" } else { "published" }.to_string(),
+        ]);
+    }
+    format!(
+        "Table 7: Memory overhead in bytes due to thread management in various\n\
+         systems and execution models.\n\n{t}"
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table7_matches_paper_figures() {
+        let rows = rows();
+        let ours: Vec<&Row> = rows.iter().filter(|r| r.measured).collect();
+        assert_eq!(ours.len(), 3);
+        // Process model charges exactly the configured stack per thread.
+        assert_eq!(ours[0].total, 4096);
+        assert_eq!(ours[1].total, 1024);
+        // Interrupt model charges only the 300-byte TCB (paper Table 7).
+        assert_eq!(ours[2].total, 300);
+        // The interrupt model's per-thread memory is an order of magnitude
+        // below the 4K-stack process model.
+        assert!(ours[0].total > 10 * ours[2].total);
+    }
+
+    #[test]
+    fn published_rows_match_paper() {
+        let rows = rows();
+        let freebsd = rows.iter().find(|r| r.system == "FreeBSD").unwrap();
+        assert_eq!(freebsd.total, 8832);
+        let mach_int = rows
+            .iter()
+            .find(|r| r.system == "Mach" && r.model == "Interrupt")
+            .unwrap();
+        assert_eq!(mach_int.total, 690);
+    }
+}

@@ -1,0 +1,235 @@
+//! Kernel build configuration: execution model × preemption.
+//!
+//! The paper's Table 4 defines five kernel configurations. Fluke selected
+//! among them with compile-time options touching only the entry/exit,
+//! context-switch and locking code; we reproduce that with a runtime
+//! [`Config`] consulted at exactly those points, so a single kernel source
+//! serves every configuration (the paper's point (iii)).
+
+use fluke_arch::cost::{ms_to_cycles, Cycles};
+
+/// The kernel's internal execution model (paper §3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecModel {
+    /// One kernel stack per thread; blocked threads retain kernel context,
+    /// and context switches save/restore kernel-mode registers.
+    Process,
+    /// One kernel stack per processor; blocked threads hold *no* kernel
+    /// state beyond their user-visible registers, which the atomic API
+    /// guarantees are always a complete continuation.
+    Interrupt,
+}
+
+impl ExecModel {
+    /// True for the interrupt model.
+    pub fn is_interrupt(self) -> bool {
+        matches!(self, ExecModel::Interrupt)
+    }
+}
+
+/// Kernel preemptibility (paper Table 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preemption {
+    /// No kernel preemption: timer interrupts arriving in kernel mode are
+    /// latched and delivered at kernel exit.
+    None,
+    /// Partial: one explicit preemption point on the IPC data-copy path,
+    /// checked after every 8KB transferred. No kernel locking needed.
+    Partial,
+    /// Full: kernel code preemptible outside the scheduler core; kernel
+    /// data protected by blocking mutexes (process model only — full
+    /// preemption relies on preempted threads retaining kernel stacks).
+    Full,
+}
+
+/// Bytes transferred between explicit preemption-point checks in the
+/// `Partial` configuration (paper Table 4: "checked after every 8k").
+pub const PP_CHUNK_BYTES: u32 = 8192;
+
+/// A complete kernel configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Execution model.
+    pub model: ExecModel,
+    /// Preemption style.
+    pub preempt: Preemption,
+    /// Number of simulated processors.
+    pub num_cpus: usize,
+    /// Per-thread kernel stack size in bytes (process model only). The
+    /// paper's Table 7 measures both the 4K "debug/driver" and the 1K
+    /// "production" stack size.
+    pub kstack_bytes: u32,
+    /// Thread control block size in bytes charged per thread (the paper's
+    /// interrupt-model Fluke TCB is 300 bytes).
+    pub tcb_bytes: u32,
+    /// Scheduler timeslice in cycles.
+    pub timeslice: Cycles,
+    /// A short human-readable label ("Process NP" etc.).
+    pub label: &'static str,
+}
+
+impl Config {
+    /// Process model, no kernel preemption (the paper's baseline;
+    /// "comparable to a uniprocessor Unix system").
+    pub fn process_np() -> Self {
+        Config {
+            model: ExecModel::Process,
+            preempt: Preemption::None,
+            num_cpus: 1,
+            kstack_bytes: 4096,
+            tcb_bytes: 690, // process-model TCB, folded into stack page in Table 7
+            timeslice: ms_to_cycles(10),
+            label: "Process NP",
+        }
+    }
+
+    /// Process model with the partial-preemption IPC copy point.
+    pub fn process_pp() -> Self {
+        Config {
+            preempt: Preemption::Partial,
+            label: "Process PP",
+            ..Self::process_np()
+        }
+    }
+
+    /// Process model with full kernel preemption (blocking kernel locks).
+    pub fn process_fp() -> Self {
+        Config {
+            preempt: Preemption::Full,
+            label: "Process FP",
+            ..Self::process_np()
+        }
+    }
+
+    /// Interrupt model, no kernel preemption.
+    pub fn interrupt_np() -> Self {
+        Config {
+            model: ExecModel::Interrupt,
+            preempt: Preemption::None,
+            num_cpus: 1,
+            kstack_bytes: 0,
+            tcb_bytes: 300, // paper Table 7: Fluke interrupt-model TCB
+            timeslice: ms_to_cycles(10),
+            label: "Interrupt NP",
+        }
+    }
+
+    /// Interrupt model with the partial-preemption IPC copy point.
+    pub fn interrupt_pp() -> Self {
+        Config {
+            preempt: Preemption::Partial,
+            label: "Interrupt PP",
+            ..Self::interrupt_np()
+        }
+    }
+
+    /// All five Table 4 configurations, in the paper's order.
+    pub fn all_five() -> Vec<Config> {
+        vec![
+            Self::process_np(),
+            Self::process_pp(),
+            Self::process_fp(),
+            Self::interrupt_np(),
+            Self::interrupt_pp(),
+        ]
+    }
+
+    /// Validate the configuration. Full preemption fundamentally relies on
+    /// preempted threads retaining kernel stacks, so it is incompatible
+    /// with the interrupt model (paper §5.2).
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if self.model.is_interrupt() && self.preempt == Preemption::Full {
+            return Err("full kernel preemption is incompatible with the interrupt model");
+        }
+        if self.num_cpus == 0 {
+            return Err("at least one CPU required");
+        }
+        if self.num_cpus > 16 {
+            return Err("at most 16 simulated CPUs");
+        }
+        if self.model == ExecModel::Process && self.kstack_bytes == 0 {
+            return Err("process model requires a per-thread kernel stack");
+        }
+        Ok(())
+    }
+
+    /// Kernel memory charged per thread (Table 7 accounting): in the
+    /// process model each thread owns a kernel stack; in the interrupt
+    /// model only the TCB.
+    pub fn per_thread_kmem(&self) -> u64 {
+        match self.model {
+            ExecModel::Process => self.kstack_bytes as u64,
+            ExecModel::Interrupt => self.tcb_bytes as u64,
+        }
+    }
+
+    /// Use the small "production" 1K kernel stacks (process model).
+    pub fn with_small_stacks(mut self) -> Self {
+        self.kstack_bytes = 1024;
+        self
+    }
+
+    /// Run on `n` simulated processors. Multiprocessor kernels serialize
+    /// kernel entry on a big kernel lock (the NP/PP rows of Table 4 need
+    /// no locking only on a uniprocessor).
+    pub fn with_cpus(mut self, n: usize) -> Self {
+        self.num_cpus = n;
+        self.label = match (self.label, n > 1) {
+            (l, false) => l,
+            ("Process NP", _) => "Process NP (MP)",
+            ("Process PP", _) => "Process PP (MP)",
+            ("Process FP", _) => "Process FP (MP)",
+            ("Interrupt NP", _) => "Interrupt NP (MP)",
+            ("Interrupt PP", _) => "Interrupt PP (MP)",
+            (l, _) => l,
+        };
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_configurations_validate() {
+        let all = Config::all_five();
+        assert_eq!(all.len(), 5);
+        for c in &all {
+            c.validate().unwrap();
+        }
+        assert_eq!(all[0].label, "Process NP");
+        assert_eq!(all[4].label, "Interrupt PP");
+    }
+
+    #[test]
+    fn interrupt_full_preemption_rejected() {
+        let mut c = Config::interrupt_np();
+        c.preempt = Preemption::Full;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn zero_cpus_rejected() {
+        let mut c = Config::process_np();
+        c.num_cpus = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn per_thread_memory_matches_table_7() {
+        assert_eq!(Config::process_np().per_thread_kmem(), 4096);
+        assert_eq!(
+            Config::process_np().with_small_stacks().per_thread_kmem(),
+            1024
+        );
+        assert_eq!(Config::interrupt_np().per_thread_kmem(), 300);
+    }
+
+    #[test]
+    fn process_model_without_stack_rejected() {
+        let mut c = Config::process_np();
+        c.kstack_bytes = 0;
+        assert!(c.validate().is_err());
+    }
+}

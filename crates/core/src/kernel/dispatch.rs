@@ -1,0 +1,1439 @@
+//! System-call dispatch and all non-IPC handlers.
+//!
+//! Handler discipline (the atomic-API author contract, paper §4):
+//!
+//! 1. Read arguments and resolve handles first — these may fault, roll back
+//!    and restart, but they never modify registers.
+//! 2. Bring the registers to the next clean restart point *before* any
+//!    operation that can block or take an indefinite time.
+//! 3. Write results only at completion (`Done`), or by advancing parameter
+//!    registers in place at committed progress points.
+
+use fluke_api::abi::{self, ARG_COUNT, ARG_HANDLE, ARG_RBUF, ARG_SBUF, ARG_VAL};
+use fluke_api::state::{ObjStateFrame, ThreadStateFrame};
+use fluke_api::{ErrorCode, ObjType, Sys};
+use fluke_arch::{ProgramId, Reg};
+
+use crate::config::Preemption;
+use crate::ids::{ObjId, ThreadId};
+use crate::object::ObjData;
+use crate::thread::{RunState, WaitReason};
+
+use super::{Kernel, SysOutcome, SysResult};
+
+impl Kernel {
+    /// Read the standard argument registers of a thread.
+    pub(crate) fn arg(&self, t: ThreadId, r: Reg) -> u32 {
+        self.threads.get(t.0).expect("thread").regs.get(r)
+    }
+
+    /// Write a register of a thread.
+    pub(crate) fn set_reg(&mut self, t: ThreadId, r: Reg, v: u32) {
+        self.threads.get_mut(t.0).expect("thread").regs.set(r, v);
+    }
+
+    /// Dispatch one system call for the current thread.
+    pub(crate) fn dispatch_sys(&mut self, t: ThreadId, sys: Sys) -> SysResult {
+        use Sys::*;
+        match sys {
+            // ---- Common object operations. ----
+            MutexCreate => self.obj_create(t, ObjType::Mutex),
+            CondCreate => self.obj_create(t, ObjType::Cond),
+            MappingCreate => self.obj_create(t, ObjType::Mapping),
+            RegionCreate => self.obj_create(t, ObjType::Region),
+            PortCreate => self.obj_create(t, ObjType::Port),
+            PsetCreate => self.obj_create(t, ObjType::Portset),
+            SpaceCreate => self.obj_create(t, ObjType::Space),
+            ThreadCreate => self.obj_create(t, ObjType::Thread),
+            RefCreate => self.obj_create(t, ObjType::Reference),
+
+            MutexDestroy => self.obj_destroy(t, ObjType::Mutex),
+            CondDestroy => self.obj_destroy(t, ObjType::Cond),
+            MappingDestroy => self.obj_destroy(t, ObjType::Mapping),
+            RegionDestroy => self.obj_destroy(t, ObjType::Region),
+            PortDestroy => self.obj_destroy(t, ObjType::Port),
+            PsetDestroy => self.obj_destroy(t, ObjType::Portset),
+            SpaceDestroy => self.obj_destroy(t, ObjType::Space),
+            ThreadDestroy => self.obj_destroy(t, ObjType::Thread),
+            RefDestroy => self.obj_destroy(t, ObjType::Reference),
+
+            MutexGetState => self.obj_get_state(t, ObjType::Mutex),
+            CondGetState => self.obj_get_state(t, ObjType::Cond),
+            MappingGetState => self.obj_get_state(t, ObjType::Mapping),
+            RegionGetState => self.obj_get_state(t, ObjType::Region),
+            PortGetState => self.obj_get_state(t, ObjType::Port),
+            PsetGetState => self.obj_get_state(t, ObjType::Portset),
+            SpaceGetState => self.obj_get_state(t, ObjType::Space),
+            ThreadGetState => self.obj_get_state(t, ObjType::Thread),
+            RefGetState => self.obj_get_state(t, ObjType::Reference),
+
+            MutexSetState => self.obj_set_state(t, ObjType::Mutex),
+            CondSetState => self.obj_set_state(t, ObjType::Cond),
+            MappingSetState => self.obj_set_state(t, ObjType::Mapping),
+            RegionSetState => self.obj_set_state(t, ObjType::Region),
+            PortSetState => self.obj_set_state(t, ObjType::Port),
+            PsetSetState => self.obj_set_state(t, ObjType::Portset),
+            SpaceSetState => self.obj_set_state(t, ObjType::Space),
+            ThreadSetState => self.obj_set_state(t, ObjType::Thread),
+            RefSetState => self.obj_set_state(t, ObjType::Reference),
+
+            MutexMove => self.obj_move(t, ObjType::Mutex),
+            CondMove => self.obj_move(t, ObjType::Cond),
+            MappingMove => self.obj_move(t, ObjType::Mapping),
+            RegionMove => self.obj_move(t, ObjType::Region),
+            PortMove => self.obj_move(t, ObjType::Port),
+            PsetMove => self.obj_move(t, ObjType::Portset),
+            SpaceMove => self.obj_move(t, ObjType::Space),
+            ThreadMove => self.obj_move(t, ObjType::Thread),
+            RefMove => self.obj_move(t, ObjType::Reference),
+
+            MutexReference => self.obj_reference(t, ObjType::Mutex),
+            CondReference => self.obj_reference(t, ObjType::Cond),
+            MappingReference => self.obj_reference(t, ObjType::Mapping),
+            RegionReference => self.obj_reference(t, ObjType::Region),
+            PortReference => self.obj_reference(t, ObjType::Port),
+            PsetReference => self.obj_reference(t, ObjType::Portset),
+            SpaceReference => self.obj_reference(t, ObjType::Space),
+            ThreadReference => self.obj_reference(t, ObjType::Thread),
+            RefReference => self.obj_reference(t, ObjType::Reference),
+
+            // ---- Synchronization. ----
+            MutexLock => self.sys_mutex_lock(t),
+            MutexTrylock => self.sys_mutex_trylock(t),
+            MutexUnlock => self.sys_mutex_unlock(t),
+            CondWait => self.sys_cond_wait(t),
+            CondSignal => self.sys_cond_signal(t),
+            CondBroadcast => self.sys_cond_broadcast(t),
+
+            // ---- Threads and scheduling. ----
+            ThreadSelf => self.sys_thread_self(t),
+            ThreadInterrupt => self.sys_thread_interrupt(t),
+            ThreadSchedule => self.sys_thread_schedule(t),
+            ThreadWait => self.sys_thread_wait(t),
+            ThreadSleep => self.sys_thread_sleep(t),
+            SpaceWaitThreads => self.sys_space_wait_threads(t),
+            SchedDonate => self.sys_sched_donate(t),
+
+            // ---- Miscellaneous trivial calls. ----
+            SysNull => Ok(SysOutcome::Done(ErrorCode::Success)),
+            SysVersion => {
+                self.set_reg(t, ARG_VAL, 0x0001_0000);
+                Ok(SysOutcome::Done(ErrorCode::Success))
+            }
+            SysClock => {
+                let us = fluke_arch::cycles_to_us(self.now()) as u32;
+                self.set_reg(t, ARG_VAL, us);
+                Ok(SysOutcome::Done(ErrorCode::Success))
+            }
+            SysCpuId => {
+                self.set_reg(t, ARG_VAL, 0);
+                Ok(SysOutcome::Done(ErrorCode::Success))
+            }
+            SysYield => {
+                self.cur_cpu_mut().resched = true;
+                Ok(SysOutcome::Done(ErrorCode::Success))
+            }
+            SysTrace => {
+                let v = self.arg(t, ARG_VAL);
+                self.stats.trace_log.push(v);
+                Ok(SysOutcome::Done(ErrorCode::Success))
+            }
+            SysStats => {
+                let sel = self.arg(t, ARG_HANDLE);
+                // Selectors >= 0x100 are the "exported facilities" of
+                // paper §5.6: privileged pseudo-kernel operations available
+                // only to threads of kernel-alias spaces (legacy
+                // process-model code running in user mode in the kernel's
+                // address space). They jump into supervisor mode, perform a
+                // short nonblocking activity, and return.
+                if sel >= 0x100 {
+                    let alias = self
+                        .threads
+                        .get(t.0)
+                        .and_then(|x| x.space)
+                        .map(|s| {
+                            self.spaces
+                                .get(s.0)
+                                .map(|x| x.kernel_alias)
+                                .unwrap_or(false)
+                        })
+                        .unwrap_or(false);
+                    if !alias {
+                        return Err(Self::fail(ErrorCode::PermissionDenied));
+                    }
+                    self.charge(self.cost.object_op);
+                    self.progress();
+                    match sel {
+                        // Allocate a kernel frame and map it writable at
+                        // the address in esi.
+                        0x100 => {
+                            let vaddr = self.arg(t, ARG_SBUF);
+                            let frame = self.phys.alloc();
+                            let sid = self.threads.get(t.0).and_then(|x| x.space).unwrap();
+                            if let Some(s) = self.spaces.get_mut(sid.0) {
+                                s.map_page(vaddr, frame, true);
+                            }
+                            self.set_reg(t, ARG_VAL, frame);
+                        }
+                        // "Install an interrupt handler": record the
+                        // binding (modeled as a trace entry).
+                        0x101 => {
+                            let irq = self.arg(t, ARG_VAL);
+                            self.stats.trace_log.push(0x1000_0000 | irq);
+                        }
+                        _ => return Err(Self::fail(ErrorCode::InvalidArg)),
+                    }
+                    return Ok(SysOutcome::Done(ErrorCode::Success));
+                }
+                let v = match sel {
+                    0 => self.stats.syscalls,
+                    1 => self.stats.ctx_switches,
+                    2 => self.stats.soft_faults,
+                    3 => self.stats.hard_faults,
+                    4 => self.stats.restarts,
+                    _ => 0,
+                } as u32;
+                self.set_reg(t, ARG_VAL, v);
+                Ok(SysOutcome::Done(ErrorCode::Success))
+            }
+
+            // ---- Memory. ----
+            RegionProtect => self.sys_region_protect(t),
+            MappingProtect => self.sys_mapping_protect(t),
+            RegionPopulate => self.sys_region_populate(t),
+            RegionSearch => self.sys_region_search(t),
+            RefCompare => self.sys_ref_compare(t),
+
+            // ---- Ports (server-side waits without data). ----
+            PortWait => self.sys_port_wait(t),
+            PsetWait => self.sys_pset_wait(t),
+
+            // ---- IPC (handlers live in ipc.rs). ----
+            IpcClientConnect => self.sys_ipc_client_connect(t),
+            IpcClientConnectSend => self.sys_ipc_client_connect_send(t, false),
+            IpcClientConnectSendOverReceive => self.sys_ipc_client_connect_send(t, true),
+            IpcClientSend => self.sys_ipc_client_send(t, false),
+            IpcClientSendOverReceive => self.sys_ipc_client_send(t, true),
+            IpcClientSendMore => self.sys_ipc_send_more(t, crate::thread::IpcRole::Client),
+            IpcClientReceive | IpcClientAckReceive => {
+                self.sys_ipc_receive(t, crate::thread::IpcRole::Client, false)
+            }
+            IpcClientReceiveMore => self.sys_ipc_receive(t, crate::thread::IpcRole::Client, true),
+            IpcClientDisconnect => self.sys_ipc_disconnect(t, crate::thread::IpcRole::Client),
+            IpcClientAlert => self.sys_ipc_alert(t, crate::thread::IpcRole::Client),
+
+            IpcServerWaitReceive => self.sys_ipc_server_wait_receive(t),
+            IpcServerReceive => self.sys_ipc_receive(t, crate::thread::IpcRole::Server, false),
+            IpcServerReceiveMore => self.sys_ipc_receive(t, crate::thread::IpcRole::Server, true),
+            IpcServerSend => self.sys_ipc_server_send(t, super::ipc::AfterSend::Complete),
+            IpcServerSendWaitReceive => {
+                self.sys_ipc_server_send(t, super::ipc::AfterSend::WaitNext)
+            }
+            IpcServerAckSend => self.sys_ipc_server_send(t, super::ipc::AfterSend::Disconnect),
+            IpcServerAckSendWaitReceive => {
+                self.sys_ipc_server_send(t, super::ipc::AfterSend::DisconnectThenWait)
+            }
+            IpcServerSendOverReceive => self.sys_ipc_server_send(t, super::ipc::AfterSend::Receive),
+            IpcServerSendMore => self.sys_ipc_send_more(t, crate::thread::IpcRole::Server),
+            IpcServerDisconnect => self.sys_ipc_disconnect(t, crate::thread::IpcRole::Server),
+            IpcServerAlert => self.sys_ipc_alert(t, crate::thread::IpcRole::Server),
+
+            IpcSendOneway | IpcSendOnewayMore => self.sys_ipc_send_oneway(t),
+            IpcWaitReceiveOneway => self.sys_ipc_receive_oneway(t, true),
+            IpcReceiveOneway => self.sys_ipc_receive_oneway(t, false),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Common object operations.
+    // ------------------------------------------------------------------
+
+    /// `*_create(ebx=vaddr, ...)`: create an object of `ty` at `vaddr` in
+    /// the caller's space. The page must be mapped and writable (objects
+    /// occupy application memory).
+    fn obj_create(&mut self, t: ThreadId, ty: ObjType) -> SysResult {
+        let vaddr = self.arg(t, ARG_HANDLE);
+        let loc = self.user_translate(t, vaddr, true)?;
+        self.klock_section();
+        self.charge(self.cost.object_create);
+        self.progress();
+        if self.objects.at_loc(loc).is_some() {
+            return Err(Self::fail(ErrorCode::AlreadyExists));
+        }
+        let data = match ty {
+            ObjType::Region => {
+                let size = self.arg(t, ARG_COUNT);
+                let base = self.arg(t, ARG_VAL);
+                let keeper_tok = self.arg(t, ARG_SBUF);
+                if size == 0 {
+                    return Err(Self::fail(ErrorCode::InvalidArg));
+                }
+                let keeper = if keeper_tok != 0 {
+                    Some(self.lookup_typed(t, keeper_tok, ObjType::Port)?)
+                } else {
+                    None
+                };
+                let owner = self
+                    .threads
+                    .get(t.0)
+                    .and_then(|x| x.space)
+                    .ok_or(SysOutcome::Kill("no space"))?;
+                ObjData::Region {
+                    owner,
+                    base,
+                    size,
+                    keeper,
+                    keeper_token: keeper_tok,
+                    self_token: vaddr,
+                }
+            }
+            ObjType::Mapping => {
+                let size = self.arg(t, ARG_COUNT);
+                let base = self.arg(t, ARG_VAL);
+                let region_tok = self.arg(t, ARG_SBUF);
+                let offset = self.arg(t, ARG_RBUF);
+                if size == 0 {
+                    return Err(Self::fail(ErrorCode::InvalidArg));
+                }
+                let region = self.resolve_region_handle(t, region_tok)?;
+                let space = self
+                    .threads
+                    .get(t.0)
+                    .and_then(|x| x.space)
+                    .ok_or(SysOutcome::Kill("no space"))?;
+                ObjData::Mapping {
+                    space,
+                    base,
+                    size,
+                    region,
+                    offset,
+                    region_token: region_tok,
+                    writable: true,
+                }
+            }
+            ObjType::Space => {
+                let sid = self.create_space();
+                ObjData::Space(sid)
+            }
+            ObjType::Thread => {
+                let caller_space = self.threads.get(t.0).and_then(|x| x.space);
+                let id = ThreadId(
+                    self.threads
+                        .insert(crate::thread::Thread::new_user(ThreadId(0))),
+                );
+                let th = self.threads.get_mut(id.0).unwrap();
+                th.id = id;
+                th.space = caller_space;
+                self.stats.threads_created += 1;
+                self.stats.kmem_delta(self.cfg.per_thread_kmem() as i64);
+                if let Some(sid) = caller_space {
+                    if let Some(s) = self.spaces.get_mut(sid.0) {
+                        s.threads.push(id);
+                    }
+                }
+                ObjData::Thread(id)
+            }
+            _ => ObjData::new_simple(ty).expect("simple type"),
+        };
+        let oid = self
+            .objects
+            .insert(loc, data)
+            .expect("checked vacancy above");
+        self.stats.objects_created += 1;
+        // Record back-links.
+        match self.objects.get(oid).map(|o| &o.data) {
+            Some(ObjData::Region { owner, .. }) => {
+                let owner = *owner;
+                if let Some(s) = self.spaces.get_mut(owner.0) {
+                    s.regions.push(oid);
+                }
+            }
+            Some(ObjData::Mapping { space, .. }) => {
+                let space = *space;
+                if let Some(s) = self.spaces.get_mut(space.0) {
+                    s.mappings.push(oid);
+                }
+            }
+            Some(ObjData::Space(sid)) => {
+                let sid = *sid;
+                if let Some(s) = self.spaces.get_mut(sid.0) {
+                    s.obj = Some(oid);
+                }
+            }
+            Some(ObjData::Thread(tid)) => {
+                let tid = *tid;
+                if let Some(th) = self.threads.get_mut(tid.0) {
+                    th.obj = Some(oid);
+                }
+            }
+            _ => {}
+        }
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    /// A region handle may be a Region or a Reference pointing at one.
+    fn resolve_region_handle(&mut self, t: ThreadId, vaddr: u32) -> Result<ObjId, SysOutcome> {
+        let id = self.lookup_handle(t, vaddr)?;
+        match self.objects.get(id).map(|o| &o.data) {
+            Some(ObjData::Region { .. }) => Ok(id),
+            Some(ObjData::Ref { target, .. }) => {
+                let target = target.ok_or(Self::fail(ErrorCode::InvalidHandle))?;
+                match self.objects.get(target).map(|o| o.ty()) {
+                    Some(ObjType::Region) => Ok(target),
+                    _ => Err(Self::fail(ErrorCode::WrongType)),
+                }
+            }
+            _ => Err(Self::fail(ErrorCode::WrongType)),
+        }
+    }
+
+    /// `*_destroy(ebx=handle)`.
+    fn obj_destroy(&mut self, t: ThreadId, ty: ObjType) -> SysResult {
+        let vaddr = self.arg(t, ARG_HANDLE);
+        let oid = self.lookup_typed(t, vaddr, ty)?;
+        self.klock_section();
+        self.charge(self.cost.object_destroy);
+        self.progress();
+        self.destroy_object(oid);
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    /// Tear down an object and its linkage.
+    pub(crate) fn destroy_object(&mut self, oid: ObjId) {
+        let Some(obj) = self.objects.remove(oid) else {
+            return;
+        };
+        match obj.data {
+            ObjData::Mutex { waiters, .. } | ObjData::Cond { waiters } => {
+                // Waiters restart their (rewritten) calls and observe the
+                // object's absence — no special-case teardown state.
+                for w in waiters {
+                    self.unblock(w);
+                }
+            }
+            ObjData::Port {
+                pset,
+                connect_q,
+                server_q,
+                oneway_senders,
+                oneway_receivers,
+                ..
+            } => {
+                for c in connect_q {
+                    self.disconnect(c, ErrorCode::PeerDisconnected);
+                }
+                for w in server_q
+                    .into_iter()
+                    .chain(oneway_senders)
+                    .chain(oneway_receivers)
+                {
+                    self.unblock(w);
+                }
+                if let Some(p) = pset {
+                    if let Some(ObjData::Pset { members, .. }) =
+                        self.objects.get_mut(p).map(|o| &mut o.data)
+                    {
+                        members.retain(|&m| m != oid);
+                    }
+                }
+            }
+            ObjData::Pset { members, server_q } => {
+                for w in server_q {
+                    self.unblock(w);
+                }
+                for m in members {
+                    if let Some(ObjData::Port { pset, .. }) =
+                        self.objects.get_mut(m).map(|o| &mut o.data)
+                    {
+                        *pset = None;
+                    }
+                }
+            }
+            ObjData::Region { owner, .. } => {
+                if let Some(s) = self.spaces.get_mut(owner.0) {
+                    s.regions.retain(|&r| r != oid);
+                }
+            }
+            ObjData::Mapping {
+                space, base, size, ..
+            } => {
+                if let Some(s) = self.spaces.get_mut(space.0) {
+                    s.mappings.retain(|&m| m != oid);
+                    // Flush PTEs derived through this mapping's range.
+                    let first = base / abi::PAGE_SIZE;
+                    let last = (base.saturating_add(size.saturating_sub(1))) / abi::PAGE_SIZE;
+                    for p in first..=last {
+                        s.pages.remove(&p);
+                    }
+                }
+            }
+            ObjData::Space(sid) => {
+                let victims: Vec<ThreadId> = self
+                    .threads
+                    .iter()
+                    .filter(|(_, th)| th.space == Some(sid) && !th.is_halted())
+                    .map(|(i, _)| ThreadId(i))
+                    .collect();
+                for v in victims {
+                    self.halt_thread(v);
+                }
+                self.spaces.remove(sid.0);
+            }
+            ObjData::Thread(tid) => {
+                self.halt_thread(tid);
+            }
+            ObjData::Ref { .. } => {}
+        }
+    }
+
+    /// `*_get_state(ebx=handle, esi=buf, ecx=words)`: marshal the object's
+    /// complete exportable state into the caller's buffer. Prompt by
+    /// construction: a blocked target's registers are already a clean
+    /// continuation, so nothing ever waits on user activity.
+    fn obj_get_state(&mut self, t: ThreadId, ty: ObjType) -> SysResult {
+        let vaddr = self.arg(t, ARG_HANDLE);
+        let buf = self.arg(t, ARG_SBUF);
+        let cap = self.arg(t, ARG_COUNT) as usize;
+        let oid = self.lookup_typed(t, vaddr, ty)?;
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        let frame = self.export_state(oid, ty)?;
+        let words = frame.to_words();
+        if words.len() > cap {
+            return Err(Self::fail(ErrorCode::BufferTooSmall));
+        }
+        for (i, w) in words.iter().enumerate() {
+            self.write_user_u32(t, buf + (i as u32) * 4, *w)?;
+        }
+        self.set_reg(t, ARG_VAL, words.len() as u32);
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    /// Build the exportable frame for an object.
+    pub(crate) fn export_state(
+        &mut self,
+        oid: ObjId,
+        ty: ObjType,
+    ) -> Result<ObjStateFrame, SysOutcome> {
+        use fluke_api::state::*;
+        let obj = self
+            .objects
+            .get(oid)
+            .ok_or(Self::fail(ErrorCode::InvalidHandle))?;
+        Ok(match (&obj.data, ty) {
+            (ObjData::Mutex { locked, .. }, _) => ObjStateFrame::Mutex(MutexStateFrame {
+                locked: *locked as u32,
+            }),
+            (ObjData::Cond { .. }, _) => ObjStateFrame::Cond(CondStateFrame::default()),
+            (
+                ObjData::Mapping {
+                    base,
+                    size,
+                    offset,
+                    region_token,
+                    ..
+                },
+                _,
+            ) => ObjStateFrame::Mapping(MappingStateFrame {
+                base: *base,
+                size: *size,
+                region_token: *region_token,
+                offset: *offset,
+            }),
+            (
+                ObjData::Region {
+                    base,
+                    size,
+                    keeper_token,
+                    ..
+                },
+                _,
+            ) => ObjStateFrame::Region(RegionStateFrame {
+                base: *base,
+                size: *size,
+                keeper_token: *keeper_token,
+            }),
+            (ObjData::Port { pset_token, .. }, _) => ObjStateFrame::Port(PortStateFrame {
+                pset_token: *pset_token,
+            }),
+            (ObjData::Pset { .. }, _) => ObjStateFrame::Pset(PsetStateFrame::default()),
+            (ObjData::Space(_), _) => ObjStateFrame::Space(SpaceStateFrame::default()),
+            (ObjData::Ref { target_token, .. }, _) => ObjStateFrame::Ref(RefStateFrame {
+                target_token: *target_token,
+            }),
+            (ObjData::Thread(tid), _) => {
+                let tid = *tid;
+                // Extraction forces the "roll back and restart" contract:
+                // a process-model thread preempted in-kernel loses its
+                // retained stack so its registers are the whole truth.
+                if let Some(th) = self.threads.get_mut(tid.0) {
+                    th.kstack_retained = false;
+                }
+                let th = self
+                    .threads
+                    .get(tid.0)
+                    .ok_or(Self::fail(ErrorCode::InvalidHandle))?;
+                ObjStateFrame::Thread(ThreadStateFrame {
+                    regs: th.regs,
+                    program: th.program.unwrap_or(ProgramId(u64::MAX)),
+                    space_token: th.space_token,
+                    priority: th.priority,
+                    runnable: match th.state {
+                        RunState::Stopped | RunState::Halted => 0,
+                        _ => 1,
+                    },
+                    ipc_phase: th.ipc.conn.map(|_| 1).unwrap_or(0),
+                })
+            }
+        })
+    }
+
+    /// `*_set_state(ebx=handle, esi=buf, ecx=words)`: install previously
+    /// exported state. Restoring a thread frame makes the new thread behave
+    /// indistinguishably from the original (the correctness requirement).
+    fn obj_set_state(&mut self, t: ThreadId, ty: ObjType) -> SysResult {
+        let vaddr = self.arg(t, ARG_HANDLE);
+        let buf = self.arg(t, ARG_SBUF);
+        let n = (self.arg(t, ARG_COUNT) as usize).min(fluke_api::state::MAX_FRAME_WORDS);
+        let oid = self.lookup_typed(t, vaddr, ty)?;
+        let mut words = Vec::with_capacity(n);
+        for i in 0..n {
+            words.push(self.read_user_u32(t, buf + (i as u32) * 4)?);
+        }
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        let frame = ObjStateFrame::from_words(ty, &words).map_err(Self::fail)?;
+        self.install_state(t, oid, frame)?;
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    /// Apply an exported frame to an object.
+    pub(crate) fn install_state(
+        &mut self,
+        caller: ThreadId,
+        oid: ObjId,
+        frame: ObjStateFrame,
+    ) -> Result<(), SysOutcome> {
+        match frame {
+            ObjStateFrame::Mutex(f) => {
+                let wake = {
+                    let Some(ObjData::Mutex { locked, waiters }) =
+                        self.objects.get_mut(oid).map(|o| &mut o.data)
+                    else {
+                        return Err(Self::fail(ErrorCode::WrongType));
+                    };
+                    *locked = f.locked != 0;
+                    if !*locked {
+                        waiters.pop_front()
+                    } else {
+                        None
+                    }
+                };
+                if let Some(w) = wake {
+                    self.unblock(w);
+                }
+            }
+            ObjStateFrame::Cond(_) | ObjStateFrame::Pset(_) | ObjStateFrame::Space(_) => {}
+            ObjStateFrame::Region(f) => {
+                let keeper = if f.keeper_token != 0 {
+                    Some(self.lookup_typed(caller, f.keeper_token, ObjType::Port)?)
+                } else {
+                    None
+                };
+                let Some(ObjData::Region {
+                    base,
+                    size,
+                    keeper: k,
+                    keeper_token,
+                    ..
+                }) = self.objects.get_mut(oid).map(|o| &mut o.data)
+                else {
+                    return Err(Self::fail(ErrorCode::WrongType));
+                };
+                *base = f.base;
+                *size = f.size;
+                *k = keeper;
+                *keeper_token = f.keeper_token;
+            }
+            ObjStateFrame::Mapping(f) => {
+                let region = self.resolve_region_handle(caller, f.region_token)?;
+                let Some(ObjData::Mapping {
+                    base,
+                    size,
+                    region: r,
+                    offset,
+                    region_token,
+                    ..
+                }) = self.objects.get_mut(oid).map(|o| &mut o.data)
+                else {
+                    return Err(Self::fail(ErrorCode::WrongType));
+                };
+                *base = f.base;
+                *size = f.size;
+                *r = region;
+                *offset = f.offset;
+                *region_token = f.region_token;
+            }
+            ObjStateFrame::Port(f) => {
+                let pset = if f.pset_token != 0 {
+                    Some(self.lookup_typed(caller, f.pset_token, ObjType::Portset)?)
+                } else {
+                    None
+                };
+                if let Some(p) = pset {
+                    if let Some(ObjData::Pset { members, .. }) =
+                        self.objects.get_mut(p).map(|o| &mut o.data)
+                    {
+                        if !members.contains(&oid) {
+                            members.push(oid);
+                        }
+                    }
+                }
+                let Some(ObjData::Port {
+                    pset: ps,
+                    pset_token,
+                    ..
+                }) = self.objects.get_mut(oid).map(|o| &mut o.data)
+                else {
+                    return Err(Self::fail(ErrorCode::WrongType));
+                };
+                *ps = pset;
+                *pset_token = f.pset_token;
+            }
+            ObjStateFrame::Ref(f) => {
+                let target = if f.target_token != 0 {
+                    Some(self.lookup_handle(caller, f.target_token)?)
+                } else {
+                    None
+                };
+                let Some(ObjData::Ref {
+                    target: tg,
+                    target_token,
+                }) = self.objects.get_mut(oid).map(|o| &mut o.data)
+                else {
+                    return Err(Self::fail(ErrorCode::WrongType));
+                };
+                *tg = target;
+                *target_token = f.target_token;
+            }
+            ObjStateFrame::Thread(f) => {
+                let Some(ObjData::Thread(tid)) = self.objects.get(oid).map(|o| &o.data) else {
+                    return Err(Self::fail(ErrorCode::WrongType));
+                };
+                let tid = *tid;
+                self.install_thread_state(caller, tid, f)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Install a thread frame: unlink the target from any wait, replace its
+    /// registers wholesale, and start or stop it per the frame.
+    fn install_thread_state(
+        &mut self,
+        caller: ThreadId,
+        tid: ThreadId,
+        f: ThreadStateFrame,
+    ) -> Result<(), SysOutcome> {
+        // Installing a frame into the *calling* thread would race the
+        // syscall completion path (which writes eax/eip after the handler
+        // returns) and double-schedule the caller; managers restore other
+        // threads, never themselves.
+        if tid == caller {
+            return Err(Self::fail(ErrorCode::InvalidArg));
+        }
+        // Resolve the space handle in the *caller's* naming.
+        let new_space = if f.space_token != 0 {
+            let sobj = self.lookup_typed(caller, f.space_token, ObjType::Space)?;
+            match self.objects.get(sobj).map(|o| &o.data) {
+                Some(ObjData::Space(sid)) => Some(*sid),
+                _ => return Err(Self::fail(ErrorCode::WrongType)),
+            }
+        } else {
+            None
+        };
+        let program = if f.program.0 == u64::MAX {
+            None
+        } else {
+            Some(
+                self.program(f.program)
+                    .ok_or(Self::fail(ErrorCode::InvalidArg))?,
+            )
+        };
+        // Pull the target out of whatever it is doing. Its old state is
+        // discarded wholesale — the frame is the complete new truth.
+        self.unlink_waiter(tid);
+        {
+            let th = self
+                .threads
+                .get_mut(tid.0)
+                .ok_or(Self::fail(ErrorCode::InvalidHandle))?;
+            if th.is_ready() {
+                self.ready.remove(tid);
+            }
+        }
+        let old_conn = {
+            let th = self.threads.get_mut(tid.0).unwrap();
+            th.ipc.conn.take()
+        };
+        if let Some(c) = old_conn {
+            self.disconnect(c, ErrorCode::PeerDisconnected);
+        }
+        let old_space = self.threads.get(tid.0).and_then(|x| x.space);
+        let th = self.threads.get_mut(tid.0).unwrap();
+        th.regs = f.regs;
+        th.priority = f.priority;
+        th.inflight = None;
+        th.open_fault = None;
+        th.kstack_retained = false;
+        th.interrupted = false;
+        th.space_token = f.space_token;
+        if let Some(p) = program {
+            th.program = Some(f.program);
+            th.text = Some(p);
+        }
+        if let Some(ns) = new_space {
+            th.space = Some(ns);
+        }
+        let now_space = th.space;
+        let runnable = f.runnable != 0;
+        let prio = th.priority;
+        let was_running = matches!(th.state, RunState::Running(_));
+        th.state = if runnable {
+            RunState::Ready
+        } else {
+            RunState::Stopped
+        };
+        if was_running {
+            self.clear_running_cpu(tid);
+        }
+        if runnable {
+            self.ready.push(tid, prio);
+            let now = self.now();
+            self.kick_parked(now);
+        }
+        // Maintain space thread lists.
+        if old_space != now_space {
+            if let Some(os) = old_space.and_then(|s| self.spaces.get_mut(s.0)) {
+                os.threads.retain(|&x| x != tid);
+            }
+            if let Some(ns) = now_space.and_then(|s| self.spaces.get_mut(s.0)) {
+                if !ns.threads.contains(&tid) {
+                    ns.threads.push(tid);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// `*_move(ebx=old_handle, edx=new_vaddr)`: rename an object to a new
+    /// virtual address (the underlying physical slot moves with it).
+    fn obj_move(&mut self, t: ThreadId, ty: ObjType) -> SysResult {
+        let old = self.arg(t, ARG_HANDLE);
+        let new = self.arg(t, ARG_VAL);
+        let oid = self.lookup_typed(t, old, ty)?;
+        let new_loc = self.user_translate(t, new, true)?;
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        if self.objects.relocate(oid, new_loc) {
+            // Keep self-naming tokens in sync for fault messages.
+            if let Some(ObjData::Region { self_token, .. }) =
+                self.objects.get_mut(oid).map(|o| &mut o.data)
+            {
+                *self_token = new;
+            }
+            Ok(SysOutcome::Done(ErrorCode::Success))
+        } else {
+            Err(Self::fail(ErrorCode::AlreadyExists))
+        }
+    }
+
+    /// `*_reference(ebx=target_handle, edx=ref_handle)`: point a Reference
+    /// object at the target.
+    fn obj_reference(&mut self, t: ThreadId, ty: ObjType) -> SysResult {
+        let target_tok = self.arg(t, ARG_HANDLE);
+        let ref_tok = self.arg(t, ARG_VAL);
+        let target = self.lookup_typed(t, target_tok, ty)?;
+        let r = self.lookup_typed(t, ref_tok, ObjType::Reference)?;
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        let Some(ObjData::Ref {
+            target: tg,
+            target_token,
+        }) = self.objects.get_mut(r).map(|o| &mut o.data)
+        else {
+            return Err(Self::fail(ErrorCode::WrongType));
+        };
+        *tg = Some(target);
+        *target_token = target_tok;
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    // ------------------------------------------------------------------
+    // Synchronization.
+    // ------------------------------------------------------------------
+
+    /// `mutex_lock(ebx=mutex)` — the canonical "Long" call: acquires or
+    /// sleeps. Its registers already *are* the restart continuation, so
+    /// blocking requires no bookkeeping beyond the wait-queue entry.
+    fn sys_mutex_lock(&mut self, t: ThreadId) -> SysResult {
+        let h = self.arg(t, ARG_HANDLE);
+        let m = self.lookup_typed(t, h, ObjType::Mutex)?;
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        let Some(ObjData::Mutex { locked, waiters }) = self.objects.get_mut(m).map(|o| &mut o.data)
+        else {
+            return Err(Self::fail(ErrorCode::InvalidHandle));
+        };
+        if !*locked {
+            *locked = true;
+            Ok(SysOutcome::Done(ErrorCode::Success))
+        } else {
+            waiters.push_back(t);
+            Ok(self.block_current(t, WaitReason::Mutex(m)))
+        }
+    }
+
+    /// `mutex_trylock(ebx=mutex)`.
+    fn sys_mutex_trylock(&mut self, t: ThreadId) -> SysResult {
+        let h = self.arg(t, ARG_HANDLE);
+        let m = self.lookup_typed(t, h, ObjType::Mutex)?;
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        let Some(ObjData::Mutex { locked, .. }) = self.objects.get_mut(m).map(|o| &mut o.data)
+        else {
+            return Err(Self::fail(ErrorCode::InvalidHandle));
+        };
+        if !*locked {
+            *locked = true;
+            Ok(SysOutcome::Done(ErrorCode::Success))
+        } else {
+            Ok(SysOutcome::Done(ErrorCode::WouldBlock))
+        }
+    }
+
+    /// `mutex_unlock(ebx=mutex)`.
+    fn sys_mutex_unlock(&mut self, t: ThreadId) -> SysResult {
+        let h = self.arg(t, ARG_HANDLE);
+        let m = self.lookup_typed(t, h, ObjType::Mutex)?;
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        let Some(ObjData::Mutex { locked, waiters }) = self.objects.get_mut(m).map(|o| &mut o.data)
+        else {
+            return Err(Self::fail(ErrorCode::InvalidHandle));
+        };
+        *locked = false;
+        let next = waiters.pop_front();
+        if let Some(w) = next {
+            // The waiter re-executes `mutex_lock` from its register
+            // continuation and re-contends.
+            self.unblock(w);
+        }
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    /// `cond_wait(ebx=cond, edx=mutex)` — the paper's worked example of a
+    /// multi-stage call (§4.3): release the mutex, then *rewrite the
+    /// thread's entrypoint register to `mutex_lock(mutex)`* and sleep on
+    /// the condition queue. Wakeup or interruption automatically retries
+    /// only the mutex re-acquisition, never the whole wait.
+    fn sys_cond_wait(&mut self, t: ThreadId) -> SysResult {
+        let ch = self.arg(t, ARG_HANDLE);
+        let mh = self.arg(t, ARG_VAL);
+        let c = self.lookup_typed(t, ch, ObjType::Cond)?;
+        let m = self.lookup_typed(t, mh, ObjType::Mutex)?;
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        // Stage 1: release the mutex (waking one contender).
+        let woken = {
+            let Some(ObjData::Mutex { locked, waiters }) =
+                self.objects.get_mut(m).map(|o| &mut o.data)
+            else {
+                return Err(Self::fail(ErrorCode::InvalidHandle));
+            };
+            *locked = false;
+            waiters.pop_front()
+        };
+        if let Some(w) = woken {
+            self.unblock(w);
+        }
+        // Stage 2: move the continuation to `mutex_lock(mutex)` and sleep.
+        {
+            let th = self.threads.get_mut(t.0).expect("current");
+            th.regs.set(Reg::Eax, Sys::MutexLock.num());
+            th.regs.set(ARG_HANDLE, mh);
+        }
+        let Some(ObjData::Cond { waiters }) = self.objects.get_mut(c).map(|o| &mut o.data) else {
+            return Err(Self::fail(ErrorCode::InvalidHandle));
+        };
+        waiters.push_back(t);
+        Ok(self.block_current(t, WaitReason::Cond(c)))
+    }
+
+    /// `cond_signal(ebx=cond)`.
+    fn sys_cond_signal(&mut self, t: ThreadId) -> SysResult {
+        let h = self.arg(t, ARG_HANDLE);
+        let c = self.lookup_typed(t, h, ObjType::Cond)?;
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        let woken = {
+            let Some(ObjData::Cond { waiters }) = self.objects.get_mut(c).map(|o| &mut o.data)
+            else {
+                return Err(Self::fail(ErrorCode::InvalidHandle));
+            };
+            waiters.pop_front()
+        };
+        if let Some(w) = woken {
+            // The waiter's registers already say `mutex_lock(mutex)`.
+            self.unblock(w);
+        }
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    /// `cond_broadcast(ebx=cond)`.
+    fn sys_cond_broadcast(&mut self, t: ThreadId) -> SysResult {
+        let h = self.arg(t, ARG_HANDLE);
+        let c = self.lookup_typed(t, h, ObjType::Cond)?;
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        let woken: Vec<ThreadId> = {
+            let Some(ObjData::Cond { waiters }) = self.objects.get_mut(c).map(|o| &mut o.data)
+            else {
+                return Err(Self::fail(ErrorCode::InvalidHandle));
+            };
+            waiters.drain(..).collect()
+        };
+        for w in woken {
+            self.unblock(w);
+        }
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    // ------------------------------------------------------------------
+    // Threads and scheduling.
+    // ------------------------------------------------------------------
+
+    /// `thread_self()` → `edx` = the caller's thread ordinal (the paper's
+    /// `getpid` analogue; Trivial: touches nothing that can fault).
+    fn sys_thread_self(&mut self, t: ThreadId) -> SysResult {
+        self.set_reg(t, ARG_VAL, t.0);
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    /// `thread_interrupt(ebx=thread)`: break the target out of any sleeping
+    /// entrypoint; its next dispatch of a Long/Multi-stage call returns
+    /// `Interrupted` with the register continuation intact for re-issue.
+    fn sys_thread_interrupt(&mut self, t: ThreadId) -> SysResult {
+        let h = self.arg(t, ARG_HANDLE);
+        let target = self.thread_handle(t, h)?;
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        let blocked = self
+            .threads
+            .get(target.0)
+            .map(|x| x.is_blocked())
+            .unwrap_or(false);
+        if let Some(th) = self.threads.get_mut(target.0) {
+            th.interrupted = true;
+        }
+        if blocked {
+            self.unlink_waiter(target);
+            self.unblock(target);
+        }
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    /// `thread_schedule(ebx=thread)`: directed yield — hand the CPU to the
+    /// target if it is ready.
+    fn sys_thread_schedule(&mut self, t: ThreadId) -> SysResult {
+        let h = self.arg(t, ARG_HANDLE);
+        let target = self.thread_handle(t, h)?;
+        self.charge(self.cost.schedule_op);
+        self.progress();
+        let ready = self
+            .threads
+            .get(target.0)
+            .map(|x| x.is_ready())
+            .unwrap_or(false);
+        if ready {
+            let prio = self.threads.get(target.0).unwrap().priority;
+            self.ready.remove(target);
+            self.ready.push_front(target, prio);
+            self.cur_cpu_mut().resched = true;
+        }
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    /// `thread_wait(ebx=thread)`: join — sleep until the target halts.
+    fn sys_thread_wait(&mut self, t: ThreadId) -> SysResult {
+        let h = self.arg(t, ARG_HANDLE);
+        let target = self.thread_handle(t, h)?;
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        if target == t {
+            return Err(Self::fail(ErrorCode::InvalidArg));
+        }
+        let halted = self
+            .threads
+            .get(target.0)
+            .map(|x| x.is_halted())
+            .unwrap_or(true);
+        if halted {
+            return Ok(SysOutcome::Done(ErrorCode::Success));
+        }
+        self.threads
+            .get_mut(target.0)
+            .expect("target checked")
+            .joiners
+            .push(t);
+        Ok(self.block_current(t, WaitReason::Join(target)))
+    }
+
+    /// `thread_sleep()`: sleep until `thread_interrupt` or a timer wake.
+    fn sys_thread_sleep(&mut self, t: ThreadId) -> SysResult {
+        self.charge(self.cost.object_op);
+        self.progress();
+        Ok(self.block_current(t, WaitReason::Sleep))
+    }
+
+    /// `space_wait_threads(ebx=space)`: sleep until the space has no live
+    /// threads (used by managers to reap children).
+    fn sys_space_wait_threads(&mut self, t: ThreadId) -> SysResult {
+        let h = self.arg(t, ARG_HANDLE);
+        let sobj = self.lookup_typed(t, h, ObjType::Space)?;
+        self.charge(self.cost.object_op);
+        self.progress();
+        let Some(ObjData::Space(sid)) = self.objects.get(sobj).map(|o| &o.data) else {
+            return Err(Self::fail(ErrorCode::WrongType));
+        };
+        let sid = *sid;
+        let any_live = self
+            .threads
+            .iter()
+            .any(|(_, x)| x.space == Some(sid) && !x.is_halted() && x.id != t);
+        if !any_live {
+            return Ok(SysOutcome::Done(ErrorCode::Success));
+        }
+        Ok(self.block_current(t, WaitReason::SpaceIdle(sid)))
+    }
+
+    /// `sched_donate(ebx=thread)`: donate the CPU to the target and sleep
+    /// until it blocks or halts.
+    fn sys_sched_donate(&mut self, t: ThreadId) -> SysResult {
+        let h = self.arg(t, ARG_HANDLE);
+        let target = self.thread_handle(t, h)?;
+        self.charge(self.cost.schedule_op);
+        self.progress();
+        if target == t {
+            return Err(Self::fail(ErrorCode::InvalidArg));
+        }
+        let ready = self
+            .threads
+            .get(target.0)
+            .map(|x| x.is_ready())
+            .unwrap_or(false);
+        if !ready {
+            return Err(Self::fail(ErrorCode::WouldBlock));
+        }
+        let prio = self.threads.get(target.0).unwrap().priority;
+        self.ready.remove(target);
+        self.ready.push_front(target, prio);
+        Ok(self.block_current(t, WaitReason::Donate(target)))
+    }
+
+    /// Resolve a thread handle (Thread object or Reference to one).
+    pub(crate) fn thread_handle(
+        &mut self,
+        t: ThreadId,
+        vaddr: u32,
+    ) -> Result<ThreadId, SysOutcome> {
+        let id = self.lookup_handle(t, vaddr)?;
+        let resolved = match self.objects.get(id).map(|o| &o.data) {
+            Some(ObjData::Thread(tid)) => *tid,
+            Some(ObjData::Ref {
+                target: Some(tg), ..
+            }) => match self.objects.get(*tg).map(|o| &o.data) {
+                Some(ObjData::Thread(tid)) => *tid,
+                _ => return Err(Self::fail(ErrorCode::WrongType)),
+            },
+            _ => return Err(Self::fail(ErrorCode::WrongType)),
+        };
+        Ok(resolved)
+    }
+
+    // ------------------------------------------------------------------
+    // Memory operations.
+    // ------------------------------------------------------------------
+
+    /// `region_protect(ebx=region, edx=writable)`: set the writability of
+    /// the owner's resident pages within the region.
+    fn sys_region_protect(&mut self, t: ThreadId) -> SysResult {
+        let h = self.arg(t, ARG_HANDLE);
+        let writable = self.arg(t, ARG_VAL) != 0;
+        let r = self.lookup_typed(t, h, ObjType::Region)?;
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        let Some(ObjData::Region {
+            owner, base, size, ..
+        }) = self.objects.get(r).map(|o| &o.data)
+        else {
+            return Err(Self::fail(ErrorCode::InvalidHandle));
+        };
+        let (owner, base, size) = (*owner, *base, *size);
+        let first = base / abi::PAGE_SIZE;
+        let last = (base + size - 1) / abi::PAGE_SIZE;
+        let mut touched = 0u64;
+        if let Some(s) = self.spaces.get_mut(owner.0) {
+            for p in first..=last {
+                if let Some(pte) = s.pages.get_mut(&p) {
+                    pte.writable = writable;
+                    touched += 1;
+                }
+            }
+        }
+        self.charge(self.cost.object_op * touched.max(1) / 4);
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    /// `mapping_protect(ebx=mapping, edx=writable)`: set the mapping's
+    /// writability and flush PTEs derived through it.
+    fn sys_mapping_protect(&mut self, t: ThreadId) -> SysResult {
+        let h = self.arg(t, ARG_HANDLE);
+        let writable = self.arg(t, ARG_VAL) != 0;
+        let m = self.lookup_typed(t, h, ObjType::Mapping)?;
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        let Some(ObjData::Mapping {
+            space,
+            base,
+            size,
+            writable: w,
+            ..
+        }) = self.objects.get_mut(m).map(|o| &mut o.data)
+        else {
+            return Err(Self::fail(ErrorCode::InvalidHandle));
+        };
+        *w = writable;
+        let (space, base, size) = (*space, *base, *size);
+        let first = base / abi::PAGE_SIZE;
+        let last = (base + size - 1) / abi::PAGE_SIZE;
+        if let Some(s) = self.spaces.get_mut(space.0) {
+            for p in first..=last {
+                s.pages.remove(&p);
+            }
+        }
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    /// `region_populate(ebx=region, ecx=len, edx=offset)`: a keeper
+    /// (pager) supplies zero-filled memory for its region. This is the
+    /// reproduction's stand-in for Fluke's memory-supply protocol: only the
+    /// region's owning space may populate it.
+    fn sys_region_populate(&mut self, t: ThreadId) -> SysResult {
+        let h = self.arg(t, ARG_HANDLE);
+        let len = self.arg(t, ARG_COUNT);
+        let offset = self.arg(t, ARG_VAL);
+        let r = self.lookup_typed(t, h, ObjType::Region)?;
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        let Some(ObjData::Region {
+            owner, base, size, ..
+        }) = self.objects.get(r).map(|o| &o.data)
+        else {
+            return Err(Self::fail(ErrorCode::InvalidHandle));
+        };
+        let (owner, base, size) = (*owner, *base, *size);
+        let caller_space = self.threads.get(t.0).and_then(|x| x.space);
+        if caller_space != Some(owner) {
+            return Err(Self::fail(ErrorCode::PermissionDenied));
+        }
+        if len == 0 || offset.saturating_add(len) > size {
+            return Err(Self::fail(ErrorCode::InvalidArg));
+        }
+        let start = base + offset;
+        let first = start / abi::PAGE_SIZE;
+        let last = (start + len - 1) / abi::PAGE_SIZE;
+        for p in first..=last {
+            let present = self
+                .spaces
+                .get(owner.0)
+                .map(|s| s.pages.contains_key(&p))
+                .unwrap_or(false);
+            if !present {
+                let frame = self.phys.alloc();
+                if let Some(s) = self.spaces.get_mut(owner.0) {
+                    s.pages.insert(
+                        p,
+                        crate::space::Pte {
+                            frame,
+                            writable: true,
+                        },
+                    );
+                }
+                // Supplying a page costs its zero-fill plus bookkeeping.
+                self.charge(self.cost.object_op + abi::PAGE_SIZE as u64 * self.cost.copy_byte_per);
+            }
+        }
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    /// `region_search(ebx=space|0, edx=cursor, ecx=limit)`: find the next
+    /// kernel object at or after `cursor` in the space's address range.
+    /// Multi-stage: the cursor advances in place; the scan is long and —
+    /// faithfully to the paper — has **no** explicit preemption point, so
+    /// it bounds preemption latency under the Partial configuration
+    /// (Table 6's PP "max" column).
+    fn sys_region_search(&mut self, t: ThreadId) -> SysResult {
+        let sh = self.arg(t, ARG_HANDLE);
+        let cursor = self.arg(t, ARG_VAL);
+        let limit = self.arg(t, ARG_COUNT);
+        let sid = if sh == 0 {
+            self.threads
+                .get(t.0)
+                .and_then(|x| x.space)
+                .ok_or(SysOutcome::Kill("no space"))?
+        } else {
+            let sobj = self.lookup_typed(t, sh, ObjType::Space)?;
+            match self.objects.get(sobj).map(|o| &o.data) {
+                Some(ObjData::Space(s)) => *s,
+                _ => return Err(Self::fail(ErrorCode::WrongType)),
+            }
+        };
+        self.charge(self.cost.object_op);
+        self.progress();
+        if cursor >= limit {
+            self.set_reg(t, ARG_VAL, limit);
+            return Ok(SysOutcome::Done(ErrorCode::NotFound));
+        }
+        // Invert the page table once, then scan object locations.
+        let inv: std::collections::HashMap<crate::phys::FrameId, u32> = match self.spaces.get(sid.0)
+        {
+            Some(s) => s.pages.iter().map(|(&vpn, pte)| (pte.frame, vpn)).collect(),
+            None => return Err(Self::fail(ErrorCode::InvalidHandle)),
+        };
+        let mut best: Option<(u32, ObjId)> = None;
+        for (oid, obj) in self.objects.iter() {
+            if let Some(&vpn) = inv.get(&obj.loc.0) {
+                let vaddr = vpn * abi::PAGE_SIZE + obj.loc.1;
+                let better = best.map(|(b, _)| vaddr < b).unwrap_or(true);
+                if vaddr >= cursor && vaddr < limit && better {
+                    best = Some((vaddr, oid));
+                }
+            }
+        }
+        // Charge proportionally to the range walked — this is the long
+        // kernel path of the latency experiment. Faithfully to the paper,
+        // the *Partial* configuration has no preemption point here (only
+        // the IPC copy path has one), so this loop bounds PP latency;
+        // under Full preemption the per-page charges are preemptible like
+        // any other unlocked kernel code.
+        let walked_to = best.map(|(v, _)| v + 1).unwrap_or(limit);
+        let pages = (walked_to.saturating_sub(cursor) / abi::PAGE_SIZE).clamp(1, 4096);
+        for page in 0..pages {
+            self.charge(self.cost.region_search_page);
+            if self.cfg.preempt == Preemption::Full && self.cur_cpu_mut().resched {
+                // Clean point: the cursor records exactly how far the scan
+                // got; the restarted call continues from there.
+                let resume = cursor + page * abi::PAGE_SIZE;
+                self.set_reg(t, ARG_VAL, resume);
+                return Ok(self.preempt_current_in_kernel(t));
+            }
+        }
+        match best {
+            Some((vaddr, oid)) => {
+                let ty = self.objects.get(oid).map(|o| o.ty()).unwrap() as u32;
+                self.set_reg(t, ARG_SBUF, vaddr);
+                self.set_reg(t, ARG_RBUF, ty);
+                self.set_reg(t, ARG_VAL, vaddr + 1);
+                Ok(SysOutcome::Done(ErrorCode::Success))
+            }
+            None => {
+                self.set_reg(t, ARG_VAL, limit);
+                Ok(SysOutcome::Done(ErrorCode::NotFound))
+            }
+        }
+    }
+
+    /// `ref_compare(ebx=ref1, edx=ref2)` → `edx=1` if both reference the
+    /// same object.
+    fn sys_ref_compare(&mut self, t: ThreadId) -> SysResult {
+        let h1 = self.arg(t, ARG_HANDLE);
+        let h2 = self.arg(t, ARG_VAL);
+        let r1 = self.lookup_typed(t, h1, ObjType::Reference)?;
+        let r2 = self.lookup_typed(t, h2, ObjType::Reference)?;
+        self.charge(self.cost.object_op);
+        self.progress();
+        let t1 = match self.objects.get(r1).map(|o| &o.data) {
+            Some(ObjData::Ref { target, .. }) => *target,
+            _ => None,
+        };
+        let t2 = match self.objects.get(r2).map(|o| &o.data) {
+            Some(ObjData::Ref { target, .. }) => *target,
+            _ => None,
+        };
+        let same = t1.is_some() && t1 == t2;
+        self.set_reg(t, ARG_VAL, same as u32);
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    // ------------------------------------------------------------------
+    // Port waits (connection without data).
+    // ------------------------------------------------------------------
+
+    /// `port_wait(ebx=port)`: accept a pending connection or sleep.
+    fn sys_port_wait(&mut self, t: ThreadId) -> SysResult {
+        let h = self.arg(t, ARG_HANDLE);
+        let p = self.lookup_typed(t, h, ObjType::Port)?;
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        if self.try_accept_from_port(t, p)? {
+            return Ok(SysOutcome::Done(ErrorCode::Success));
+        }
+        let Some(ObjData::Port { server_q, .. }) = self.objects.get_mut(p).map(|o| &mut o.data)
+        else {
+            return Err(Self::fail(ErrorCode::InvalidHandle));
+        };
+        server_q.push_back(t);
+        Ok(self.block_current(t, WaitReason::PortWait(p)))
+    }
+
+    /// `pset_wait(ebx=pset)`: accept from any member port or sleep.
+    fn sys_pset_wait(&mut self, t: ThreadId) -> SysResult {
+        let h = self.arg(t, ARG_HANDLE);
+        let ps = self.lookup_typed(t, h, ObjType::Portset)?;
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        let members: Vec<ObjId> = match self.objects.get(ps).map(|o| &o.data) {
+            Some(ObjData::Pset { members, .. }) => members.clone(),
+            _ => return Err(Self::fail(ErrorCode::InvalidHandle)),
+        };
+        for m in members {
+            if self.try_accept_from_port(t, m)? {
+                return Ok(SysOutcome::Done(ErrorCode::Success));
+            }
+        }
+        let Some(ObjData::Pset { server_q, .. }) = self.objects.get_mut(ps).map(|o| &mut o.data)
+        else {
+            return Err(Self::fail(ErrorCode::InvalidHandle));
+        };
+        server_q.push_back(t);
+        Ok(self.block_current(t, WaitReason::PsetWait(ps)))
+    }
+}

@@ -1,0 +1,1257 @@
+//! IPC: connections, the data-transfer pump, and all IPC entrypoints.
+//!
+//! The transfer state of an in-progress IPC lives in the two threads'
+//! registers: send pointer in `esi`, receive pointer in `edi`, byte counts
+//! in `ecx`, all advanced in place as data moves — exactly the x86
+//! string-instruction discipline the paper uses as its model (§4.2). When
+//! anything interrupts a transfer (page fault, preemption point, window
+//! exhaustion), both threads are *already* at well-defined points: "having
+//! transferred some data and about to start an IPC to transfer more."
+//!
+//! The continuation of a compound operation like
+//! `ipc_client_connect_send_over_receive` is likewise register-encoded:
+//! the pending receive window rides in pseudo-register `pr0` and the
+//! "what happens after the send" bits in `pr1`, so an interrupted compound
+//! call restarts at `*_send_more` and still finishes the whole exchange.
+
+use fluke_api::abi::{
+    ARG_COUNT, ARG_HANDLE, ARG_RBUF, ARG_SBUF, ARG_VAL, IPC_PR1_DISCONNECT,
+    IPC_PR1_PENDING_RECEIVE, IPC_PR1_PENDING_WAIT, PAGE_SIZE, PR_IPC_FLAGS, PR_RECV_WINDOW,
+};
+use fluke_api::{ErrorCode, ObjType, Sys};
+use fluke_arch::Reg;
+
+use crate::config::{Preemption, PP_CHUNK_BYTES};
+use crate::conn::{ClientEnd, Connection, Dir};
+use crate::ids::{ConnId, ObjId, ThreadId};
+use crate::object::ObjData;
+use crate::stats::FaultSide;
+use crate::thread::{IpcRole, RunState, WaitReason};
+
+use super::mem::PumpFault;
+use super::{Kernel, SysOutcome, SysResult};
+
+/// Bytes between preemption checks under Full preemption (finer than the
+/// Partial configuration's single 8KB point, since FP is preemptible
+/// everywhere a lock isn't held).
+const FP_CHUNK_BYTES: u32 = 2048;
+
+/// What a send-family entrypoint does after the message completes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum AfterSend {
+    /// Return to the caller.
+    Complete,
+    /// Reverse direction and receive a reply (window staged in `pr0`).
+    Receive,
+    /// Keep the connection and wait for the next message on it.
+    WaitNext,
+    /// Acknowledge and disconnect.
+    Disconnect,
+    /// Acknowledge, disconnect, then wait for a new request on the portset.
+    DisconnectThenWait,
+}
+
+impl AfterSend {
+    /// Encode into the `pr1` continuation bits.
+    fn to_flags(self) -> u32 {
+        match self {
+            AfterSend::Complete => 0,
+            AfterSend::Receive => IPC_PR1_PENDING_RECEIVE,
+            AfterSend::WaitNext => IPC_PR1_PENDING_WAIT,
+            AfterSend::Disconnect => IPC_PR1_DISCONNECT,
+            AfterSend::DisconnectThenWait => IPC_PR1_DISCONNECT | IPC_PR1_PENDING_WAIT,
+        }
+    }
+
+    /// Decode from the `pr1` continuation bits.
+    fn from_flags(f: u32) -> AfterSend {
+        let disc = f & IPC_PR1_DISCONNECT != 0;
+        let wait = f & IPC_PR1_PENDING_WAIT != 0;
+        let recv = f & IPC_PR1_PENDING_RECEIVE != 0;
+        match (disc, wait, recv) {
+            (true, true, _) => AfterSend::DisconnectThenWait,
+            (true, false, _) => AfterSend::Disconnect,
+            (false, true, _) => AfterSend::WaitNext,
+            (false, false, true) => AfterSend::Receive,
+            (false, false, false) => AfterSend::Complete,
+        }
+    }
+}
+
+/// One end of a data transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum XferEnd {
+    /// A user thread; pointer/count live in its registers.
+    User(ThreadId),
+    /// The kernel as message source (exception IPC delivery).
+    KernelSrc(ConnId),
+    /// The kernel as message sink (exception IPC reply).
+    KernelSink(ConnId),
+}
+
+/// Result of running the pump.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PumpOut {
+    /// The sender's message completed.
+    Complete,
+    /// The receiver's window filled with the message still open.
+    WindowFull,
+    /// A hard fault on the current thread's side: the current thread is
+    /// already blocked on the pager at a clean restart point.
+    BlockedCurrent,
+    /// A soft fault on the peer side was remedied; the operation restarts
+    /// from the register continuations for revalidation (Table 3's
+    /// "server-side soft fault" rollback).
+    RestartCurrent,
+    /// A hard fault on the peer side: the peer is blocked on the pager;
+    /// the current thread should block awaiting transfer resumption.
+    PeerFaulted,
+    /// A preemption point was taken; the current thread is ready again at
+    /// a clean restart point.
+    Preempted,
+    /// The faulting side was destroyed by a fatal fault.
+    FatalCurrent,
+    /// The peer was destroyed by a fatal fault.
+    FatalPeer,
+}
+
+impl Kernel {
+    // ------------------------------------------------------------------
+    // Connection plumbing.
+    // ------------------------------------------------------------------
+
+    /// Resolve a port handle (Port or Reference to a Port).
+    fn port_handle(&mut self, t: ThreadId, vaddr: u32) -> Result<ObjId, SysOutcome> {
+        let id = self.lookup_handle(t, vaddr)?;
+        match self.objects.get(id).map(|o| &o.data) {
+            Some(ObjData::Port { .. }) => Ok(id),
+            Some(ObjData::Ref {
+                target: Some(tg), ..
+            }) => match self.objects.get(*tg).map(|o| &o.data) {
+                Some(ObjData::Port { .. }) => Ok(*tg),
+                _ => Err(Self::fail(ErrorCode::WrongType)),
+            },
+            _ => Err(Self::fail(ErrorCode::WrongType)),
+        }
+    }
+
+    /// Wake one server waiting on the port (or its portset) so it can
+    /// accept a newly queued connection.
+    pub(crate) fn wake_port_server(&mut self, port: ObjId) {
+        let (direct, pset) = match self.objects.get_mut(port).map(|o| &mut o.data) {
+            Some(ObjData::Port { server_q, pset, .. }) => (server_q.pop_front(), *pset),
+            _ => (None, None),
+        };
+        if let Some(s) = direct {
+            self.unblock(s);
+            return;
+        }
+        if let Some(ps) = pset {
+            let w = match self.objects.get_mut(ps).map(|o| &mut o.data) {
+                Some(ObjData::Pset { server_q, .. }) => server_q.pop_front(),
+                _ => None,
+            };
+            if let Some(s) = w {
+                self.unblock(s);
+            }
+        }
+    }
+
+    /// Try to accept one pending connection from `port` for server `t`.
+    /// Returns true if a connection was accepted.
+    pub(crate) fn try_accept_from_port(
+        &mut self,
+        t: ThreadId,
+        port: ObjId,
+    ) -> Result<bool, SysOutcome> {
+        if self.threads.get(t.0).and_then(|x| x.ipc.conn).is_some() {
+            return Err(Self::fail(ErrorCode::AlreadyConnected));
+        }
+        let conn = match self.objects.get_mut(port).map(|o| &mut o.data) {
+            Some(ObjData::Port { connect_q, .. }) => connect_q.pop_front(),
+            _ => return Err(Self::fail(ErrorCode::InvalidHandle)),
+        };
+        let Some(conn) = conn else {
+            return Ok(false);
+        };
+        self.charge(self.cost.ipc_setup);
+        let client = {
+            let c = self.conns.get_mut(conn.0).expect("queued connection");
+            c.server = Some(t);
+            c.client_thread()
+        };
+        {
+            let th = self.threads.get_mut(t.0).expect("server thread");
+            th.ipc.conn = Some(conn);
+            th.ipc.role = Some(IpcRole::Server);
+        }
+        // A user client blocked waiting for acceptance restarts its
+        // connect-send and proceeds to the send stage.
+        if let Some(c) = client {
+            let waiting = matches!(
+                self.threads.get(c.0).map(|x| x.state),
+                Some(RunState::Blocked(WaitReason::IpcConnect(_)))
+            );
+            if waiting {
+                self.unblock(c);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Ensure the current thread has a live client connection to the port
+    /// named by `ebx`, creating and queueing one if needed.
+    fn ensure_connected(&mut self, t: ThreadId) -> Result<ConnId, SysOutcome> {
+        if let Some(code) = self.threads.get_mut(t.0).and_then(|x| x.ipc_error.take()) {
+            return Err(Self::fail(code));
+        }
+        let (existing, role) = {
+            let th = self.threads.get(t.0).expect("current");
+            (th.ipc.conn, th.ipc.role)
+        };
+        if let Some(conn) = existing {
+            if role != Some(IpcRole::Client) {
+                return Err(Self::fail(ErrorCode::AlreadyConnected));
+            }
+            let accepted = self
+                .conns
+                .get(conn.0)
+                .map(|c| c.server.is_some())
+                .unwrap_or(false);
+            if accepted {
+                return Ok(conn);
+            }
+            // Still waiting for a server: the connection stays queued on
+            // the port; sleep again (the restart found us here).
+            let port = self.conns.get(conn.0).map(|c| c.port).expect("conn");
+            return Err(self.block_current(t, WaitReason::IpcConnect(port)));
+        }
+        let h = self.arg(t, ARG_HANDLE);
+        let port = self.port_handle(t, h)?;
+        self.charge(self.cost.ipc_setup);
+        self.progress();
+        let conn = ConnId(self.conns.insert(Connection::from_thread(t, port)));
+        if let Some(ObjData::Port { connect_q, .. }) =
+            self.objects.get_mut(port).map(|o| &mut o.data)
+        {
+            connect_q.push_back(conn);
+        }
+        {
+            let th = self.threads.get_mut(t.0).expect("current");
+            th.ipc.conn = Some(conn);
+            th.ipc.role = Some(IpcRole::Client);
+        }
+        self.wake_port_server(port);
+        Err(self.block_current(t, WaitReason::IpcConnect(port)))
+    }
+
+    /// Tear down a connection; still-blocked peer operations complete with
+    /// `code`. Kernel-client (exception IPC) connections finalize their
+    /// fault first so the faulting thread retries.
+    pub(crate) fn disconnect(&mut self, conn: ConnId, code: ErrorCode) {
+        self.disconnect_from(conn, code, None)
+    }
+
+    /// [`Kernel::disconnect`] with the initiating thread excluded from
+    /// error delivery (a thread tearing down its own connection must not
+    /// poison its own next operation).
+    pub(crate) fn disconnect_from(
+        &mut self,
+        conn: ConnId,
+        code: ErrorCode,
+        initiator: Option<ThreadId>,
+    ) {
+        self.complete_fault(conn);
+        let Some(c) = self.conns.remove(conn.0) else {
+            return;
+        };
+        // Drop from the port's pending queue if never accepted.
+        if let Some(ObjData::Port { connect_q, .. }) =
+            self.objects.get_mut(c.port).map(|o| &mut o.data)
+        {
+            connect_q.retain(|&q| q != conn);
+        }
+        let mut ends = Vec::new();
+        if let ClientEnd::Thread(t) = c.client {
+            ends.push(t);
+        }
+        if let Some(s) = c.server {
+            ends.push(s);
+        }
+        for t in ends {
+            let Some(th) = self.threads.get_mut(t.0) else {
+                continue;
+            };
+            if th.ipc.conn == Some(conn) {
+                th.ipc.conn = None;
+                th.ipc.role = None;
+            }
+            if Some(t) == initiator {
+                continue;
+            }
+            let blocked_on_conn = matches!(
+                th.state,
+                RunState::Blocked(WaitReason::IpcSend(c2) | WaitReason::IpcReceive(c2)) if c2 == conn
+            ) || matches!(
+                th.state,
+                RunState::Blocked(WaitReason::IpcConnect(_))
+            );
+            if blocked_on_conn {
+                self.complete_blocked(t, code);
+            } else if th
+                .inflight
+                .map(|s| s.desc().family == fluke_api::Family::Ipc)
+                .unwrap_or(false)
+            {
+                // Torn down between unblocking and re-dispatch: deliver the
+                // error at the next IPC entrypoint instead of letting the
+                // restart silently re-issue against a dead connection.
+                th.ipc_error = Some(code);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The transfer pump.
+    // ------------------------------------------------------------------
+
+    /// Available bytes and pointer for an end.
+    fn end_avail(&self, end: XferEnd) -> (u32, u32) {
+        match end {
+            XferEnd::User(t) => {
+                let r = &self.threads.get(t.0).expect("xfer end").regs;
+                (r.get(ARG_COUNT), 0)
+            }
+            XferEnd::KernelSrc(c) => match &self.conns.get(c.0).expect("conn").client {
+                ClientEnd::Kernel(km) => ((km.bytes.len() - km.pos) as u32, 0),
+                ClientEnd::Thread(_) => (0, 0),
+            },
+            XferEnd::KernelSink(_) => (u32::MAX, 0),
+        }
+    }
+
+    /// The buffer pointer of a user end (send uses `esi`, receive `edi`).
+    fn end_ptr(&self, end: XferEnd, sending: bool) -> u32 {
+        match end {
+            XferEnd::User(t) => {
+                let r = &self.threads.get(t.0).expect("xfer end").regs;
+                r.get(if sending { ARG_SBUF } else { ARG_RBUF })
+            }
+            _ => 0,
+        }
+    }
+
+    /// Advance an end by `n` bytes after a successful copy.
+    fn end_advance(&mut self, end: XferEnd, sending: bool, n: u32) {
+        match end {
+            XferEnd::User(t) => {
+                let r = &mut self.threads.get_mut(t.0).expect("xfer end").regs;
+                let preg = if sending { ARG_SBUF } else { ARG_RBUF };
+                let p = r.get(preg);
+                r.set(preg, p.wrapping_add(n));
+                let c = r.get(ARG_COUNT);
+                r.set(ARG_COUNT, c - n);
+            }
+            XferEnd::KernelSrc(c) => {
+                if let Some(conn) = self.conns.get_mut(c.0) {
+                    if let ClientEnd::Kernel(km) = &mut conn.client {
+                        km.pos += n as usize;
+                    }
+                }
+            }
+            XferEnd::KernelSink(_) => {}
+        }
+    }
+
+    /// Move `n` bytes between resolved physical locations or kernel
+    /// buffers. All ranges are within single pages by construction.
+    fn move_bytes(
+        &mut self,
+        sender: XferEnd,
+        s_loc: Option<(u32, u32)>,
+        receiver: XferEnd,
+        r_loc: Option<(u32, u32)>,
+        n: u32,
+    ) {
+        match (sender, receiver) {
+            (XferEnd::User(_), XferEnd::User(_)) => {
+                let (sf, so) = s_loc.expect("sender resolved");
+                let (rf, ro) = r_loc.expect("receiver resolved");
+                self.phys.copy(sf, so, rf, ro, n);
+            }
+            (XferEnd::KernelSrc(c), XferEnd::User(_)) => {
+                let (rf, ro) = r_loc.expect("receiver resolved");
+                let bytes: Vec<u8> = match &self.conns.get(c.0).expect("conn").client {
+                    ClientEnd::Kernel(km) => km.bytes[km.pos..km.pos + n as usize].to_vec(),
+                    ClientEnd::Thread(_) => unreachable!("kernel src on user client"),
+                };
+                self.phys.write_slice(rf, ro, &bytes);
+            }
+            (XferEnd::User(_), XferEnd::KernelSink(c)) => {
+                let (sf, so) = s_loc.expect("sender resolved");
+                let mut buf = vec![0u8; n as usize];
+                self.phys.read_slice(sf, so, &mut buf);
+                if let Some(conn) = self.conns.get_mut(c.0) {
+                    if let ClientEnd::Kernel(km) = &mut conn.client {
+                        km.reply.extend_from_slice(&buf);
+                    }
+                }
+            }
+            _ => unreachable!("kernel-to-kernel transfer"),
+        }
+    }
+
+    /// The transfer pump: move bytes from `sender` to `receiver` until the
+    /// message completes, the window fills, or something interrupts.
+    ///
+    /// `restarts` are the `eax` values that bring each end to its clean
+    /// restart entrypoint; the pump installs them *before* any block or
+    /// preemption, maintaining the atomic-API invariant.
+    #[allow(clippy::too_many_arguments)]
+    fn pump(
+        &mut self,
+        conn: Option<ConnId>,
+        dir: Option<Dir>,
+        sender: XferEnd,
+        receiver: XferEnd,
+        current: ThreadId,
+        sender_restart: Sys,
+        receiver_restart: Sys,
+    ) -> PumpOut {
+        let mut since_check: u32 = 0;
+        loop {
+            let (s_rem, _) = self.end_avail(sender);
+            if s_rem == 0 {
+                if let (Some(c), Some(d)) = (conn, dir) {
+                    if let Some(cc) = self.conns.get_mut(c.0) {
+                        cc.set_open(d, false);
+                    }
+                }
+                self.stats.ipc_messages += 1;
+                return PumpOut::Complete;
+            }
+            let (r_rem, _) = self.end_avail(receiver);
+            if r_rem == 0 {
+                return PumpOut::WindowFull;
+            }
+            let s_ptr = self.end_ptr(sender, true);
+            let r_ptr = self.end_ptr(receiver, false);
+            let mut chunk = s_rem.min(r_rem);
+            if matches!(sender, XferEnd::User(_)) {
+                chunk = chunk.min(PAGE_SIZE - s_ptr % PAGE_SIZE);
+            }
+            if matches!(receiver, XferEnd::User(_)) {
+                chunk = chunk.min(PAGE_SIZE - r_ptr % PAGE_SIZE);
+            }
+            match self.cfg.preempt {
+                Preemption::Partial => {
+                    chunk = chunk.min(PP_CHUNK_BYTES - since_check % PP_CHUNK_BYTES)
+                }
+                Preemption::Full => {
+                    chunk = chunk.min(FP_CHUNK_BYTES - since_check % FP_CHUNK_BYTES)
+                }
+                Preemption::None => {}
+            }
+            // Translate both pages, attributing faults to transfer sides.
+            let s_loc = match sender {
+                XferEnd::User(st) => {
+                    let side = self.side_of(conn, st);
+                    let space = match self.threads.get(st.0).and_then(|x| x.space) {
+                        Some(s) => s,
+                        None => return self.pump_fatal(st, current),
+                    };
+                    match self.pump_translate(current, space, s_ptr, false, side) {
+                        Ok(loc) => Some(loc),
+                        Err(f) => return self.pump_fault(f, st, current, sender_restart),
+                    }
+                }
+                _ => None,
+            };
+            let r_loc = match receiver {
+                XferEnd::User(rt) => {
+                    let side = self.side_of(conn, rt);
+                    let space = match self.threads.get(rt.0).and_then(|x| x.space) {
+                        Some(s) => s,
+                        None => return self.pump_fatal(rt, current),
+                    };
+                    match self.pump_translate(current, space, r_ptr, true, side) {
+                        Ok(loc) => Some(loc),
+                        Err(f) => return self.pump_fault(f, rt, current, receiver_restart),
+                    }
+                }
+                _ => None,
+            };
+            self.move_bytes(sender, s_loc, receiver, r_loc, chunk);
+            // New bytes moved: the preamble (rollback) phase is over.
+            self.progress();
+            self.charge(self.cost.copy_byte_per * chunk as u64);
+            self.end_advance(sender, true, chunk);
+            self.end_advance(receiver, false, chunk);
+            self.stats.ipc_bytes += chunk as u64;
+            since_check += chunk;
+            // Explicit preemption points (Table 4: the PP configurations
+            // check after every 8KB on this path; FP checks finer).
+            let check = match self.cfg.preempt {
+                Preemption::Partial => since_check >= PP_CHUNK_BYTES,
+                Preemption::Full => since_check >= FP_CHUNK_BYTES,
+                Preemption::None => false,
+            };
+            if check {
+                since_check = 0;
+                self.charge(self.cost.preempt_check);
+                if self.cur_cpu_mut().resched {
+                    self.stats.preempt_points_taken += 1;
+                    let restart = if XferEnd::User(current) == sender {
+                        sender_restart
+                    } else {
+                        receiver_restart
+                    };
+                    self.set_reg(current, Reg::Eax, restart.num());
+                    self.preempt_current_in_kernel(current);
+                    return PumpOut::Preempted;
+                }
+            }
+        }
+    }
+
+    /// Which Table 3 side a thread is on for this connection.
+    fn side_of(&self, conn: Option<ConnId>, t: ThreadId) -> FaultSide {
+        let Some(c) = conn.and_then(|c| self.conns.get(c.0)) else {
+            // One-way transfers: label the sender side as client.
+            return FaultSide::Client;
+        };
+        if c.client_thread() == Some(t) {
+            FaultSide::Client
+        } else if c.server == Some(t) {
+            FaultSide::Server
+        } else {
+            FaultSide::Other
+        }
+    }
+
+    /// Destroy an end's thread after a fatal fault.
+    fn pump_fatal(&mut self, victim: ThreadId, current: ThreadId) -> PumpOut {
+        self.stats.fatal_faults += 1;
+        self.kill_thread(victim, "fatal fault during IPC");
+        if victim == current {
+            PumpOut::FatalCurrent
+        } else {
+            PumpOut::FatalPeer
+        }
+    }
+
+    /// Unwind a pump fault to clean points on both sides. Both ends'
+    /// registers already reflect exact partial progress (the pump advances
+    /// them after every chunk); only the faulting thread's entrypoint
+    /// register needs rewriting, to its side's `*_more` restart point.
+    fn pump_fault(
+        &mut self,
+        fault: PumpFault,
+        faulter: ThreadId,
+        current: ThreadId,
+        faulter_restart: Sys,
+    ) -> PumpOut {
+        match fault {
+            PumpFault::SoftCross => {
+                // Remedied inline; restart the current call for
+                // revalidation. Rollback accrues to the fault record.
+                let rec = self.stats.fault_records.len().saturating_sub(1);
+                self.rollback_active = true;
+                self.dispatch_rollback = Some(rec);
+                self.stats.restarts += 1;
+                PumpOut::RestartCurrent
+            }
+            PumpFault::Hard {
+                region,
+                offset,
+                keeper,
+                write,
+                side,
+            } => {
+                self.set_reg(faulter, Reg::Eax, faulter_restart.num());
+                self.raise_hard_fault(faulter, region, offset, write, keeper, side, true, true);
+                if faulter == current {
+                    PumpOut::BlockedCurrent
+                } else {
+                    PumpOut::PeerFaulted
+                }
+            }
+            PumpFault::Fatal => self.pump_fatal(faulter, current),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Send-family entrypoints.
+    // ------------------------------------------------------------------
+
+    /// `ipc_client_connect(ebx=port_ref)`.
+    pub(crate) fn sys_ipc_client_connect(&mut self, t: ThreadId) -> SysResult {
+        let _ = self.ensure_connected(t)?;
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    /// `ipc_client_connect_send[_over_receive]`: stage the continuation
+    /// bits, connect, then send.
+    pub(crate) fn sys_ipc_client_connect_send(&mut self, t: ThreadId, over: bool) -> SysResult {
+        self.stage_after_send(
+            t,
+            if over {
+                AfterSend::Receive
+            } else {
+                AfterSend::Complete
+            },
+        );
+        let conn = self.ensure_connected(t)?;
+        self.do_send(t, IpcRole::Client, conn)
+    }
+
+    /// `ipc_client_send[_over_receive]`: send on the existing connection.
+    pub(crate) fn sys_ipc_client_send(&mut self, t: ThreadId, over: bool) -> SysResult {
+        self.stage_after_send(
+            t,
+            if over {
+                AfterSend::Receive
+            } else {
+                AfterSend::Complete
+            },
+        );
+        let conn = self.require_conn(t, IpcRole::Client)?;
+        self.do_send(t, IpcRole::Client, conn)
+    }
+
+    /// `ipc_server_send` and friends: send on the server end.
+    pub(crate) fn sys_ipc_server_send(&mut self, t: ThreadId, after: AfterSend) -> SysResult {
+        self.stage_after_send(t, after);
+        let conn = self.require_conn(t, IpcRole::Server)?;
+        self.do_send(t, IpcRole::Server, conn)
+    }
+
+    /// `ipc_*_send_more`: the restart entrypoints — continuation bits are
+    /// already in `pr1`, partial progress in `esi`/`ecx`.
+    pub(crate) fn sys_ipc_send_more(&mut self, t: ThreadId, role: IpcRole) -> SysResult {
+        let conn = self.require_conn(t, role)?;
+        self.do_send(t, role, conn)
+    }
+
+    /// Record the after-send continuation in the pseudo-registers (paper
+    /// §4.4: intermediate multi-stage IPC state lives in two pseudo-
+    /// registers, visible to user code only through thread state frames).
+    fn stage_after_send(&mut self, t: ThreadId, after: AfterSend) {
+        let window = self.arg(t, ARG_VAL);
+        let th = self.threads.get_mut(t.0).expect("current");
+        th.regs.pr[PR_IPC_FLAGS] = after.to_flags();
+        if matches!(
+            after,
+            AfterSend::Receive | AfterSend::WaitNext | AfterSend::DisconnectThenWait
+        ) {
+            th.regs.pr[PR_RECV_WINDOW] = window;
+        }
+    }
+
+    /// The caller must hold a live, accepted connection in `role`.
+    fn require_conn(&mut self, t: ThreadId, role: IpcRole) -> Result<ConnId, SysOutcome> {
+        if let Some(code) = self.threads.get_mut(t.0).and_then(|x| x.ipc_error.take()) {
+            return Err(Self::fail(code));
+        }
+        let th = self.threads.get(t.0).expect("current");
+        let conn = th.ipc.conn.ok_or(Self::fail(ErrorCode::NotConnected))?;
+        if th.ipc.role != Some(role) {
+            return Err(Self::fail(ErrorCode::NotConnected));
+        }
+        // Consume a pending alert.
+        let alerted = {
+            let c = self
+                .conns
+                .get_mut(conn.0)
+                .ok_or(Self::fail(ErrorCode::NotConnected))?;
+            let flag = match role {
+                IpcRole::Client => &mut c.alert_client,
+                IpcRole::Server => &mut c.alert_server,
+            };
+            std::mem::take(flag)
+        };
+        if alerted {
+            return Err(Self::fail(ErrorCode::Interrupted));
+        }
+        Ok(conn)
+    }
+
+    /// Common send stage.
+    fn do_send(&mut self, t: ThreadId, role: IpcRole, conn: ConnId) -> SysResult {
+        let dir = match role {
+            IpcRole::Client => Dir::ClientToServer,
+            IpcRole::Server => Dir::ServerToClient,
+        };
+        let (sender_restart, receiver_restart) = match role {
+            IpcRole::Client => (Sys::IpcClientSendMore, Sys::IpcServerReceiveMore),
+            IpcRole::Server => (Sys::IpcServerSendMore, Sys::IpcClientReceiveMore),
+        };
+        self.charge(self.cost.ipc_setup / 2);
+        {
+            let c = self
+                .conns
+                .get_mut(conn.0)
+                .ok_or(Self::fail(ErrorCode::NotConnected))?;
+            c.set_open(dir, true);
+        }
+        // Identify the receiver end.
+        let receiver = {
+            let c = self.conns.get(conn.0).expect("conn");
+            match (role, &c.client) {
+                (IpcRole::Server, ClientEnd::Kernel(_)) => Some(XferEnd::KernelSink(conn)),
+                (IpcRole::Server, ClientEnd::Thread(ct)) => {
+                    let waiting = matches!(
+                        self.threads.get(ct.0).map(|x| x.state),
+                        Some(RunState::Blocked(WaitReason::IpcReceive(c2))) if c2 == conn
+                    );
+                    waiting.then_some(XferEnd::User(*ct))
+                }
+                (IpcRole::Client, _) => {
+                    let st = c.server;
+                    st.and_then(|st| {
+                        let waiting = matches!(
+                            self.threads.get(st.0).map(|x| x.state),
+                            Some(RunState::Blocked(WaitReason::IpcReceive(c2))) if c2 == conn
+                        );
+                        waiting.then_some(XferEnd::User(st))
+                    })
+                }
+            }
+        };
+        let Some(receiver) = receiver else {
+            // No window yet: sleep at the *_send_more restart point.
+            self.set_reg(t, Reg::Eax, sender_restart.num());
+            return Ok(self.block_current(t, WaitReason::IpcSend(conn)));
+        };
+        let out = self.pump(
+            Some(conn),
+            Some(dir),
+            XferEnd::User(t),
+            receiver,
+            t,
+            sender_restart,
+            receiver_restart,
+        );
+        match out {
+            PumpOut::Complete => {
+                // Complete the receiver.
+                match receiver {
+                    XferEnd::User(rt) => self.complete_blocked(rt, ErrorCode::Success),
+                    XferEnd::KernelSink(c) => self.complete_fault(c),
+                    XferEnd::KernelSrc(_) => unreachable!(),
+                }
+                self.after_send_transition(t, conn)
+            }
+            PumpOut::WindowFull => {
+                // Receiver's window filled mid-message: it completes with
+                // Truncated; the sender sleeps awaiting a fresh window.
+                if let XferEnd::User(rt) = receiver {
+                    self.complete_blocked(rt, ErrorCode::Truncated);
+                }
+                self.set_reg(t, Reg::Eax, sender_restart.num());
+                Ok(self.block_current(t, WaitReason::IpcSend(conn)))
+            }
+            PumpOut::BlockedCurrent => Ok(SysOutcome::Block),
+            PumpOut::RestartCurrent => {
+                self.set_reg(t, Reg::Eax, sender_restart.num());
+                Ok(SysOutcome::Chain)
+            }
+            PumpOut::PeerFaulted => {
+                self.set_reg(t, Reg::Eax, sender_restart.num());
+                Ok(self.block_current(t, WaitReason::IpcSend(conn)))
+            }
+            PumpOut::Preempted => Ok(SysOutcome::Preempted),
+            PumpOut::FatalCurrent => Ok(SysOutcome::Kill("fatal IPC fault")),
+            PumpOut::FatalPeer => {
+                self.disconnect(conn, ErrorCode::PeerDisconnected);
+                Err(Self::fail(ErrorCode::PeerDisconnected))
+            }
+        }
+    }
+
+    /// After a send completes for the *current* thread: apply the
+    /// continuation encoded in `pr1`.
+    fn after_send_transition(&mut self, t: ThreadId, conn: ConnId) -> SysResult {
+        let flags = self.threads.get(t.0).expect("current").regs.pr[PR_IPC_FLAGS];
+        let after = AfterSend::from_flags(flags);
+        let role = self
+            .threads
+            .get(t.0)
+            .and_then(|x| x.ipc.role)
+            .unwrap_or(IpcRole::Client);
+        match after {
+            AfterSend::Complete => Ok(SysOutcome::Done(ErrorCode::Success)),
+            AfterSend::Receive => {
+                let th = self.threads.get_mut(t.0).expect("current");
+                let window = th.regs.pr[PR_RECV_WINDOW];
+                th.regs.set(ARG_COUNT, window);
+                th.regs.pr[PR_IPC_FLAGS] = 0;
+                th.regs.set(
+                    Reg::Eax,
+                    match role {
+                        IpcRole::Client => Sys::IpcClientReceive.num(),
+                        IpcRole::Server => Sys::IpcServerReceive.num(),
+                    },
+                );
+                Ok(SysOutcome::Chain)
+            }
+            AfterSend::WaitNext => {
+                let th = self.threads.get_mut(t.0).expect("current");
+                let window = th.regs.pr[PR_RECV_WINDOW];
+                th.regs.set(ARG_COUNT, window);
+                th.regs.pr[PR_IPC_FLAGS] = 0;
+                th.regs.set(Reg::Eax, Sys::IpcServerReceive.num());
+                Ok(SysOutcome::Chain)
+            }
+            AfterSend::Disconnect => {
+                self.set_reg(t, Reg::Eax, 0);
+                let th = self.threads.get_mut(t.0).expect("current");
+                th.regs.pr[PR_IPC_FLAGS] = 0;
+                self.disconnect_from(conn, ErrorCode::PeerDisconnected, Some(t));
+                Ok(SysOutcome::Done(ErrorCode::Success))
+            }
+            AfterSend::DisconnectThenWait => {
+                self.disconnect_from(conn, ErrorCode::PeerDisconnected, Some(t));
+                let th = self.threads.get_mut(t.0).expect("current");
+                let window = th.regs.pr[PR_RECV_WINDOW];
+                th.regs.set(ARG_COUNT, window);
+                th.regs.pr[PR_IPC_FLAGS] = 0;
+                th.regs.set(Reg::Eax, Sys::IpcServerWaitReceive.num());
+                Ok(SysOutcome::Chain)
+            }
+        }
+    }
+
+    /// After a blocked sender's message is completed by the receiver:
+    /// apply the sender's continuation without running it ("continuation
+    /// recognition" on behalf of user code).
+    fn blocked_sender_transition(&mut self, sender: ThreadId, conn: ConnId) {
+        let flags = self
+            .threads
+            .get(sender.0)
+            .map(|x| x.regs.pr[PR_IPC_FLAGS])
+            .unwrap_or(0);
+        let after = AfterSend::from_flags(flags);
+        let role = self
+            .threads
+            .get(sender.0)
+            .and_then(|x| x.ipc.role)
+            .unwrap_or(IpcRole::Client);
+        match after {
+            AfterSend::Complete => self.complete_blocked(sender, ErrorCode::Success),
+            AfterSend::Receive => {
+                // Transition Blocked(IpcSend) → Blocked(IpcReceive): the
+                // sender is now awaiting the reply; its registers fully
+                // describe that wait.
+                let th = self.threads.get_mut(sender.0).expect("sender");
+                let window = th.regs.pr[PR_RECV_WINDOW];
+                th.regs.set(ARG_COUNT, window);
+                th.regs.pr[PR_IPC_FLAGS] = 0;
+                th.regs.set(
+                    Reg::Eax,
+                    match role {
+                        IpcRole::Client => Sys::IpcClientReceiveMore.num(),
+                        IpcRole::Server => Sys::IpcServerReceiveMore.num(),
+                    },
+                );
+                th.state = RunState::Blocked(WaitReason::IpcReceive(conn));
+                th.inflight = Sys::from_u32(th.regs.get(Reg::Eax));
+            }
+            AfterSend::WaitNext => {
+                let th = self.threads.get_mut(sender.0).expect("sender");
+                let window = th.regs.pr[PR_RECV_WINDOW];
+                th.regs.set(ARG_COUNT, window);
+                th.regs.pr[PR_IPC_FLAGS] = 0;
+                th.regs.set(Reg::Eax, Sys::IpcServerReceiveMore.num());
+                th.state = RunState::Blocked(WaitReason::IpcReceive(conn));
+                th.inflight = Sys::from_u32(th.regs.get(Reg::Eax));
+            }
+            AfterSend::Disconnect => {
+                self.complete_blocked(sender, ErrorCode::Success);
+                self.disconnect_from(conn, ErrorCode::PeerDisconnected, Some(sender));
+            }
+            AfterSend::DisconnectThenWait => {
+                // Wake the server to go wait for its next request.
+                let th = self.threads.get_mut(sender.0).expect("sender");
+                let window = th.regs.pr[PR_RECV_WINDOW];
+                th.regs.set(ARG_COUNT, window);
+                th.regs.pr[PR_IPC_FLAGS] = 0;
+                th.regs.set(Reg::Eax, Sys::IpcServerWaitReceive.num());
+                th.inflight = Sys::from_u32(th.regs.get(Reg::Eax));
+                self.unblock(sender);
+                self.disconnect_from(conn, ErrorCode::PeerDisconnected, Some(sender));
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Receive-family entrypoints.
+    // ------------------------------------------------------------------
+
+    /// `ipc_{client,server}_receive[_more]` and `ipc_client_ack_receive`.
+    pub(crate) fn sys_ipc_receive(&mut self, t: ThreadId, role: IpcRole, _more: bool) -> SysResult {
+        let conn = self.require_conn(t, role)?;
+        self.do_receive(t, role, conn)
+    }
+
+    /// Common receive stage.
+    fn do_receive(&mut self, t: ThreadId, role: IpcRole, conn: ConnId) -> SysResult {
+        let dir = match role {
+            IpcRole::Client => Dir::ServerToClient,
+            IpcRole::Server => Dir::ClientToServer,
+        };
+        let (sender_restart, receiver_restart) = match role {
+            IpcRole::Client => (Sys::IpcServerSendMore, Sys::IpcClientReceiveMore),
+            IpcRole::Server => (Sys::IpcClientSendMore, Sys::IpcServerReceiveMore),
+        };
+        self.charge(self.cost.ipc_setup / 2);
+        // Identify a ready sender.
+        let sender = {
+            let c = self
+                .conns
+                .get(conn.0)
+                .ok_or(Self::fail(ErrorCode::NotConnected))?;
+            match (role, &c.client) {
+                (IpcRole::Server, ClientEnd::Kernel(km)) => {
+                    (km.pos < km.bytes.len() || c.open(dir)).then_some(XferEnd::KernelSrc(conn))
+                }
+                (IpcRole::Server, ClientEnd::Thread(ct)) => {
+                    let ready = matches!(
+                        self.threads.get(ct.0).map(|x| x.state),
+                        Some(RunState::Blocked(WaitReason::IpcSend(c2))) if c2 == conn
+                    );
+                    (ready && c.open(dir)).then_some(XferEnd::User(*ct))
+                }
+                (IpcRole::Client, _) => c.server.and_then(|st| {
+                    let ready = matches!(
+                        self.threads.get(st.0).map(|x| x.state),
+                        Some(RunState::Blocked(WaitReason::IpcSend(c2))) if c2 == conn
+                    );
+                    (ready && c.open(dir)).then_some(XferEnd::User(st))
+                }),
+            }
+        };
+        let Some(sender) = sender else {
+            self.set_reg(t, Reg::Eax, receiver_restart.num());
+            return Ok(self.block_current(t, WaitReason::IpcReceive(conn)));
+        };
+        let out = self.pump(
+            Some(conn),
+            Some(dir),
+            sender,
+            XferEnd::User(t),
+            t,
+            sender_restart,
+            receiver_restart,
+        );
+        match out {
+            PumpOut::Complete => {
+                match sender {
+                    XferEnd::User(st) => self.blocked_sender_transition(st, conn),
+                    XferEnd::KernelSrc(_) => {}
+                    XferEnd::KernelSink(_) => unreachable!(),
+                }
+                Ok(SysOutcome::Done(ErrorCode::Success))
+            }
+            PumpOut::WindowFull => Ok(SysOutcome::Done(ErrorCode::Truncated)),
+            PumpOut::BlockedCurrent => Ok(SysOutcome::Block),
+            PumpOut::RestartCurrent => {
+                self.set_reg(t, Reg::Eax, receiver_restart.num());
+                Ok(SysOutcome::Chain)
+            }
+            PumpOut::PeerFaulted => {
+                self.set_reg(t, Reg::Eax, receiver_restart.num());
+                Ok(self.block_current(t, WaitReason::IpcReceive(conn)))
+            }
+            PumpOut::Preempted => Ok(SysOutcome::Preempted),
+            PumpOut::FatalCurrent => Ok(SysOutcome::Kill("fatal IPC fault")),
+            PumpOut::FatalPeer => {
+                self.disconnect(conn, ErrorCode::PeerDisconnected);
+                Err(Self::fail(ErrorCode::PeerDisconnected))
+            }
+        }
+    }
+
+    /// `ipc_server_wait_receive(ebx=port|pset, edi=buf, ecx=window)`.
+    pub(crate) fn sys_ipc_server_wait_receive(&mut self, t: ThreadId) -> SysResult {
+        // Already connected (e.g. chained from a send): just receive.
+        if self.threads.get(t.0).and_then(|x| x.ipc.conn).is_some() {
+            let conn = self.require_conn(t, IpcRole::Server)?;
+            return self.do_receive(t, IpcRole::Server, conn);
+        }
+        let h = self.arg(t, ARG_HANDLE);
+        let id = self.lookup_handle(t, h)?;
+        self.klock_section();
+        self.charge(self.cost.object_op);
+        self.progress();
+        match self.objects.get(id).map(|o| o.ty()) {
+            Some(ObjType::Port) => {
+                if self.try_accept_from_port(t, id)? {
+                    let conn = self.threads.get(t.0).and_then(|x| x.ipc.conn).unwrap();
+                    return self.do_receive(t, IpcRole::Server, conn);
+                }
+                let Some(ObjData::Port { server_q, .. }) =
+                    self.objects.get_mut(id).map(|o| &mut o.data)
+                else {
+                    return Err(Self::fail(ErrorCode::InvalidHandle));
+                };
+                server_q.push_back(t);
+                Ok(self.block_current(t, WaitReason::PortWait(id)))
+            }
+            Some(ObjType::Portset) => {
+                let members: Vec<ObjId> = match self.objects.get(id).map(|o| &o.data) {
+                    Some(ObjData::Pset { members, .. }) => members.clone(),
+                    _ => return Err(Self::fail(ErrorCode::InvalidHandle)),
+                };
+                for m in members {
+                    if self.try_accept_from_port(t, m)? {
+                        let conn = self.threads.get(t.0).and_then(|x| x.ipc.conn).unwrap();
+                        return self.do_receive(t, IpcRole::Server, conn);
+                    }
+                }
+                let Some(ObjData::Pset { server_q, .. }) =
+                    self.objects.get_mut(id).map(|o| &mut o.data)
+                else {
+                    return Err(Self::fail(ErrorCode::InvalidHandle));
+                };
+                server_q.push_back(t);
+                Ok(self.block_current(t, WaitReason::PsetWait(id)))
+            }
+            _ => Err(Self::fail(ErrorCode::WrongType)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Disconnect and alert.
+    // ------------------------------------------------------------------
+
+    /// `ipc_{client,server}_disconnect()`.
+    pub(crate) fn sys_ipc_disconnect(&mut self, t: ThreadId, role: IpcRole) -> SysResult {
+        let th = self.threads.get(t.0).expect("current");
+        let Some(conn) = th.ipc.conn else {
+            return Ok(SysOutcome::Done(ErrorCode::NotConnected));
+        };
+        if th.ipc.role != Some(role) {
+            return Ok(SysOutcome::Done(ErrorCode::NotConnected));
+        }
+        self.charge(self.cost.object_op);
+        self.progress();
+        self.disconnect_from(conn, ErrorCode::PeerDisconnected, Some(t));
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    /// `ipc_{client,server}_alert()`: interrupt the peer's pending IPC
+    /// operation promptly (without destroying the connection).
+    pub(crate) fn sys_ipc_alert(&mut self, t: ThreadId, role: IpcRole) -> SysResult {
+        let th = self.threads.get(t.0).expect("current");
+        let Some(conn) = th.ipc.conn else {
+            return Ok(SysOutcome::Done(ErrorCode::NotConnected));
+        };
+        if th.ipc.role != Some(role) {
+            return Ok(SysOutcome::Done(ErrorCode::NotConnected));
+        }
+        self.charge(self.cost.object_op);
+        self.progress();
+        let peer = {
+            let c = self
+                .conns
+                .get(conn.0)
+                .ok_or(Self::fail(ErrorCode::NotConnected))?;
+            match role {
+                IpcRole::Client => c.server,
+                IpcRole::Server => c.client_thread(),
+            }
+        };
+        let Some(peer) = peer else {
+            return Ok(SysOutcome::Done(ErrorCode::Success));
+        };
+        let blocked_on_conn = matches!(
+            self.threads.get(peer.0).map(|x| x.state),
+            Some(RunState::Blocked(WaitReason::IpcSend(c2) | WaitReason::IpcReceive(c2))) if c2 == conn
+        );
+        if blocked_on_conn {
+            self.complete_blocked(peer, ErrorCode::Interrupted);
+        } else if let Some(c) = self.conns.get_mut(conn.0) {
+            match role {
+                IpcRole::Client => c.alert_server = true,
+                IpcRole::Server => c.alert_client = true,
+            }
+        }
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    // ------------------------------------------------------------------
+    // One-way messages (connectionless rendezvous on a port).
+    // ------------------------------------------------------------------
+
+    /// `ipc_send_oneway(ebx=port_ref, esi=buf, ecx=count)`.
+    pub(crate) fn sys_ipc_send_oneway(&mut self, t: ThreadId) -> SysResult {
+        let h = self.arg(t, ARG_HANDLE);
+        let port = self.port_handle(t, h)?;
+        self.charge(self.cost.ipc_setup / 2);
+        self.progress();
+        let receiver = match self.objects.get_mut(port).map(|o| &mut o.data) {
+            Some(ObjData::Port {
+                oneway_receivers, ..
+            }) => oneway_receivers.pop_front(),
+            _ => return Err(Self::fail(ErrorCode::InvalidHandle)),
+        };
+        let Some(rt) = receiver else {
+            let Some(ObjData::Port { oneway_senders, .. }) =
+                self.objects.get_mut(port).map(|o| &mut o.data)
+            else {
+                return Err(Self::fail(ErrorCode::InvalidHandle));
+            };
+            oneway_senders.push_back(t);
+            self.set_reg(t, Reg::Eax, Sys::IpcSendOnewayMore.num());
+            return Ok(self.block_current(t, WaitReason::OnewaySend(port)));
+        };
+        let out = self.pump(
+            None,
+            None,
+            XferEnd::User(t),
+            XferEnd::User(rt),
+            t,
+            Sys::IpcSendOnewayMore,
+            Sys::IpcWaitReceiveOneway,
+        );
+        match out {
+            PumpOut::Complete => {
+                self.stats.ipc_messages += 1;
+                self.complete_blocked(rt, ErrorCode::Success);
+                Ok(SysOutcome::Done(ErrorCode::Success))
+            }
+            PumpOut::WindowFull => {
+                // One-way: excess bytes are dropped; both sides learn it.
+                self.complete_blocked(rt, ErrorCode::Truncated);
+                Ok(SysOutcome::Done(ErrorCode::Truncated))
+            }
+            PumpOut::BlockedCurrent => {
+                // Re-queue the receiver: the transfer restarts when the
+                // sender's fault is serviced.
+                if let Some(ObjData::Port {
+                    oneway_receivers, ..
+                }) = self.objects.get_mut(port).map(|o| &mut o.data)
+                {
+                    oneway_receivers.push_front(rt);
+                }
+                Ok(SysOutcome::Block)
+            }
+            PumpOut::RestartCurrent => {
+                if let Some(ObjData::Port {
+                    oneway_receivers, ..
+                }) = self.objects.get_mut(port).map(|o| &mut o.data)
+                {
+                    oneway_receivers.push_front(rt);
+                }
+                self.set_reg(t, Reg::Eax, Sys::IpcSendOnewayMore.num());
+                Ok(SysOutcome::Chain)
+            }
+            PumpOut::PeerFaulted => {
+                let Some(ObjData::Port { oneway_senders, .. }) =
+                    self.objects.get_mut(port).map(|o| &mut o.data)
+                else {
+                    return Err(Self::fail(ErrorCode::InvalidHandle));
+                };
+                oneway_senders.push_back(t);
+                self.set_reg(t, Reg::Eax, Sys::IpcSendOnewayMore.num());
+                Ok(self.block_current(t, WaitReason::OnewaySend(port)))
+            }
+            PumpOut::Preempted => {
+                if let Some(ObjData::Port {
+                    oneway_receivers, ..
+                }) = self.objects.get_mut(port).map(|o| &mut o.data)
+                {
+                    oneway_receivers.push_front(rt);
+                }
+                Ok(SysOutcome::Preempted)
+            }
+            PumpOut::FatalCurrent => Ok(SysOutcome::Kill("fatal IPC fault")),
+            PumpOut::FatalPeer => Err(Self::fail(ErrorCode::PeerDisconnected)),
+        }
+    }
+
+    /// `ipc_[wait_]receive_oneway(ebx=port, edi=buf, ecx=window)`.
+    pub(crate) fn sys_ipc_receive_oneway(&mut self, t: ThreadId, wait: bool) -> SysResult {
+        let h = self.arg(t, ARG_HANDLE);
+        let port = self.port_handle(t, h)?;
+        self.charge(self.cost.ipc_setup / 2);
+        self.progress();
+        let sender = match self.objects.get_mut(port).map(|o| &mut o.data) {
+            Some(ObjData::Port { oneway_senders, .. }) => oneway_senders.pop_front(),
+            _ => return Err(Self::fail(ErrorCode::InvalidHandle)),
+        };
+        let Some(st) = sender else {
+            if !wait {
+                return Ok(SysOutcome::Done(ErrorCode::WouldBlock));
+            }
+            let Some(ObjData::Port {
+                oneway_receivers, ..
+            }) = self.objects.get_mut(port).map(|o| &mut o.data)
+            else {
+                return Err(Self::fail(ErrorCode::InvalidHandle));
+            };
+            oneway_receivers.push_back(t);
+            self.set_reg(t, Reg::Eax, Sys::IpcWaitReceiveOneway.num());
+            return Ok(self.block_current(t, WaitReason::OnewayReceive(port)));
+        };
+        let out = self.pump(
+            None,
+            None,
+            XferEnd::User(st),
+            XferEnd::User(t),
+            t,
+            Sys::IpcSendOnewayMore,
+            Sys::IpcWaitReceiveOneway,
+        );
+        match out {
+            PumpOut::Complete => {
+                self.stats.ipc_messages += 1;
+                self.complete_blocked(st, ErrorCode::Success);
+                Ok(SysOutcome::Done(ErrorCode::Success))
+            }
+            PumpOut::WindowFull => {
+                self.complete_blocked(st, ErrorCode::Truncated);
+                Ok(SysOutcome::Done(ErrorCode::Truncated))
+            }
+            PumpOut::BlockedCurrent => {
+                if let Some(ObjData::Port { oneway_senders, .. }) =
+                    self.objects.get_mut(port).map(|o| &mut o.data)
+                {
+                    oneway_senders.push_front(st);
+                }
+                Ok(SysOutcome::Block)
+            }
+            PumpOut::RestartCurrent => {
+                if let Some(ObjData::Port { oneway_senders, .. }) =
+                    self.objects.get_mut(port).map(|o| &mut o.data)
+                {
+                    oneway_senders.push_front(st);
+                }
+                self.set_reg(t, Reg::Eax, Sys::IpcWaitReceiveOneway.num());
+                Ok(SysOutcome::Chain)
+            }
+            PumpOut::PeerFaulted => {
+                let Some(ObjData::Port {
+                    oneway_receivers, ..
+                }) = self.objects.get_mut(port).map(|o| &mut o.data)
+                else {
+                    return Err(Self::fail(ErrorCode::InvalidHandle));
+                };
+                oneway_receivers.push_back(t);
+                self.set_reg(t, Reg::Eax, Sys::IpcWaitReceiveOneway.num());
+                Ok(self.block_current(t, WaitReason::OnewayReceive(port)))
+            }
+            PumpOut::Preempted => {
+                if let Some(ObjData::Port { oneway_senders, .. }) =
+                    self.objects.get_mut(port).map(|o| &mut o.data)
+                {
+                    oneway_senders.push_front(st);
+                }
+                Ok(SysOutcome::Preempted)
+            }
+            PumpOut::FatalCurrent => Ok(SysOutcome::Kill("fatal IPC fault")),
+            PumpOut::FatalPeer => Err(Self::fail(ErrorCode::PeerDisconnected)),
+        }
+    }
+}

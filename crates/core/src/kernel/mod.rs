@@ -1,0 +1,981 @@
+//! The Fluke kernel proper.
+//!
+//! One kernel source serves every Table 4 configuration: the execution
+//! model and preemption style are consulted only in the entry/exit,
+//! context-switch, and preemption-point code — the reproduction of the
+//! paper's claim that the two models differ by ~200 instructions of
+//! entry/exit code plus ~50 lines of context-switch code.
+//!
+//! Submodules:
+//!
+//! * [`mod@self`] — the kernel structure, boot/loader interface, scheduler
+//!   primitives, and thread lifecycle;
+//! * `mem` — address translation, the mapping-hierarchy walk, soft/hard
+//!   fault resolution, and kernel access to user memory;
+//! * `run` — the deterministic run loop, trap handling, and the system
+//!   call entry/exit paths;
+//! * `dispatch` — all non-IPC system call handlers;
+//! * `ipc` — connections, the data-transfer pump with its preemption
+//!   points, and the IPC entrypoints.
+
+mod dispatch;
+mod ipc;
+pub(crate) mod mem;
+mod run;
+
+use std::sync::Arc;
+
+use fluke_api::state::ThreadStateFrame;
+use fluke_api::{ErrorCode, Sys};
+use fluke_arch::cost::{CostModel, Cycles};
+use fluke_arch::{Cpu, Program, ProgramId, UserRegs};
+
+use crate::config::{Config, ExecModel};
+use crate::conn::Connection;
+use crate::events::{EventKind, EventQueue};
+use crate::ids::{Arena, SpaceId, ThreadId};
+use crate::object::ObjectTable;
+use crate::phys::PhysMem;
+use crate::sched::ReadyQueue;
+use crate::space::Space;
+use crate::stats::Stats;
+use crate::thread::{NativeBody, RunState, Thread, WaitReason};
+
+pub use run::RunExit;
+
+/// Outcome of one system-call handler invocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SysOutcome {
+    /// Completed: write the code to `eax`, advance `eip`.
+    Done(ErrorCode),
+    /// The handler rewrote the registers to a different entrypoint
+    /// (`eax` updated); dispatch it immediately without returning to user
+    /// mode (e.g. the send stage of `send_over_receive` finishing).
+    Chain,
+    /// The thread blocked; its registers were first brought to a clean
+    /// restart point. The handler already enqueued it and cleared the CPU.
+    Block,
+    /// A preemption point was taken; the thread is ready (not blocked),
+    /// registers at a clean restart point.
+    Preempted,
+    /// Fatal: destroy the thread.
+    Kill(&'static str),
+}
+
+/// Shorthand for handler bodies: `?` propagates faults/blocks as outcomes.
+pub(crate) type SysResult = Result<SysOutcome, SysOutcome>;
+
+/// One simulated processor.
+#[derive(Debug)]
+pub(crate) struct CpuSlot {
+    /// Architectural CPU state (the clock).
+    pub cpu: Cpu,
+    /// Currently running thread.
+    pub current: Option<ThreadId>,
+    /// A reschedule is pending (latched while in the kernel under NP).
+    pub resched: bool,
+    /// End of the current timeslice.
+    pub slice_end: Cycles,
+    /// Space whose page tables are loaded (for address-space switch cost).
+    pub last_space: Option<SpaceId>,
+    /// Parked: idle with nothing to run; excluded from scheduling until a
+    /// wake kicks it (event-driven idling keeps the interleaving
+    /// deterministic).
+    pub parked: bool,
+}
+
+/// The Fluke kernel: all simulated machine and kernel state for one run.
+pub struct Kernel {
+    /// Active configuration (Table 4 row).
+    pub cfg: Config,
+    /// Cycle cost model.
+    pub cost: CostModel,
+    /// The simulated processors (`cfg.num_cpus` of them).
+    pub(crate) cpus: Vec<CpuSlot>,
+    /// Index of the processor currently acting (always the one with the
+    /// smallest clock among unparked CPUs — actions occur in global time
+    /// order).
+    pub(crate) active: usize,
+    /// Big kernel lock: the simulated time until which kernel code on some
+    /// processor keeps the kernel busy (multiprocessor configurations
+    /// serialize kernel entry on it).
+    pub(crate) kernel_free_at: Cycles,
+    pub(crate) threads: Arena<Thread>,
+    pub(crate) spaces: Arena<Space>,
+    pub(crate) objects: ObjectTable,
+    pub(crate) conns: Arena<Connection>,
+    pub(crate) programs: Vec<Arc<Program>>,
+    pub(crate) phys: PhysMem,
+    pub(crate) ready: ReadyQueue,
+    pub(crate) events: EventQueue,
+    /// Run statistics (every table is derived from these).
+    pub stats: Stats,
+    /// Fault record receiving rollback attribution this dispatch.
+    pub(crate) dispatch_rollback: Option<usize>,
+    /// True while re-executing a restarted syscall's preamble.
+    pub(crate) rollback_active: bool,
+    /// True while charges are suppressed because the process model retained
+    /// the thread's kernel stack across an in-kernel preemption.
+    pub(crate) dispatch_suppress: bool,
+}
+
+impl Kernel {
+    /// Boot a kernel with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (e.g. interrupt model with
+    /// full preemption) — a build error in the original system.
+    pub fn new(cfg: Config) -> Self {
+        cfg.validate().expect("invalid kernel configuration");
+        let timeslice = cfg.timeslice;
+        let cpus = (0..cfg.num_cpus)
+            .map(|id| CpuSlot {
+                cpu: Cpu::new(id),
+                current: None,
+                resched: false,
+                slice_end: timeslice,
+                last_space: None,
+                parked: false,
+            })
+            .collect();
+        Kernel {
+            cfg,
+            cost: CostModel::pentium_pro_200(),
+            cpus,
+            active: 0,
+            kernel_free_at: 0,
+            threads: Arena::new(),
+            spaces: Arena::new(),
+            objects: ObjectTable::new(),
+            conns: Arena::new(),
+            programs: Vec::new(),
+            phys: PhysMem::new(),
+            ready: ReadyQueue::new(),
+            events: EventQueue::new(),
+            stats: Stats::default(),
+            dispatch_rollback: None,
+            rollback_active: false,
+            dispatch_suppress: false,
+        }
+    }
+
+    /// Current simulated time in cycles.
+    pub fn now(&self) -> Cycles {
+        self.cur_cpu().cpu.now
+    }
+
+    /// True if the kernel runs the interrupt execution model.
+    #[inline]
+    pub fn is_interrupt_model(&self) -> bool {
+        self.cfg.model.is_interrupt()
+    }
+
+    /// The acting processor.
+    #[inline]
+    pub(crate) fn cur_cpu(&self) -> &CpuSlot {
+        &self.cpus[self.active]
+    }
+
+    /// The acting processor, mutably.
+    #[inline]
+    pub(crate) fn cur_cpu_mut(&mut self) -> &mut CpuSlot {
+        &mut self.cpus[self.active]
+    }
+
+    /// Unpark one idle processor so it can pick up newly runnable work,
+    /// advancing its clock to the waking instant.
+    pub(crate) fn kick_parked(&mut self, at: Cycles) {
+        if let Some(c) = self.cpus.iter_mut().find(|c| c.parked) {
+            let d = at.saturating_sub(c.cpu.now);
+            self.stats.idle_cycles += d;
+            c.cpu.now = c.cpu.now.max(at);
+            c.parked = false;
+        }
+    }
+
+    /// If `t` is running on some processor, clear that processor's current
+    /// slot (used by destruction and state installation, which may target
+    /// a thread on another CPU).
+    pub(crate) fn clear_running_cpu(&mut self, t: ThreadId) {
+        // Scan the slots directly: callers may already have overwritten
+        // the thread's run state.
+        for slot in &mut self.cpus {
+            if slot.current == Some(t) {
+                slot.current = None;
+            }
+        }
+    }
+
+    /// Acquire the big kernel lock (multiprocessor configurations): spin
+    /// until no other processor is executing kernel code. Uniprocessor
+    /// kernels need no locking (Table 4), so this is free there.
+    pub(crate) fn big_lock(&mut self) {
+        if self.cfg.num_cpus > 1 {
+            let now = self.cur_cpu().cpu.now;
+            if self.kernel_free_at > now {
+                let wait = self.kernel_free_at - now;
+                self.stats.klock_cycles += wait;
+                self.stats.kernel_cycles += wait;
+                self.cur_cpu_mut().cpu.now += wait;
+            }
+        }
+    }
+
+    /// Release the big kernel lock.
+    pub(crate) fn big_unlock(&mut self) {
+        if self.cfg.num_cpus > 1 {
+            let now = self.cur_cpu().cpu.now;
+            self.kernel_free_at = self.kernel_free_at.max(now);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Loader / boot interface.
+    //
+    // These stand in for the boot loader and kernel debugger of the real
+    // system: they set up initial spaces, memory, programs and threads, and
+    // let tests inspect results. They charge no simulated time.
+    // ------------------------------------------------------------------
+
+    /// Register a program image, returning its stable id.
+    pub fn register_program(&mut self, p: Program) -> ProgramId {
+        self.programs.push(Arc::new(p));
+        ProgramId((self.programs.len() - 1) as u64)
+    }
+
+    /// Look up a registered program.
+    pub fn program(&self, id: ProgramId) -> Option<Arc<Program>> {
+        self.programs.get(id.0 as usize).cloned()
+    }
+
+    /// Create an empty address space (boot-time).
+    pub fn create_space(&mut self) -> SpaceId {
+        let id = SpaceId(self.spaces.insert(Space::new(SpaceId(0))));
+        self.spaces.get_mut(id.0).unwrap().id = id;
+        id
+    }
+
+    /// Create a *kernel-alias* space: a space whose threads run in user
+    /// mode but with the kernel's view of memory — the paper's technique
+    /// for running process-model legacy code (drivers, file systems) under
+    /// an interrupt-model kernel (§5.6). Threads in such a space may use
+    /// the privileged `sys_stats` selectors ("exported facilities").
+    pub fn create_kernel_alias_space(&mut self) -> SpaceId {
+        let id = self.create_space();
+        self.spaces.get_mut(id.0).unwrap().kernel_alias = true;
+        id
+    }
+
+    /// Whether a space is a kernel alias (privileged pseudo-kernel space).
+    pub fn is_kernel_alias(&self, s: SpaceId) -> bool {
+        self.spaces
+            .get(s.0)
+            .map(|x| x.kernel_alias)
+            .unwrap_or(false)
+    }
+
+    /// Allocate fresh zeroed frames and map them into `space` at
+    /// `[base, base+len)` (boot-time physical memory grant).
+    pub fn grant_pages(&mut self, space: SpaceId, base: u32, len: u32, writable: bool) {
+        let start = base / fluke_api::abi::PAGE_SIZE;
+        let pages = fluke_api::abi::pages_spanning(len.max(1));
+        for p in 0..pages {
+            let frame = self.phys.alloc();
+            let s = self.spaces.get_mut(space.0).expect("space exists");
+            s.pages
+                .insert(start + p, crate::space::Pte { frame, writable });
+        }
+    }
+
+    /// Debugger translation: direct PTE, or a free hierarchy walk with
+    /// PTE installation (the debugger sees what a resolved access would).
+    fn debug_translate(&mut self, space: SpaceId, addr: u32, write: bool) -> Option<(u32, u32)> {
+        if let Some(hit) = self
+            .spaces
+            .get(space.0)
+            .and_then(|s| s.translate(addr, write))
+        {
+            return Some(hit);
+        }
+        match self.walk_hierarchy(space, addr, write) {
+            crate::kernel::mem::Walk::Soft {
+                frame, writable, ..
+            } => {
+                self.spaces
+                    .get_mut(space.0)?
+                    .map_page(addr, frame, writable);
+                Some((frame, addr % fluke_api::abi::PAGE_SIZE))
+            }
+            _ => None,
+        }
+    }
+
+    /// Debugger write to a space's memory (resolving derivable pages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any byte is unmapped (a test/setup error).
+    pub fn write_mem(&mut self, space: SpaceId, addr: u32, bytes: &[u8]) {
+        for (i, b) in bytes.iter().enumerate() {
+            let a = addr + i as u32;
+            let (f, off) = self
+                .debug_translate(space, a, true)
+                .unwrap_or_else(|| panic!("write_mem: {a:#x} unmapped"));
+            self.phys.write_u8(f, off, *b);
+        }
+    }
+
+    /// Debugger read from a space's memory (resolving derivable pages).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any byte is unmapped (a test/setup error).
+    pub fn read_mem(&mut self, space: SpaceId, addr: u32, len: u32) -> Vec<u8> {
+        (0..len)
+            .map(|i| {
+                let a = addr + i;
+                let (f, off) = self
+                    .debug_translate(space, a, false)
+                    .unwrap_or_else(|| panic!("read_mem: {a:#x} unmapped"));
+                self.phys.read_u8(f, off)
+            })
+            .collect()
+    }
+
+    /// Debugger read of a little-endian u32.
+    pub fn read_mem_u32(&mut self, space: SpaceId, addr: u32) -> u32 {
+        let b = self.read_mem(space, addr, 4);
+        u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+    }
+
+    /// Create a user thread (boot-time), runnable immediately.
+    pub fn spawn_thread(
+        &mut self,
+        space: SpaceId,
+        program: ProgramId,
+        regs: UserRegs,
+        priority: u32,
+    ) -> ThreadId {
+        let id = ThreadId(self.threads.insert(Thread::new_user(ThreadId(0))));
+        let text = self.program(program).expect("program registered");
+        let t = self.threads.get_mut(id.0).unwrap();
+        t.id = id;
+        t.space = Some(space);
+        t.program = Some(program);
+        t.text = Some(text);
+        t.regs = regs;
+        t.priority = priority;
+        t.state = RunState::Ready;
+        if let Some(s) = self.spaces.get_mut(space.0) {
+            s.threads.push(id);
+        }
+        self.ready.push(id, priority);
+        self.kick_parked(self.now());
+        self.note_wake_priority(priority);
+        self.stats.threads_created += 1;
+        self.stats.kmem_delta(self.cfg.per_thread_kmem() as i64);
+        id
+    }
+
+    /// Create a native (kernel-internal) thread, initially blocked until
+    /// woken or driven by [`Kernel::start_periodic`].
+    pub fn spawn_native(&mut self, priority: u32, body: Box<dyn NativeBody>) -> ThreadId {
+        let id = ThreadId(
+            self.threads
+                .insert(Thread::new_native(ThreadId(0), priority, body)),
+        );
+        let t = self.threads.get_mut(id.0).unwrap();
+        t.id = id;
+        t.state = RunState::Blocked(WaitReason::Sleep);
+        self.stats.threads_created += 1;
+        self.stats.kmem_delta(self.cfg.per_thread_kmem() as i64);
+        id
+    }
+
+    /// Arm a periodic wake for `thread` starting at `first`, every
+    /// `interval` cycles (the Table 6 probe schedule).
+    pub fn start_periodic(&mut self, thread: ThreadId, first: Cycles, interval: Cycles) {
+        self.events
+            .push(first, EventKind::Periodic { thread, interval });
+    }
+
+    /// Loader: create a kernel object of a simple type (Mutex, Cond, Port,
+    /// Portset, Reference) at `vaddr` in `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unmapped addresses, occupied slots, or non-simple types —
+    /// all boot-wiring errors.
+    pub fn loader_create(
+        &mut self,
+        space: SpaceId,
+        vaddr: u32,
+        ty: fluke_api::ObjType,
+    ) -> crate::ids::ObjId {
+        let data = crate::object::ObjData::new_simple(ty)
+            .unwrap_or_else(|| panic!("loader_create: {ty} is not a simple type"));
+        self.loader_insert(space, vaddr, data)
+    }
+
+    /// Loader: create a Region exporting `[base, base+size)` of `owner`,
+    /// optionally kept by `keeper` (whose fault messages will carry
+    /// `vaddr` as the region token).
+    pub fn loader_region(
+        &mut self,
+        owner: SpaceId,
+        vaddr: u32,
+        base: u32,
+        size: u32,
+        keeper: Option<crate::ids::ObjId>,
+    ) -> crate::ids::ObjId {
+        let data = crate::object::ObjData::Region {
+            owner,
+            base,
+            size,
+            keeper,
+            keeper_token: 0,
+            self_token: vaddr,
+        };
+        let oid = self.loader_insert(owner, vaddr, data);
+        if let Some(s) = self.spaces.get_mut(owner.0) {
+            s.regions.push(oid);
+        }
+        oid
+    }
+
+    /// Loader: like [`Kernel::loader_region`] but the region *object*
+    /// lives at `vaddr` in `home` while exporting memory of `owner` —
+    /// the shape a manager uses to export a child's memory.
+    #[allow(clippy::too_many_arguments)]
+    pub fn loader_region_at(
+        &mut self,
+        home: SpaceId,
+        vaddr: u32,
+        owner: SpaceId,
+        base: u32,
+        size: u32,
+        keeper: Option<crate::ids::ObjId>,
+    ) -> crate::ids::ObjId {
+        let data = crate::object::ObjData::Region {
+            owner,
+            base,
+            size,
+            keeper,
+            keeper_token: 0,
+            self_token: vaddr,
+        };
+        let oid = self.loader_insert(home, vaddr, data);
+        if let Some(s) = self.spaces.get_mut(owner.0) {
+            s.regions.push(oid);
+        }
+        oid
+    }
+
+    /// Loader: create a Mapping importing `region` (at `offset`) into
+    /// `dest` at `[base, base+size)`. The mapping *object* lives at
+    /// `vaddr` in `home` (typically the manager's space — the destination
+    /// space may have no memory of its own yet).
+    #[allow(clippy::too_many_arguments)]
+    pub fn loader_mapping(
+        &mut self,
+        home: SpaceId,
+        vaddr: u32,
+        dest: SpaceId,
+        base: u32,
+        size: u32,
+        region: crate::ids::ObjId,
+        offset: u32,
+        writable: bool,
+    ) -> crate::ids::ObjId {
+        let data = crate::object::ObjData::Mapping {
+            space: dest,
+            base,
+            size,
+            region,
+            offset,
+            region_token: 0,
+            writable,
+        };
+        let oid = self.loader_insert(home, vaddr, data);
+        if let Some(s) = self.spaces.get_mut(dest.0) {
+            s.mappings.push(oid);
+        }
+        oid
+    }
+
+    /// Loader: create a Reference at `vaddr` pointing at `target`.
+    pub fn loader_ref(
+        &mut self,
+        space: SpaceId,
+        vaddr: u32,
+        target: crate::ids::ObjId,
+    ) -> crate::ids::ObjId {
+        let data = crate::object::ObjData::Ref {
+            target: Some(target),
+            target_token: 0,
+        };
+        self.loader_insert(space, vaddr, data)
+    }
+
+    /// Loader: create a Space object at `vaddr` wrapping `sid`.
+    pub fn loader_space_object(
+        &mut self,
+        space: SpaceId,
+        vaddr: u32,
+        sid: SpaceId,
+    ) -> crate::ids::ObjId {
+        let oid = self.loader_insert(space, vaddr, crate::object::ObjData::Space(sid));
+        if let Some(s) = self.spaces.get_mut(sid.0) {
+            s.obj = Some(oid);
+        }
+        oid
+    }
+
+    /// Loader: create a Thread object at `vaddr` wrapping `tid`.
+    pub fn loader_thread_object(
+        &mut self,
+        space: SpaceId,
+        vaddr: u32,
+        tid: ThreadId,
+    ) -> crate::ids::ObjId {
+        let oid = self.loader_insert(space, vaddr, crate::object::ObjData::Thread(tid));
+        if let Some(th) = self.threads.get_mut(tid.0) {
+            th.obj = Some(oid);
+        }
+        oid
+    }
+
+    /// Loader: put `port` into `pset`.
+    pub fn loader_join_pset(&mut self, port: crate::ids::ObjId, pset: crate::ids::ObjId) {
+        if let Some(crate::object::ObjData::Pset { members, .. }) =
+            self.objects.get_mut(pset).map(|o| &mut o.data)
+        {
+            if !members.contains(&port) {
+                members.push(port);
+            }
+        }
+        if let Some(crate::object::ObjData::Port { pset: p, .. }) =
+            self.objects.get_mut(port).map(|o| &mut o.data)
+        {
+            *p = Some(pset);
+        }
+    }
+
+    /// Loader: look up the object at `vaddr` in `space` (debugger view).
+    pub fn object_at(&self, space: SpaceId, vaddr: u32) -> Option<crate::ids::ObjId> {
+        let loc = self.spaces.get(space.0)?.translate(vaddr, false)?;
+        self.objects.at_loc(loc)
+    }
+
+    fn loader_insert(
+        &mut self,
+        space: SpaceId,
+        vaddr: u32,
+        data: crate::object::ObjData,
+    ) -> crate::ids::ObjId {
+        let loc = self
+            .spaces
+            .get(space.0)
+            .and_then(|s| s.translate(vaddr, true))
+            .unwrap_or_else(|| panic!("loader: {vaddr:#x} not mapped writable in {space}"));
+        self.stats.objects_created += 1;
+        self.objects
+            .insert(loc, data)
+            .unwrap_or_else(|| panic!("loader: object already at {vaddr:#x}"))
+    }
+
+    /// One-shot wake of `thread` at time `at`.
+    pub fn wake_at(&mut self, thread: ThreadId, at: Cycles) {
+        self.events.push(at, EventKind::Wake(thread));
+    }
+
+    /// A thread's registers (debugger view).
+    pub fn thread_regs(&self, t: ThreadId) -> &UserRegs {
+        &self.threads.get(t.0).expect("thread exists").regs
+    }
+
+    /// A thread's run state (debugger view).
+    pub fn thread_run_state(&self, t: ThreadId) -> RunState {
+        self.threads.get(t.0).expect("thread exists").state
+    }
+
+    /// A thread's space (debugger view).
+    pub fn thread_space(&self, t: ThreadId) -> Option<SpaceId> {
+        self.threads.get(t.0).and_then(|t| t.space)
+    }
+
+    /// Whether the thread has halted.
+    pub fn thread_halted(&self, t: ThreadId) -> bool {
+        self.threads.get(t.0).map(|t| t.is_halted()).unwrap_or(true)
+    }
+
+    /// A thread's exportable state frame (debugger view; the syscall path
+    /// computes the identical frame).
+    pub fn thread_frame(&self, t: ThreadId) -> ThreadStateFrame {
+        let th = self.threads.get(t.0).expect("thread exists");
+        ThreadStateFrame {
+            regs: th.regs,
+            program: th.program.unwrap_or(ProgramId(u64::MAX)),
+            space_token: 0,
+            priority: th.priority,
+            runnable: if matches!(th.state, RunState::Stopped | RunState::Halted) {
+                0
+            } else {
+                1
+            },
+            ipc_phase: th.ipc.conn.map(|_| 1).unwrap_or(0),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Charging and preemption machinery.
+    // ------------------------------------------------------------------
+
+    /// Charge `c` cycles of kernel work, firing any timer events the charge
+    /// passes over (their wakeups may set the pending-reschedule flag,
+    /// which each preemption configuration consults at its own points).
+    pub(crate) fn charge(&mut self, c: Cycles) {
+        if self.dispatch_suppress {
+            return;
+        }
+        let mut c = c;
+        if self.cfg.preempt == crate::config::Preemption::Full {
+            // Full preemption protects every kernel data structure with
+            // blocking mutexes; the aggregate acquire/release/contention
+            // cost is modeled as a 40% surcharge on kernel work,
+            // calibrated against Table 5's FP column (flukeperf 1.20,
+            // memtest 1.11, gcc 1.05).
+            let extra = c * 2 / 5;
+            self.stats.klock_cycles += extra;
+            c += extra;
+        }
+        self.cur_cpu_mut().cpu.now += c;
+        self.stats.kernel_cycles += c;
+        if self.rollback_active {
+            self.stats.rollback_cycles += c;
+            if let Some(rec) = self.dispatch_rollback {
+                self.stats.fault_records[rec].rollback_cycles += c;
+            }
+        }
+        self.service_due_events();
+    }
+
+    /// Mark the point in a handler where *new* work begins: preamble
+    /// re-execution (rollback) accounting stops here.
+    pub(crate) fn progress(&mut self) {
+        self.rollback_active = false;
+        self.dispatch_rollback = None;
+        self.dispatch_suppress = false;
+    }
+
+    /// Acquire+release cost of a kernel lock section. Only the
+    /// full-preemption configuration needs kernel locking (Table 4); the
+    /// uniprocessor NP/PP kernels run sections with preemption implicitly
+    /// excluded.
+    pub(crate) fn klock_section(&mut self) {
+        if self.cfg.preempt == crate::config::Preemption::Full {
+            let c = self.cost.klock_acquire + self.cost.klock_release;
+            self.stats.klock_cycles += c;
+            self.charge(c);
+        }
+    }
+
+    /// Fire all events due at or before the current time.
+    pub(crate) fn service_due_events(&mut self) {
+        let now = self.cur_cpu_mut().cpu.now;
+        while let Some(ev) = self.events.pop_due(now) {
+            match ev.kind {
+                EventKind::Wake(t) => {
+                    self.wake_from_sleep(t, ev.at);
+                }
+                EventKind::Periodic { thread, interval } => {
+                    let alive = self
+                        .threads
+                        .get(thread.0)
+                        .map(|t| !t.is_halted())
+                        .unwrap_or(false);
+                    if !alive {
+                        continue; // probe gone: do not re-arm
+                    }
+                    let blocked = self
+                        .threads
+                        .get(thread.0)
+                        .map(|t| t.is_blocked())
+                        .unwrap_or(false);
+                    if blocked {
+                        self.wake_from_sleep(thread, ev.at);
+                    } else {
+                        // Still running or queued from the previous period.
+                        self.stats.probe_misses += 1;
+                    }
+                    self.events
+                        .push(ev.at + interval, EventKind::Periodic { thread, interval });
+                }
+                EventKind::TimesliceEnd { .. } => {
+                    // Timeslices are tracked lazily via `slice_end`; any
+                    // queued events of this kind are stale.
+                }
+            }
+        }
+    }
+
+    /// Wake a thread blocked in `Sleep` (or any wait, for timer wakes used
+    /// by `thread_sleep`), recording the wake time for latency accounting.
+    /// A timer wake *completes* a pending `thread_sleep` call (otherwise
+    /// the atomic restart would simply re-enter the sleep).
+    fn wake_from_sleep(&mut self, t: ThreadId, at: Cycles) {
+        let Some(th) = self.threads.get_mut(t.0) else {
+            return;
+        };
+        if !th.is_blocked() {
+            return;
+        }
+        let sleeping_call = matches!(th.state, RunState::Blocked(WaitReason::Sleep))
+            && th.inflight == Some(Sys::ThreadSleep);
+        th.woken_at = at;
+        if sleeping_call {
+            self.complete_blocked(t, ErrorCode::Success);
+            if let Some(th) = self.threads.get_mut(t.0) {
+                th.woken_at = at;
+            }
+            return;
+        }
+        let th = self.threads.get_mut(t.0).expect("checked above");
+        th.state = RunState::Ready;
+        let prio = th.priority;
+        self.ready.push(t, prio);
+        self.note_wake_priority(prio);
+    }
+
+    /// Make an (already unlinked) blocked thread runnable.
+    pub(crate) fn unblock(&mut self, t: ThreadId) {
+        let now = self.cur_cpu_mut().cpu.now;
+        let Some(th) = self.threads.get_mut(t.0) else {
+            return;
+        };
+        debug_assert!(th.is_blocked(), "unblock of non-blocked {t}");
+        th.state = RunState::Ready;
+        th.woken_at = now;
+        let prio = th.priority;
+        self.ready.push(t, prio);
+        self.kick_parked(now);
+        self.note_wake_priority(prio);
+    }
+
+    /// Set the pending-reschedule flag if a newly runnable thread outranks
+    /// the current one.
+    fn note_wake_priority(&mut self, prio: u32) {
+        // Preempt the busy processor running the lowest-priority thread
+        // (uniprocessor: the only one).
+        let mut target: Option<(usize, u32)> = None;
+        for (i, slot) in self.cpus.iter().enumerate() {
+            match slot.current.and_then(|c| self.threads.get(c.0)) {
+                Some(th) if target.map(|(_, p)| th.priority < p).unwrap_or(true) => {
+                    target = Some((i, th.priority));
+                }
+                Some(_) => {}
+                None if !slot.parked => {
+                    // An unparked idle CPU will pick the thread up itself.
+                    return;
+                }
+                None => {}
+            }
+        }
+        if let Some((i, p)) = target {
+            if prio > p {
+                self.cpus[i].resched = true;
+            }
+        } else {
+            self.cur_cpu_mut().resched = true;
+        }
+    }
+
+    /// Block the current thread for `reason`; the caller has already
+    /// brought its registers to a clean restart point and enqueued it on
+    /// the appropriate wait queue.
+    pub(crate) fn block_current(&mut self, t: ThreadId, reason: WaitReason) -> SysOutcome {
+        let th = self.threads.get_mut(t.0).expect("current thread");
+        th.state = RunState::Blocked(reason);
+        th.inflight = Sys::from_u32(th.regs.get(fluke_arch::Reg::Eax));
+        // In both models a blocked thread's continuation is its registers;
+        // the process model's retained stack never carries state across a
+        // block (paper §5.1), so nothing else is saved.
+        th.kstack_retained = false;
+        self.cur_cpu_mut().current = None;
+        SysOutcome::Block
+    }
+
+    /// Take an in-kernel preemption at a clean point: the thread stays
+    /// runnable. Under the process model its kernel stack is retained, so
+    /// the next dispatch skips the re-entry preamble; under the interrupt
+    /// model it restarts from its register continuation.
+    pub(crate) fn preempt_current_in_kernel(&mut self, t: ThreadId) -> SysOutcome {
+        let retain = self.cfg.model == ExecModel::Process;
+        let th = self.threads.get_mut(t.0).expect("current thread");
+        th.state = RunState::Ready;
+        th.inflight = Sys::from_u32(th.regs.get(fluke_arch::Reg::Eax));
+        th.kstack_retained = retain;
+        let prio = th.priority;
+        self.ready.push_front(t, prio);
+        self.cur_cpu_mut().current = None;
+        self.cur_cpu_mut().resched = false;
+        self.stats.kernel_preemptions += 1;
+        SysOutcome::Preempted
+    }
+
+    /// Complete a *blocked* thread's system call in place: write the result
+    /// code, advance past the trap instruction, and wake it. This is the
+    /// user-visible form of "continuation recognition" (paper §2.2): the
+    /// kernel finishes the suspended computation by mutating its explicit
+    /// state without ever switching to it.
+    pub(crate) fn complete_blocked(&mut self, t: ThreadId, code: ErrorCode) {
+        let Some(th) = self.threads.get_mut(t.0) else {
+            return;
+        };
+        th.regs.set(fluke_arch::Reg::Eax, code as u32);
+        th.regs.eip += 1;
+        th.inflight = None;
+        th.open_fault = None;
+        self.unblock(t);
+    }
+
+    /// Unlink a blocked thread from whatever wait bookkeeping holds it.
+    /// Its registers remain a complete continuation, so after unlinking it
+    /// can be woken (restarting the call) or have new state installed.
+    pub(crate) fn unlink_waiter(&mut self, t: ThreadId) {
+        let Some(th) = self.threads.get(t.0) else {
+            return;
+        };
+        let RunState::Blocked(reason) = th.state else {
+            return;
+        };
+        match reason {
+            WaitReason::Mutex(o) => {
+                if let Some(crate::object::ObjData::Mutex { waiters, .. }) =
+                    self.objects.get_mut(o).map(|ob| &mut ob.data)
+                {
+                    waiters.retain(|&w| w != t);
+                }
+            }
+            WaitReason::Cond(o) => {
+                if let Some(crate::object::ObjData::Cond { waiters }) =
+                    self.objects.get_mut(o).map(|ob| &mut ob.data)
+                {
+                    waiters.retain(|&w| w != t);
+                }
+            }
+            WaitReason::PortWait(o) => {
+                if let Some(crate::object::ObjData::Port { server_q, .. }) =
+                    self.objects.get_mut(o).map(|ob| &mut ob.data)
+                {
+                    server_q.retain(|&w| w != t);
+                }
+            }
+            WaitReason::PsetWait(o) => {
+                if let Some(crate::object::ObjData::Pset { server_q, .. }) =
+                    self.objects.get_mut(o).map(|ob| &mut ob.data)
+                {
+                    server_q.retain(|&w| w != t);
+                }
+            }
+            WaitReason::OnewaySend(o) => {
+                if let Some(crate::object::ObjData::Port { oneway_senders, .. }) =
+                    self.objects.get_mut(o).map(|ob| &mut ob.data)
+                {
+                    oneway_senders.retain(|&w| w != t);
+                }
+            }
+            WaitReason::OnewayReceive(o) => {
+                if let Some(crate::object::ObjData::Port {
+                    oneway_receivers, ..
+                }) = self.objects.get_mut(o).map(|ob| &mut ob.data)
+                {
+                    oneway_receivers.retain(|&w| w != t);
+                }
+            }
+            WaitReason::IpcConnect(_)
+            | WaitReason::IpcSend(_)
+            | WaitReason::IpcReceive(_)
+            | WaitReason::PagerReply(_) => {
+                // Connection-linked waits: the connection state is
+                // consistent with a restart; nothing to unlink. (A pending
+                // unaccepted connect stays queued on the port; the restart
+                // finds it again.)
+            }
+            WaitReason::Join(target) => {
+                if let Some(tt) = self.threads.get_mut(target.0) {
+                    tt.joiners.retain(|&w| w != t);
+                }
+            }
+            WaitReason::Sleep | WaitReason::SpaceIdle(_) | WaitReason::Donate(_) => {}
+        }
+    }
+
+    /// Halt a thread: wake joiners and space/donation waiters, tear down
+    /// its connection, release its kernel memory.
+    pub(crate) fn halt_thread(&mut self, t: ThreadId) {
+        let Some(th) = self.threads.get_mut(t.0) else {
+            return;
+        };
+        if th.is_halted() {
+            return;
+        }
+        if th.is_blocked() {
+            self.unlink_waiter(t);
+        }
+        let th = self.threads.get_mut(t.0).unwrap();
+        if th.is_ready() {
+            self.ready.remove(t);
+        }
+        let th = self.threads.get_mut(t.0).unwrap();
+        th.state = RunState::Halted;
+        let joiners = std::mem::take(&mut th.joiners);
+        let conn = th.ipc.conn.take();
+        th.ipc.role = None;
+        let space = th.space;
+        self.clear_running_cpu(t);
+        self.stats.kmem_delta(-(self.cfg.per_thread_kmem() as i64));
+        for j in joiners {
+            self.complete_blocked(j, ErrorCode::Success);
+        }
+        if let Some(c) = conn {
+            self.disconnect(c, ErrorCode::PeerDisconnected);
+        }
+        // Wake `space_wait_threads` waiters if this was the space's last
+        // live thread, and `sched_donate` donors waiting on this thread.
+        if let Some(sid) = space {
+            let any_live = self
+                .threads
+                .iter()
+                .any(|(_, x)| x.space == Some(sid) && !x.is_halted());
+            if !any_live {
+                let waiters: Vec<ThreadId> = self
+                    .threads
+                    .iter()
+                    .filter(|(_, x)| {
+                        matches!(x.state, RunState::Blocked(WaitReason::SpaceIdle(s)) if s == sid)
+                    })
+                    .map(|(i, _)| ThreadId(i))
+                    .collect();
+                for w in waiters {
+                    self.complete_blocked(w, ErrorCode::Success);
+                }
+            }
+        }
+        let donors: Vec<ThreadId> = self
+            .threads
+            .iter()
+            .filter(|(_, x)| matches!(x.state, RunState::Blocked(WaitReason::Donate(d)) if d == t))
+            .map(|(i, _)| ThreadId(i))
+            .collect();
+        for d in donors {
+            self.complete_blocked(d, ErrorCode::Success);
+        }
+    }
+
+    /// Destroy a thread for a fatal error.
+    pub(crate) fn kill_thread(&mut self, t: ThreadId, _reason: &'static str) {
+        self.halt_thread(t);
+    }
+}

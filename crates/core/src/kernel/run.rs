@@ -1,0 +1,393 @@
+//! The deterministic run loop, trap handling, and system-call entry/exit.
+//!
+//! The execution-model difference lives here and only here: the interrupt
+//! model pays a few extra cycles per kernel entry/exit to move saved state
+//! between the per-CPU stack and the thread structure (§5.5), and saves the
+//! kernel-register save/restore on every context switch (§5.3). Everything
+//! downstream of dispatch is shared between the models.
+
+use fluke_api::{ErrorCode, Sys, SysClass};
+use fluke_arch::cost::Cycles;
+use fluke_arch::{Reg, StepOutcome, Trap};
+
+use crate::ids::ThreadId;
+use crate::stats::FaultSide;
+use crate::thread::{Body, NativeAction, RunState};
+
+use super::mem::SpaceMemAdapter;
+use super::{Kernel, SysOutcome};
+
+/// Longest stretch of user execution between loop iterations (bounds how
+/// stale the event check can get when no timer is pending).
+const MAX_USER_SLICE: Cycles = 2_000_000; // 10ms
+
+/// Why [`Kernel::run`] returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunExit {
+    /// Every thread has halted (or was never started).
+    AllHalted,
+    /// The cycle limit was reached.
+    TimeLimit,
+    /// No thread can run and no timer can wake one, but blocked threads
+    /// remain: a deadlock in the simulated system.
+    Deadlock,
+}
+
+impl Kernel {
+    /// Run until completion, deadlock, or `limit` cycles.
+    ///
+    /// Multiprocessor scheduling is conservative discrete-event: the
+    /// processor with the smallest clock always acts next, so all kernel
+    /// actions occur in global simulated-time order. Idle processors park
+    /// (drop out of selection) until a wake kicks them, which keeps runs
+    /// deterministic for any CPU count.
+    pub fn run(&mut self, limit: Option<Cycles>) -> RunExit {
+        loop {
+            // Choose the acting processor: smallest clock among unparked.
+            let Some(active) = self.pick_cpu() else {
+                // Everyone is parked: hop idle time to the next timer
+                // event, or conclude the run.
+                match self.events.next_time() {
+                    Some(te) => {
+                        if let Some(l) = limit {
+                            if te >= l {
+                                return RunExit::TimeLimit;
+                            }
+                        }
+                        self.kick_parked(te);
+                        continue;
+                    }
+                    None => {
+                        let blocked = self.threads.iter().any(|(_, t)| t.is_blocked());
+                        return if blocked {
+                            RunExit::Deadlock
+                        } else {
+                            RunExit::AllHalted
+                        };
+                    }
+                }
+            };
+            self.active = active;
+            if let Some(l) = limit {
+                if self.cur_cpu().cpu.now >= l {
+                    return RunExit::TimeLimit;
+                }
+            }
+            self.service_due_events();
+            // Timeslice check (lazy; no heap traffic per dispatch).
+            if self.cur_cpu().current.is_some()
+                && self.cur_cpu().cpu.now >= self.cur_cpu().slice_end
+            {
+                self.cur_cpu_mut().resched = true;
+            }
+            // User-mode preemption: between instructions, any pending
+            // reschedule takes effect immediately (the kernel itself is
+            // what adds latency beyond this point — paper §5.2).
+            if self.cur_cpu().resched {
+                if let Some(cur) = self.cur_cpu().current {
+                    self.preempt_user(cur);
+                } else {
+                    self.cur_cpu_mut().resched = false;
+                }
+            }
+            let Some(cur) = self.cur_cpu().current else {
+                if let Some(next) = self.ready.pop() {
+                    self.big_lock();
+                    self.dispatch(next);
+                    self.big_unlock();
+                    continue;
+                }
+                // Nothing to run here: park until someone kicks us.
+                self.cur_cpu_mut().resched = false;
+                self.cur_cpu_mut().parked = true;
+                continue;
+            };
+            self.execute_current(cur, limit);
+        }
+    }
+
+    /// The unparked processor with the smallest clock (ties: lowest id).
+    fn pick_cpu(&self) -> Option<usize> {
+        self.cpus
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !c.parked)
+            .min_by_key(|(i, c)| (c.cpu.now, *i))
+            .map(|(i, _)| i)
+    }
+
+    /// Preempt the current thread at a user-mode instruction boundary.
+    fn preempt_user(&mut self, cur: ThreadId) {
+        // Only switch if someone of equal-or-higher priority is waiting;
+        // otherwise just start a fresh timeslice.
+        let cur_prio = self.threads.get(cur.0).map(|t| t.priority).unwrap_or(0);
+        let top = self.ready.top_priority();
+        self.cur_cpu_mut().resched = false;
+        match top {
+            Some(p) if p >= cur_prio => {
+                let th = self.threads.get_mut(cur.0).expect("current");
+                th.state = RunState::Ready;
+                self.ready.push(cur, cur_prio);
+                self.cur_cpu_mut().current = None;
+                self.stats.user_preemptions += 1;
+            }
+            _ => {
+                self.cur_cpu_mut().slice_end = self.cur_cpu_mut().cpu.now + self.cfg.timeslice;
+            }
+        }
+    }
+
+    /// Dispatch a ready thread onto the CPU, charging the model-dependent
+    /// context-switch cost.
+    pub(crate) fn dispatch(&mut self, t: ThreadId) {
+        let interrupt = self.is_interrupt_model();
+        let mut cost = self.cost.ctx_switch_cost(interrupt);
+        let space = self.threads.get(t.0).and_then(|x| x.space);
+        if space.is_some() && space != self.cur_cpu_mut().last_space {
+            cost += self.cost.addr_space_switch;
+            self.stats.space_switches += 1;
+        }
+        self.stats.ctx_switches += 1;
+        if let Some(s) = space {
+            self.cur_cpu_mut().last_space = Some(s);
+        }
+        let active = self.active;
+        let th = self.threads.get_mut(t.0).expect("ready thread");
+        th.state = RunState::Running(active);
+        self.cur_cpu_mut().current = Some(t);
+        // Consume the reschedule that caused this dispatch *before*
+        // charging the switch cost: a wake that fires during the switch
+        // (serviced inside `charge`) must set a fresh pending reschedule,
+        // not be wiped by it.
+        self.cur_cpu_mut().resched = false;
+        self.charge(cost);
+        self.cur_cpu_mut().slice_end = self.cur_cpu_mut().cpu.now + self.cfg.timeslice;
+    }
+
+    /// Run the current thread until its next trap or the next deadline.
+    fn execute_current(&mut self, cur: ThreadId, limit: Option<Cycles>) {
+        let is_native = matches!(
+            self.threads.get(cur.0).map(|t| &t.body),
+            Some(Body::Native(_))
+        );
+        if is_native {
+            self.run_native(cur);
+            return;
+        }
+        let now = self.cur_cpu().cpu.now;
+        let mut deadline = now + MAX_USER_SLICE;
+        if let Some(te) = self.events.next_time() {
+            deadline = deadline.min(te.max(now + 1));
+        }
+        deadline = deadline.min(self.cur_cpu().slice_end.max(now + 1));
+        // Multiprocessor causality: do not run far past the next-slowest
+        // processor, so cross-CPU wakes and preemptions are observed with
+        // bounded skew.
+        if self.cfg.num_cpus > 1 {
+            const SYNC_QUANTUM: Cycles = 2_000;
+            let second = self
+                .cpus
+                .iter()
+                .enumerate()
+                .filter(|(i, c)| *i != self.active && !c.parked)
+                .map(|(_, c)| c.cpu.now)
+                .min();
+            if let Some(sec) = second {
+                deadline = deadline.min(sec.max(now) + SYNC_QUANTUM);
+            }
+        }
+        if let Some(l) = limit {
+            deadline = deadline.min(l.max(now + 1));
+        }
+        let (text, sid) = {
+            let th = self.threads.get(cur.0).expect("current");
+            match (&th.text, th.space) {
+                (Some(text), Some(sid)) => (text.clone(), sid),
+                _ => {
+                    self.kill_thread(cur, "user thread without text/space");
+                    return;
+                }
+            }
+        };
+        let trap = {
+            let th = self.threads.get_mut(cur.0).expect("current");
+            let Some(space) = self.spaces.get(sid.0) else {
+                self.kill_thread(cur, "space destroyed");
+                return;
+            };
+            let mut mem = SpaceMemAdapter {
+                space,
+                phys: &mut self.phys,
+            };
+            let active = self.active;
+            let before = self.cpus[active].cpu.now;
+            let out =
+                self.cpus[active]
+                    .cpu
+                    .run_user(&mut th.regs, &text, &mut mem, &self.cost, deadline);
+            let used = self.cpus[active].cpu.now - before;
+            th.user_cycles += used;
+            self.stats.user_cycles += used;
+            match out {
+                StepOutcome::Trapped(t) => Some(t),
+                StepOutcome::DeadlineReached => None,
+            }
+        };
+        if let Some(trap) = trap {
+            // Kernel entry serializes on the big kernel lock under
+            // multiprocessor configurations.
+            self.big_lock();
+            self.handle_trap(cur, trap);
+            self.big_unlock();
+        }
+    }
+
+    /// Run a native (kernel-internal) thread body once.
+    fn run_native(&mut self, cur: ThreadId) {
+        let now = self.cur_cpu_mut().cpu.now;
+        let th = self.threads.get_mut(cur.0).expect("current");
+        let woken_at = th.woken_at;
+        th.woken_at = 0;
+        let mut body = std::mem::replace(&mut th.body, Body::User);
+        let action = match &mut body {
+            Body::Native(b) => b.on_dispatch(woken_at, now, &mut self.stats),
+            Body::User => unreachable!("native thread lost its body"),
+        };
+        let th = self.threads.get_mut(cur.0).expect("current");
+        th.body = body;
+        match action {
+            NativeAction::BlockUntilWoken { work } => {
+                self.charge(work);
+                let th = self.threads.get_mut(cur.0).expect("current");
+                th.state = RunState::Blocked(crate::thread::WaitReason::Sleep);
+                self.cur_cpu_mut().current = None;
+            }
+            NativeAction::Halt { work } => {
+                self.charge(work);
+                self.halt_thread(cur);
+            }
+        }
+    }
+
+    /// Handle a trap from user mode.
+    fn handle_trap(&mut self, cur: ThreadId, trap: Trap) {
+        match trap {
+            Trap::Syscall => self.syscall_entry(cur),
+            Trap::PageFault(f) => {
+                let sid = self.threads.get(cur.0).and_then(|t| t.space);
+                let Some(sid) = sid else {
+                    self.kill_thread(cur, "fault without space");
+                    return;
+                };
+                let write = f.kind == fluke_arch::AccessKind::Write;
+                match self.handle_fault(cur, sid, f.addr, write, FaultSide::Other, false, false) {
+                    Ok(()) => {
+                        // Soft fault resolved: eip still points at the
+                        // faulting instruction; it simply re-executes.
+                    }
+                    Err(SysOutcome::Block) => {
+                        // Hard fault: thread now blocked on the pager; it
+                        // will retry the instruction when woken.
+                    }
+                    Err(_) => {
+                        // Any outcome other than a resolved fault or a
+                        // pager block is fatal to the thread.
+                        self.kill_thread(cur, "fatal page fault");
+                    }
+                }
+            }
+            Trap::Halt => self.halt_thread(cur),
+            Trap::Illegal => self.kill_thread(cur, "illegal instruction"),
+        }
+    }
+
+    /// The system-call entry/exit path.
+    pub(crate) fn syscall_entry(&mut self, cur: ThreadId) {
+        let interrupt = self.is_interrupt_model();
+        // Process-model in-kernel preemption retained the kernel stack:
+        // the re-entry preamble is not re-executed (charges suppressed
+        // until the handler reaches new work).
+        let retained = {
+            let th = self.threads.get_mut(cur.0).expect("current");
+            let r = th.kstack_retained;
+            th.kstack_retained = false;
+            r
+        };
+        let restarting = self.threads.get(cur.0).and_then(|t| t.inflight).is_some();
+        if retained {
+            self.dispatch_suppress = true;
+        }
+        if restarting {
+            self.stats.restarts += 1;
+            self.rollback_active = true;
+            self.dispatch_rollback = self.threads.get(cur.0).and_then(|t| t.open_fault);
+        }
+        self.charge(self.cost.entry_cost(interrupt));
+        let mut chained = false;
+        loop {
+            let eax = self.threads.get(cur.0).expect("current").regs.get(Reg::Eax);
+            let Some(sys) = Sys::from_u32(eax) else {
+                self.finish_syscall(cur, ErrorCode::InvalidEntrypoint, interrupt);
+                break;
+            };
+            self.stats.syscalls += 1;
+            // A pending thread_interrupt breaks the thread out of any
+            // sleeping entrypoint with a visible Interrupted result; the
+            // register continuation stays valid for re-issue.
+            let class = sys.class();
+            if matches!(class, SysClass::Long | SysClass::MultiStage) && !chained {
+                let th = self.threads.get_mut(cur.0).expect("current");
+                if th.interrupted {
+                    th.interrupted = false;
+                    self.finish_syscall(cur, ErrorCode::Interrupted, interrupt);
+                    break;
+                }
+            }
+            let out = self.dispatch_sys(cur, sys).unwrap_or_else(|o| o);
+            match out {
+                SysOutcome::Done(code) => {
+                    self.progress();
+                    self.finish_syscall(cur, code, interrupt);
+                    break;
+                }
+                SysOutcome::Chain => {
+                    // Registers were rewritten to the next entrypoint
+                    // (paper Figure 4's `set_pc`): dispatch it immediately.
+                    let th = self.threads.get_mut(cur.0).expect("current");
+                    th.inflight = Sys::from_u32(th.regs.get(Reg::Eax));
+                    chained = true;
+                    continue;
+                }
+                SysOutcome::Block | SysOutcome::Preempted => {
+                    // The handler brought the registers to a clean restart
+                    // point and took the thread off the CPU.
+                    break;
+                }
+                SysOutcome::Kill(r) => {
+                    self.kill_thread(cur, r);
+                    break;
+                }
+            }
+        }
+        self.progress();
+        self.rollback_active = false;
+    }
+
+    /// Complete the current thread's system call: result code to `eax`,
+    /// advance past the trap, charge the exit path, and deliver any latched
+    /// preemption (the NP configurations deliver timer interrupts taken in
+    /// kernel mode here, at kernel exit).
+    fn finish_syscall(&mut self, cur: ThreadId, code: ErrorCode, interrupt_model: bool) {
+        {
+            let th = self.threads.get_mut(cur.0).expect("current");
+            th.regs.set(Reg::Eax, code as u32);
+            th.regs.eip += 1;
+            th.inflight = None;
+            th.open_fault = None;
+        }
+        self.progress();
+        self.charge(self.cost.exit_cost(interrupt_model));
+        // Latched reschedules take effect on the way out; the main loop
+        // performs the actual switch at the next iteration.
+    }
+}

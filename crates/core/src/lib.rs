@@ -1,0 +1,45 @@
+#![warn(missing_docs)]
+//! The Fluke kernel reproduction: a purely atomic (fully interruptible and
+//! restartable) kernel API over nine primitive object types, implemented by
+//! a single kernel source configurable between the **process** and
+//! **interrupt** execution models and three preemption styles — the five
+//! configurations of the paper's Table 4.
+//!
+//! # Quick start
+//!
+//! ```
+//! use fluke_arch::{Assembler, Reg, UserRegs};
+//! use fluke_api::Sys;
+//! use fluke_core::{Config, Kernel, RunExit};
+//!
+//! // A program that calls thread_self and halts.
+//! let mut a = Assembler::new("hello");
+//! a.movi(Reg::Eax, Sys::ThreadSelf.num());
+//! a.syscall();
+//! a.halt();
+//!
+//! let mut k = Kernel::new(Config::process_np());
+//! let prog = k.register_program(a.finish());
+//! let space = k.create_space();
+//! let t = k.spawn_thread(space, prog, UserRegs::new(), 8);
+//! assert_eq!(k.run(None), RunExit::AllHalted);
+//! assert!(k.thread_halted(t));
+//! ```
+
+pub mod config;
+pub mod conn;
+pub mod events;
+pub mod ids;
+pub mod kernel;
+pub mod object;
+pub mod phys;
+pub mod sched;
+pub mod space;
+pub mod stats;
+pub mod thread;
+
+pub use config::{Config, ExecModel, Preemption, PP_CHUNK_BYTES};
+pub use ids::{ConnId, ObjId, SpaceId, ThreadId};
+pub use kernel::{Kernel, RunExit};
+pub use stats::{FaultKind, FaultRecord, FaultSide, Stats};
+pub use thread::{NativeAction, NativeBody, RunState, WaitReason};

@@ -1,0 +1,133 @@
+//! Simulated physical memory: page frames allocated on demand.
+
+use fluke_api::abi::PAGE_SIZE;
+
+/// A physical frame number.
+pub type FrameId = u32;
+
+/// Physical memory as a growable set of 4KB frames.
+///
+/// Frames store real bytes so IPC transfers, checkpoints and workloads can
+/// be verified for data integrity, not just accounted for.
+#[derive(Debug, Default)]
+pub struct PhysMem {
+    frames: Vec<Box<[u8; PAGE_SIZE as usize]>>,
+}
+
+impl PhysMem {
+    /// An empty physical memory.
+    pub fn new() -> Self {
+        PhysMem { frames: Vec::new() }
+    }
+
+    /// Allocate a zeroed frame.
+    pub fn alloc(&mut self) -> FrameId {
+        self.frames.push(Box::new([0; PAGE_SIZE as usize]));
+        (self.frames.len() - 1) as FrameId
+    }
+
+    /// Number of frames allocated.
+    pub fn frame_count(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Read one byte from a frame.
+    #[inline]
+    pub fn read_u8(&self, frame: FrameId, offset: u32) -> u8 {
+        self.frames[frame as usize][offset as usize]
+    }
+
+    /// Write one byte to a frame.
+    #[inline]
+    pub fn write_u8(&mut self, frame: FrameId, offset: u32, val: u8) {
+        self.frames[frame as usize][offset as usize] = val;
+    }
+
+    /// Read a slice out of one frame (must not cross the frame boundary).
+    pub fn read_slice(&self, frame: FrameId, offset: u32, out: &mut [u8]) {
+        let off = offset as usize;
+        out.copy_from_slice(&self.frames[frame as usize][off..off + out.len()]);
+    }
+
+    /// Write a slice into one frame (must not cross the frame boundary).
+    pub fn write_slice(&mut self, frame: FrameId, offset: u32, data: &[u8]) {
+        let off = offset as usize;
+        self.frames[frame as usize][off..off + data.len()].copy_from_slice(data);
+    }
+
+    /// Copy `len` bytes between frames (ranges must not cross frame
+    /// boundaries; the IPC pump guarantees this by chunking at page edges).
+    pub fn copy(
+        &mut self,
+        src_frame: FrameId,
+        src_off: u32,
+        dst_frame: FrameId,
+        dst_off: u32,
+        len: u32,
+    ) {
+        debug_assert!(src_off + len <= PAGE_SIZE && dst_off + len <= PAGE_SIZE);
+        if src_frame == dst_frame {
+            let f = &mut self.frames[src_frame as usize];
+            f.copy_within(src_off as usize..(src_off + len) as usize, dst_off as usize);
+        } else {
+            let mut tmp = [0u8; PAGE_SIZE as usize];
+            let chunk = &mut tmp[..len as usize];
+            self.read_slice(src_frame, src_off, chunk);
+            self.write_slice(dst_frame, dst_off, chunk);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_zeroed_frames() {
+        let mut p = PhysMem::new();
+        let f = p.alloc();
+        assert_eq!(p.read_u8(f, 0), 0);
+        assert_eq!(p.read_u8(f, PAGE_SIZE - 1), 0);
+        assert_eq!(p.frame_count(), 1);
+    }
+
+    #[test]
+    fn byte_and_slice_io() {
+        let mut p = PhysMem::new();
+        let f = p.alloc();
+        p.write_u8(f, 7, 0x5a);
+        assert_eq!(p.read_u8(f, 7), 0x5a);
+        p.write_slice(f, 100, &[1, 2, 3]);
+        let mut out = [0u8; 3];
+        p.read_slice(f, 100, &mut out);
+        assert_eq!(out, [1, 2, 3]);
+    }
+
+    #[test]
+    fn copy_between_frames_both_orders() {
+        let mut p = PhysMem::new();
+        let a = p.alloc();
+        let b = p.alloc();
+        p.write_slice(a, 0, &[9, 8, 7]);
+        p.copy(a, 0, b, 10, 3);
+        let mut out = [0u8; 3];
+        p.read_slice(b, 10, &mut out);
+        assert_eq!(out, [9, 8, 7]);
+        // Now copy from the higher-numbered frame back to the lower.
+        p.write_slice(b, 20, &[4, 5, 6]);
+        p.copy(b, 20, a, 30, 3);
+        p.read_slice(a, 30, &mut out);
+        assert_eq!(out, [4, 5, 6]);
+    }
+
+    #[test]
+    fn copy_within_one_frame() {
+        let mut p = PhysMem::new();
+        let f = p.alloc();
+        p.write_slice(f, 0, &[1, 2, 3, 4]);
+        p.copy(f, 0, f, 8, 4);
+        let mut out = [0u8; 4];
+        p.read_slice(f, 8, &mut out);
+        assert_eq!(out, [1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,146 @@
+//! The ready queue: fixed priority levels, FIFO within a level.
+
+use std::collections::VecDeque;
+
+use crate::ids::ThreadId;
+use crate::thread::PRIORITY_LEVELS;
+
+/// Multi-level FIFO ready queue. Higher priority value runs first.
+#[derive(Debug)]
+pub struct ReadyQueue {
+    levels: Vec<VecDeque<ThreadId>>,
+    bitmap: u32,
+}
+
+impl ReadyQueue {
+    /// An empty ready queue.
+    pub fn new() -> Self {
+        ReadyQueue {
+            levels: (0..PRIORITY_LEVELS).map(|_| VecDeque::new()).collect(),
+            bitmap: 0,
+        }
+    }
+
+    /// Enqueue at the tail of its priority level.
+    pub fn push(&mut self, t: ThreadId, priority: u32) {
+        let p = priority.min(PRIORITY_LEVELS - 1) as usize;
+        self.levels[p].push_back(t);
+        self.bitmap |= 1 << p;
+    }
+
+    /// Enqueue at the *head* of its priority level (used when a thread is
+    /// preempted: it has unfinished work and should continue first among
+    /// its peers).
+    pub fn push_front(&mut self, t: ThreadId, priority: u32) {
+        let p = priority.min(PRIORITY_LEVELS - 1) as usize;
+        self.levels[p].push_front(t);
+        self.bitmap |= 1 << p;
+    }
+
+    /// Dequeue the highest-priority thread.
+    pub fn pop(&mut self) -> Option<ThreadId> {
+        if self.bitmap == 0 {
+            return None;
+        }
+        let p = 31 - self.bitmap.leading_zeros() as usize;
+        let t = self.levels[p].pop_front();
+        if self.levels[p].is_empty() {
+            self.bitmap &= !(1 << p);
+        }
+        t
+    }
+
+    /// Highest priority currently queued.
+    pub fn top_priority(&self) -> Option<u32> {
+        if self.bitmap == 0 {
+            None
+        } else {
+            Some(31 - self.bitmap.leading_zeros())
+        }
+    }
+
+    /// Remove a specific thread (used by `thread_destroy` / `set_state`).
+    pub fn remove(&mut self, t: ThreadId) -> bool {
+        for p in 0..self.levels.len() {
+            if let Some(pos) = self.levels[p].iter().position(|&x| x == t) {
+                self.levels[p].remove(pos);
+                if self.levels[p].is_empty() {
+                    self.bitmap &= !(1 << p);
+                }
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Whether any thread is ready.
+    pub fn is_empty(&self) -> bool {
+        self.bitmap == 0
+    }
+
+    /// Total ready threads.
+    pub fn len(&self) -> usize {
+        self.levels.iter().map(|l| l.len()).sum()
+    }
+}
+
+impl Default for ReadyQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_order_then_fifo() {
+        let mut q = ReadyQueue::new();
+        q.push(ThreadId(1), 5);
+        q.push(ThreadId(2), 10);
+        q.push(ThreadId(3), 5);
+        assert_eq!(q.top_priority(), Some(10));
+        assert_eq!(q.pop(), Some(ThreadId(2)));
+        assert_eq!(q.pop(), Some(ThreadId(1)));
+        assert_eq!(q.pop(), Some(ThreadId(3)));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_front_jumps_the_level_queue() {
+        let mut q = ReadyQueue::new();
+        q.push(ThreadId(1), 5);
+        q.push_front(ThreadId(2), 5);
+        assert_eq!(q.pop(), Some(ThreadId(2)));
+        assert_eq!(q.pop(), Some(ThreadId(1)));
+    }
+
+    #[test]
+    fn remove_specific_thread() {
+        let mut q = ReadyQueue::new();
+        q.push(ThreadId(1), 5);
+        q.push(ThreadId(2), 5);
+        assert!(q.remove(ThreadId(1)));
+        assert!(!q.remove(ThreadId(1)));
+        assert_eq!(q.pop(), Some(ThreadId(2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn priority_clamped_to_levels() {
+        let mut q = ReadyQueue::new();
+        q.push(ThreadId(1), 999);
+        assert_eq!(q.top_priority(), Some(PRIORITY_LEVELS - 1));
+        assert_eq!(q.pop(), Some(ThreadId(1)));
+    }
+
+    #[test]
+    fn len_counts_all_levels() {
+        let mut q = ReadyQueue::new();
+        q.push(ThreadId(1), 1);
+        q.push(ThreadId(2), 30);
+        assert_eq!(q.len(), 2);
+    }
+}

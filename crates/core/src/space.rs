@@ -1,0 +1,127 @@
+//! Address spaces: per-space page tables and the hierarchical memory model.
+//!
+//! Fluke memory is *hierarchical*: a [Region](fluke_api::ObjType::Region)
+//! exports a range of its owner space's address space; a
+//! [Mapping](fluke_api::ObjType::Mapping) imports (part of) a region into
+//! another space. A page absent from a space's page table may be *derivable*
+//! from an entry higher in the hierarchy — a **soft** fault the kernel
+//! resolves itself — or may require an RPC to the region's keeper (a
+//! user-level memory manager) — a **hard** fault (paper Table 3).
+
+use std::collections::HashMap;
+
+use fluke_api::abi::PAGE_SIZE;
+
+use crate::ids::{ObjId, SpaceId, ThreadId};
+use crate::phys::FrameId;
+
+/// A page-table entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pte {
+    /// The physical frame backing this page.
+    pub frame: FrameId,
+    /// Whether stores are permitted.
+    pub writable: bool,
+}
+
+/// An address space: a page table plus indexes of the memory objects and
+/// threads associated with it.
+#[derive(Debug)]
+pub struct Space {
+    /// This space's id.
+    pub id: SpaceId,
+    /// The object-table entry representing this space (if created via the
+    /// API; the boot space is created by the loader).
+    pub obj: Option<ObjId>,
+    /// Virtual page number → PTE.
+    pub pages: HashMap<u32, Pte>,
+    /// Mapping objects whose *destination* is this space.
+    pub mappings: Vec<ObjId>,
+    /// Region objects owned by (exporting from) this space.
+    pub regions: Vec<ObjId>,
+    /// Threads running in this space.
+    pub threads: Vec<ThreadId>,
+    /// Whether this space aliases the kernel's own address space (used to
+    /// run process-model legacy code in user mode, paper §5.6).
+    pub kernel_alias: bool,
+}
+
+impl Space {
+    /// Create an empty space.
+    pub fn new(id: SpaceId) -> Self {
+        Space {
+            id,
+            obj: None,
+            pages: HashMap::new(),
+            mappings: Vec::new(),
+            regions: Vec::new(),
+            threads: Vec::new(),
+            kernel_alias: false,
+        }
+    }
+
+    /// Look up the PTE covering `addr`.
+    #[inline]
+    pub fn pte(&self, addr: u32) -> Option<Pte> {
+        self.pages.get(&(addr / PAGE_SIZE)).copied()
+    }
+
+    /// Install a PTE for the page containing `addr`.
+    pub fn map_page(&mut self, addr: u32, frame: FrameId, writable: bool) {
+        self.pages.insert(addr / PAGE_SIZE, Pte { frame, writable });
+    }
+
+    /// Remove the PTE for the page containing `addr`, returning it.
+    pub fn unmap_page(&mut self, addr: u32) -> Option<Pte> {
+        self.pages.remove(&(addr / PAGE_SIZE))
+    }
+
+    /// Translate `addr` to (frame, offset) if mapped with sufficient access.
+    #[inline]
+    pub fn translate(&self, addr: u32, write: bool) -> Option<(FrameId, u32)> {
+        let pte = self.pte(addr)?;
+        if write && !pte.writable {
+            return None;
+        }
+        Some((pte.frame, addr % PAGE_SIZE))
+    }
+
+    /// Number of resident pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_translate_unmap() {
+        let mut s = Space::new(SpaceId(0));
+        assert_eq!(s.translate(0x5000, false), None);
+        s.map_page(0x5abc, 7, true);
+        assert_eq!(s.pte(0x5000).unwrap().frame, 7);
+        assert_eq!(s.translate(0x5123, false), Some((7, 0x123)));
+        assert_eq!(s.translate(0x5123, true), Some((7, 0x123)));
+        assert_eq!(s.unmap_page(0x5fff).unwrap().frame, 7);
+        assert_eq!(s.translate(0x5123, false), None);
+    }
+
+    #[test]
+    fn write_protection_enforced() {
+        let mut s = Space::new(SpaceId(0));
+        s.map_page(0x1000, 3, false);
+        assert_eq!(s.translate(0x1800, false), Some((3, 0x800)));
+        assert_eq!(s.translate(0x1800, true), None);
+    }
+
+    #[test]
+    fn pages_are_4k_granular() {
+        let mut s = Space::new(SpaceId(0));
+        s.map_page(0x2000, 1, true);
+        assert!(s.translate(0x2fff, false).is_some());
+        assert!(s.translate(0x3000, false).is_none());
+        assert_eq!(s.resident_pages(), 1);
+    }
+}

@@ -1,0 +1,161 @@
+//! Kernel instrumentation: every number the paper's tables report is
+//! derived from these counters.
+
+use fluke_arch::cost::{cycles_to_us, Cycles};
+
+/// Which side of an IPC transfer a fault occurred on (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSide {
+    /// The fault was in the client's address space.
+    Client,
+    /// The fault was in the server's address space.
+    Server,
+    /// The fault was outside any IPC transfer.
+    Other,
+}
+
+/// Fault severity (paper Table 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The kernel derived a page-table entry from an entry higher in the
+    /// memory mapping hierarchy.
+    Soft,
+    /// An RPC to a user-level memory manager was required.
+    Hard,
+}
+
+/// One fault event during the run, with its measured costs.
+#[derive(Debug, Clone)]
+pub struct FaultRecord {
+    /// Side of the transfer the faulting address belonged to.
+    pub side: FaultSide,
+    /// Soft or hard.
+    pub kind: FaultKind,
+    /// Cycles spent servicing the fault (hierarchy walk, or the full pager
+    /// round trip for hard faults).
+    pub remedy_cycles: Cycles,
+    /// Cycles of previously-done work thrown away and re-executed because
+    /// the operation rolled back to its register continuation.
+    pub rollback_cycles: Cycles,
+    /// Whether the fault interrupted an IPC transfer.
+    pub during_ipc: bool,
+    /// Simulated time the fault was raised.
+    pub at: Cycles,
+}
+
+/// Aggregated kernel statistics for one run.
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    /// Total system calls dispatched (including restarts).
+    pub syscalls: u64,
+    /// System call restarts after a block, fault or preemption.
+    pub restarts: u64,
+    /// Context switches performed.
+    pub ctx_switches: u64,
+    /// Address-space switches performed.
+    pub space_switches: u64,
+    /// Soft page faults resolved.
+    pub soft_faults: u64,
+    /// Hard page faults (pager RPCs) raised.
+    pub hard_faults: u64,
+    /// Fatal (unresolvable) faults.
+    pub fatal_faults: u64,
+    /// Cycles spent executing user-mode instructions.
+    pub user_cycles: Cycles,
+    /// Cycles spent in the kernel.
+    pub kernel_cycles: Cycles,
+    /// Cycles the CPU sat idle waiting for an event.
+    pub idle_cycles: Cycles,
+    /// Cycles spent re-executing rolled-back work.
+    pub rollback_cycles: Cycles,
+    /// Cycles spent acquiring/releasing kernel locks (Full preemption).
+    pub klock_cycles: Cycles,
+    /// Bytes moved by the IPC copy path.
+    pub ipc_bytes: u64,
+    /// IPC messages completed.
+    pub ipc_messages: u64,
+    /// Explicit preemption points taken on the IPC copy path.
+    pub preempt_points_taken: u64,
+    /// In-kernel preemptions (Full preemption configuration).
+    pub kernel_preemptions: u64,
+    /// Preemptions of user-mode execution.
+    pub user_preemptions: u64,
+    /// Latency-probe observations: cycles from wakeup to dispatch.
+    pub probe_latencies: Vec<Cycles>,
+    /// Times the latency probe ran.
+    pub probe_runs: u64,
+    /// Times the probe was still pending when its next period arrived.
+    pub probe_misses: u64,
+    /// Every fault, with measured remedy/rollback costs (Table 3).
+    pub fault_records: Vec<FaultRecord>,
+    /// Current kernel memory charged for thread management (TCBs + stacks).
+    pub thread_kmem: u64,
+    /// Peak of [`Stats::thread_kmem`] over the run.
+    pub thread_kmem_peak: u64,
+    /// Threads created over the run.
+    pub threads_created: u64,
+    /// Kernel objects created over the run.
+    pub objects_created: u64,
+    /// Values logged by the `sys_trace` entrypoint (a test/debug channel).
+    pub trace_log: Vec<u32>,
+}
+
+impl Stats {
+    /// Record a change in thread-management kernel memory.
+    pub fn kmem_delta(&mut self, delta: i64) {
+        self.thread_kmem = self.thread_kmem.saturating_add_signed(delta);
+        self.thread_kmem_peak = self.thread_kmem_peak.max(self.thread_kmem);
+    }
+
+    /// Average probe latency in microseconds (Table 6 "avg").
+    pub fn probe_avg_us(&self) -> f64 {
+        if self.probe_latencies.is_empty() {
+            return 0.0;
+        }
+        let sum: Cycles = self.probe_latencies.iter().sum();
+        cycles_to_us(sum) / self.probe_latencies.len() as f64
+    }
+
+    /// Maximum probe latency in microseconds (Table 6 "max").
+    pub fn probe_max_us(&self) -> f64 {
+        cycles_to_us(self.probe_latencies.iter().copied().max().unwrap_or(0))
+    }
+
+    /// Total busy (non-idle) cycles.
+    pub fn busy_cycles(&self) -> Cycles {
+        self.user_cycles + self.kernel_cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kmem_tracks_peak() {
+        let mut s = Stats::default();
+        s.kmem_delta(4096);
+        s.kmem_delta(4096);
+        assert_eq!(s.thread_kmem, 8192);
+        assert_eq!(s.thread_kmem_peak, 8192);
+        s.kmem_delta(-4096);
+        assert_eq!(s.thread_kmem, 4096);
+        assert_eq!(s.thread_kmem_peak, 8192);
+    }
+
+    #[test]
+    fn probe_latency_summaries() {
+        let mut s = Stats::default();
+        assert_eq!(s.probe_avg_us(), 0.0);
+        s.probe_latencies = vec![200, 400, 600]; // 1µs, 2µs, 3µs
+        assert!((s.probe_avg_us() - 2.0).abs() < 1e-9);
+        assert!((s.probe_max_us() - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kmem_never_underflows() {
+        let mut s = Stats::default();
+        s.kmem_delta(-100);
+        assert_eq!(s.thread_kmem, 0);
+    }
+}

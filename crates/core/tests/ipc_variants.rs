@@ -1,0 +1,281 @@
+//! The remaining IPC entrypoint combinations: persistent connections with
+//! repeated exchanges, server-side direction reversal, chained
+//! send-wait-receive, and the non-waiting one-way receive.
+
+use fluke_api::abi::{ARG_COUNT, ARG_HANDLE, ARG_RBUF, ARG_SBUF, ARG_VAL};
+use fluke_api::{ErrorCode, ObjType, Sys};
+use fluke_arch::{Assembler, Reg};
+use fluke_core::{Config, Kernel, SpaceId};
+use fluke_user::proc::{run_to_halt, ChildProc};
+use fluke_user::FlukeAsm;
+
+struct Rig {
+    k: Kernel,
+    server: ChildProc,
+    client: ChildProc,
+    h_port: u32,
+    h_ref: u32,
+    server_space: SpaceId,
+    client_space: SpaceId,
+}
+
+fn rig(cfg: Config) -> Rig {
+    let mut k = Kernel::new(cfg);
+    let mut server = ChildProc::with_mem(&mut k, 0x0010_0000, 0x8000);
+    let mut client = ChildProc::with_mem(&mut k, 0x0020_0000, 0x8000);
+    let h_port = server.alloc_obj();
+    let h_ref = client.alloc_obj();
+    let port = k.loader_create(server.space, h_port, ObjType::Port);
+    k.loader_ref(client.space, h_ref, port);
+    Rig {
+        server_space: server.space,
+        client_space: client.space,
+        k,
+        server,
+        client,
+        h_port,
+        h_ref,
+    }
+}
+
+/// A persistent connection carrying three request/reply exchanges:
+/// `server_send_wait_receive` keeps the connection and waits for the next
+/// message from the same client.
+#[test]
+fn persistent_connection_multiple_exchanges() {
+    let mut r = rig(Config::process_np());
+    let sbuf = r.server.mem_base + 0x1000;
+    let cbuf = r.client.mem_base + 0x1000;
+    let crep = r.client.mem_base + 0x2000;
+
+    // Server: accept + receive; then twice (send reply, wait for next
+    // message on the same connection); final reply via ack_send.
+    let mut a = Assembler::new("server");
+    a.server_wait_receive(r.h_port, sbuf, 8);
+    for _ in 0..2 {
+        a.movi(ARG_SBUF, sbuf);
+        a.movi(ARG_COUNT, 8);
+        a.movi(ARG_RBUF, sbuf);
+        a.movi(ARG_VAL, 8);
+        a.sys(Sys::IpcServerSendWaitReceive);
+    }
+    a.server_ack_send(sbuf, 8);
+    a.halt();
+    let st = r.server.start(&mut r.k, a.finish(), 8);
+
+    // Client: connect+send, receive, then twice (send over the SAME
+    // connection, receive the reply).
+    let mut a = Assembler::new("client");
+    a.client_rpc(r.h_ref, cbuf, 8, crep, 8);
+    for _ in 0..2 {
+        a.movi(ARG_SBUF, cbuf);
+        a.movi(ARG_COUNT, 8);
+        a.movi(ARG_RBUF, crep);
+        a.movi(ARG_VAL, 8);
+        a.sys(Sys::IpcClientSendOverReceive);
+    }
+    a.halt();
+    let ct = r.client.start(&mut r.k, a.finish(), 8);
+
+    r.k.write_mem(r.client_space, cbuf, &[1, 2, 3, 4, 5, 6, 7, 8]);
+    assert!(run_to_halt(&mut r.k, &[st, ct], 100_000_000));
+    assert_eq!(
+        r.k.read_mem(r.client_space, crep, 8),
+        vec![1, 2, 3, 4, 5, 6, 7, 8]
+    );
+    assert_eq!(r.k.thread_regs(ct).get(Reg::Eax), ErrorCode::Success as u32);
+    // Three full request/reply message pairs moved.
+    assert!(r.k.stats.ipc_messages >= 6);
+}
+
+/// `ipc_server_send_over_receive`: the server pushes data to the client
+/// and then reverses direction to receive the client's next message.
+#[test]
+fn server_send_over_receive_reverses_roles() {
+    let mut r = rig(Config::interrupt_np());
+    let sbuf = r.server.mem_base + 0x1000;
+    let cbuf = r.client.mem_base + 0x1000;
+    let crep = r.client.mem_base + 0x2000;
+
+    let mut a = Assembler::new("server");
+    a.server_wait_receive(r.h_port, sbuf, 4);
+    // Reply 4 bytes, then receive 4 more from the client over the same
+    // connection, then ack the exchange away.
+    a.movi(ARG_SBUF, sbuf);
+    a.movi(ARG_COUNT, 4);
+    a.movi(ARG_RBUF, sbuf + 16);
+    a.movi(ARG_VAL, 4);
+    a.sys(Sys::IpcServerSendOverReceive);
+    a.sys(Sys::IpcServerDisconnect);
+    a.halt();
+    let st = r.server.start(&mut r.k, a.finish(), 8);
+
+    let mut a = Assembler::new("client");
+    a.client_rpc(r.h_ref, cbuf, 4, crep, 4);
+    // Now send the follow-up the server is waiting to receive.
+    a.movi(ARG_SBUF, cbuf + 16);
+    a.movi(ARG_COUNT, 4);
+    a.sys(Sys::IpcClientSend);
+    a.halt();
+    let ct = r.client.start(&mut r.k, a.finish(), 8);
+
+    r.k.write_mem(r.client_space, cbuf, &[10, 11, 12, 13]);
+    r.k.write_mem(r.client_space, cbuf + 16, &[20, 21, 22, 23]);
+    assert!(run_to_halt(&mut r.k, &[st, ct], 100_000_000));
+    assert_eq!(
+        r.k.read_mem(r.server_space, sbuf + 16, 4),
+        vec![20, 21, 22, 23]
+    );
+    assert_eq!(r.k.read_mem(r.client_space, crep, 4), vec![10, 11, 12, 13]);
+}
+
+/// `ipc_receive_oneway` (the non-waiting variant) reports `WouldBlock`
+/// when no sender is parked, and delivers when one is.
+#[test]
+fn receive_oneway_nonblocking() {
+    let mut r = rig(Config::process_pp());
+    let sbuf = r.server.mem_base + 0x1000;
+    let cbuf = r.client.mem_base + 0x1000;
+    let rec = r.server.mem_base + 0x3000;
+
+    let mut a = Assembler::new("poller");
+    // First poll: nothing pending.
+    a.movi(ARG_HANDLE, r.h_port);
+    a.movi(ARG_RBUF, sbuf);
+    a.movi(ARG_COUNT, 8);
+    a.sys(Sys::IpcReceiveOneway);
+    a.movi(Reg::Ebp, rec);
+    a.store(Reg::Ebp, 0, Reg::Eax);
+    // Sleep (woken by the timer below) so the lower-priority sender can
+    // park itself; then poll again.
+    a.sys(Sys::ThreadSleep);
+    a.movi(ARG_HANDLE, r.h_port);
+    a.movi(ARG_RBUF, sbuf);
+    a.movi(ARG_COUNT, 8);
+    a.sys(Sys::IpcReceiveOneway);
+    a.store(Reg::Ebp, 4, Reg::Eax);
+    a.halt();
+    // Highest priority: the first poll definitely precedes the send.
+    let st = r.server.start(&mut r.k, a.finish(), 10);
+    r.k.wake_at(st, fluke_arch::cost::ms_to_cycles(2));
+
+    let mut a = Assembler::new("sender");
+    a.movi(ARG_HANDLE, r.h_ref);
+    a.movi(ARG_SBUF, cbuf);
+    a.movi(ARG_COUNT, 8);
+    a.sys(Sys::IpcSendOneway);
+    a.halt();
+    let ct = r.client.start(&mut r.k, a.finish(), 8);
+
+    r.k.write_mem(r.client_space, cbuf, b"oneway!!");
+    assert!(run_to_halt(&mut r.k, &[st, ct], 200_000_000));
+    assert_eq!(
+        r.k.read_mem_u32(r.server_space, rec),
+        ErrorCode::WouldBlock as u32
+    );
+    assert_eq!(
+        r.k.read_mem_u32(r.server_space, rec + 4),
+        ErrorCode::Success as u32
+    );
+    assert_eq!(r.k.read_mem(r.server_space, sbuf, 8), b"oneway!!".to_vec());
+}
+
+/// `ipc_client_ack_receive` behaves as a receive continuation: after a
+/// truncated first window the client acknowledges and drains the rest.
+#[test]
+fn client_ack_receive_drains_reply() {
+    let mut r = rig(Config::process_np());
+    let sbuf = r.server.mem_base + 0x1000;
+    let cbuf = r.client.mem_base + 0x1000;
+    let crep = r.client.mem_base + 0x2000;
+    let rec = r.client.mem_base + 0x3000;
+
+    let mut a = Assembler::new("server");
+    a.server_wait_receive(r.h_port, sbuf, 4);
+    a.server_ack_send(sbuf, 12); // reply longer than the client's window
+    a.halt();
+    let st = r.server.start(&mut r.k, a.finish(), 8);
+
+    let mut a = Assembler::new("client");
+    a.client_rpc(r.h_ref, cbuf, 4, crep, 6); // undersized reply window
+    a.movi(Reg::Ebp, rec);
+    a.store(Reg::Ebp, 0, Reg::Eax); // Truncated
+    a.movi(ARG_RBUF, crep + 6);
+    a.movi(ARG_COUNT, 6);
+    a.sys(Sys::IpcClientAckReceive);
+    a.store(Reg::Ebp, 4, Reg::Eax); // Success
+    a.halt();
+    let ct = r.client.start(&mut r.k, a.finish(), 8);
+
+    r.k.write_mem(r.client_space, cbuf, &[9; 4]);
+    r.k.write_mem(r.server_space, sbuf, b"0123456789AB");
+    // The server's echo overwrites its first 4 bytes with the request.
+    assert!(run_to_halt(&mut r.k, &[st, ct], 100_000_000));
+    assert_eq!(
+        r.k.read_mem_u32(r.client_space, rec),
+        ErrorCode::Truncated as u32
+    );
+    assert_eq!(
+        r.k.read_mem_u32(r.client_space, rec + 4),
+        ErrorCode::Success as u32
+    );
+    // Full 12-byte reply assembled across the two windows.
+    let reply = r.k.read_mem(r.client_space, crep, 12);
+    let expect = r.k.read_mem(r.server_space, sbuf, 12);
+    assert_eq!(reply, expect);
+}
+
+/// Two clients against one port: the server drains them sequentially from
+/// the connect queue.
+#[test]
+fn connect_queue_serves_clients_in_order() {
+    let mut r = rig(Config::process_np());
+    let sbuf = r.server.mem_base + 0x1000;
+    let recs = r.server.mem_base + 0x3000;
+
+    // A second client space with its own reference.
+    let mut client2 = ChildProc::with_mem(&mut r.k, 0x0050_0000, 0x4000);
+    let h_ref2 = client2.alloc_obj();
+    let port = r.k.object_at(r.server_space, r.h_port).unwrap();
+    r.k.loader_ref(client2.space, h_ref2, port);
+
+    let mut a = Assembler::new("server");
+    for i in 0..2u32 {
+        a.server_wait_receive(r.h_port, sbuf, 4);
+        a.movi(Reg::Ebp, recs + i * 4);
+        a.movi(Reg::Edx, sbuf);
+        a.load(Reg::Ebx, Reg::Edx, 0);
+        a.store(Reg::Ebp, 0, Reg::Ebx);
+        a.sys(Sys::IpcServerDisconnect);
+    }
+    a.halt();
+    let st = r.server.start(&mut r.k, a.finish(), 8);
+
+    let send_prog = |tag: u32, buf: u32, h: u32| {
+        let mut a = Assembler::new("client");
+        a.movi(Reg::Ebp, buf);
+        a.movi(Reg::Edx, tag);
+        a.store(Reg::Ebp, 0, Reg::Edx);
+        a.client_connect_send(h, buf, 4);
+        a.halt();
+        a.finish()
+    };
+    let cbuf1 = r.client.mem_base + 0x1000;
+    let cbuf2 = client2.mem_base + 0x1000;
+    let c1 = r
+        .client
+        .start(&mut r.k, send_prog(0x1111, cbuf1, r.h_ref), 8);
+    let c2 = client2.start(&mut r.k, send_prog(0x2222, cbuf2, h_ref2), 7);
+    assert!(run_to_halt(&mut r.k, &[st, c1, c2], 100_000_000));
+    let first = r.k.read_mem_u32(r.server_space, recs);
+    let second = r.k.read_mem_u32(r.server_space, recs + 4);
+    assert_eq!(
+        {
+            let mut v = [first, second];
+            v.sort_unstable();
+            v
+        },
+        [0x1111, 0x2222],
+        "both clients served"
+    );
+}

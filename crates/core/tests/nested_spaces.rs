@@ -1,0 +1,203 @@
+//! Nested space hierarchies — the "recursive virtual machines" Fluke was
+//! built for \[16\]: memory imported through a *chain* of spaces, each level
+//! a mapping over the one above, resolving faults by multi-level
+//! derivation and, at the root, a user-level pager.
+
+use fluke_arch::{Assembler, Cond, Reg};
+use fluke_core::{Config, FaultKind, Kernel, SpaceId};
+use fluke_user::pager::PagerSetup;
+use fluke_user::proc::run_to_halt;
+
+const WINDOW: u32 = 0x0080_0000; // every level sees the memory here
+const LEN: u32 = 64 << 10;
+
+/// Build a chain of `depth` spaces: level 0 imports the pager's region,
+/// and each deeper level imports a region exported by the previous one at
+/// the same window address.
+fn build_chain(k: &mut Kernel, pager: &PagerSetup, depth: usize) -> Vec<SpaceId> {
+    let mut spaces = Vec::new();
+    let mut obj_slot = 0x1c00; // free object slots in the pager's page
+    let mut alloc = |k: &mut Kernel| {
+        while k.object_at(pager.space, obj_slot).is_some() {
+            obj_slot += 32;
+        }
+        obj_slot
+    };
+    for level in 0..depth {
+        let s = k.create_space();
+        if level == 0 {
+            let slot = alloc(k);
+            k.loader_mapping(pager.space, slot, s, WINDOW, LEN, pager.region, 0, true);
+        } else {
+            let prev = spaces[level - 1];
+            let rslot = alloc(k);
+            let region = k.loader_region_at(pager.space, rslot, prev, WINDOW, LEN, None);
+            let mslot = alloc(k);
+            k.loader_mapping(pager.space, mslot, s, WINDOW, LEN, region, 0, true);
+        }
+        spaces.push(s);
+    }
+    spaces
+}
+
+/// A thread at the BOTTOM of a three-deep chain touches memory: the walk
+/// climbs all three levels, bottoms out at the pager (hard fault), and
+/// after service the derivation installs a PTE at the leaf.
+#[test]
+fn three_level_hierarchy_resolves_through_pager() {
+    let mut k = Kernel::new(Config::process_np());
+    let pager = PagerSetup::boot(&mut k, 1 << 20, 12);
+    let spaces = build_chain(&mut k, &pager, 3);
+    let leaf = spaces[2];
+
+    let mut a = Assembler::new("deep-toucher");
+    a.movi(Reg::Esi, WINDOW);
+    a.movi(Reg::Ecx, 4);
+    a.movi(Reg::Ebx, 0xC4);
+    a.label("w");
+    a.storeb(Reg::Esi, 0, Reg::Ebx);
+    a.addi(Reg::Esi, 4096);
+    a.subi(Reg::Ecx, 1);
+    a.cmpi(Reg::Ecx, 0);
+    a.jcc(Cond::Ne, "w");
+    a.halt();
+    let pid = k.register_program(a.finish());
+    let t = k.spawn_thread(leaf, pid, fluke_arch::UserRegs::new(), 8);
+    assert!(run_to_halt(&mut k, &[t], 1_000_000_000));
+
+    assert_eq!(k.stats.hard_faults, 4, "one pager RPC per page");
+    // Writes through the leaf are visible in the pager's backing store:
+    // the frames are shared down the chain, not copied.
+    for page in 0..4u32 {
+        assert_eq!(
+            k.read_mem(pager.space, pager.backing_base + page * 4096, 1),
+            vec![0xC4]
+        );
+    }
+    // And visible at every intermediate level.
+    for &s in &spaces {
+        assert_eq!(k.read_mem(s, WINDOW, 1), vec![0xC4]);
+    }
+}
+
+/// With the root pre-populated, the leaf's faults are pure multi-level
+/// soft derivations — no pager traffic at all.
+#[test]
+fn prefilled_root_makes_deep_faults_soft() {
+    let mut k = Kernel::new(Config::interrupt_np());
+    let pager = PagerSetup::boot(&mut k, 1 << 20, 12);
+    k.grant_pages(pager.space, pager.backing_base, LEN, true);
+    k.write_mem(pager.space, pager.backing_base, &[0xEE; 8]);
+    let spaces = build_chain(&mut k, &pager, 3);
+    let leaf = spaces[2];
+
+    let mut a = Assembler::new("reader");
+    a.movi(Reg::Esi, WINDOW);
+    a.loadb(Reg::Ebx, Reg::Esi, 0);
+    a.halt();
+    let pid = k.register_program(a.finish());
+    let t = k.spawn_thread(leaf, pid, fluke_arch::UserRegs::new(), 8);
+    assert!(run_to_halt(&mut k, &[t], 100_000_000));
+    assert_eq!(k.thread_regs(t).get(Reg::Ebx), 0xEE);
+    assert_eq!(k.stats.hard_faults, 0);
+    assert!(k.stats.soft_faults >= 1);
+    // The soft derivation climbed multiple levels; its cost reflects that.
+    let rec = k
+        .stats
+        .fault_records
+        .iter()
+        .find(|f| f.kind == FaultKind::Soft)
+        .expect("a soft fault record");
+    assert!(
+        rec.remedy_cycles >= k.cost.soft_fault_resolve,
+        "deep derivation should cost at least one level"
+    );
+}
+
+/// A read-only mapping level enforces write protection for everything
+/// below it, while reads still resolve.
+#[test]
+fn read_only_level_blocks_writes_below() {
+    let mut k = Kernel::new(Config::process_np());
+    let pager = PagerSetup::boot(&mut k, 1 << 20, 12);
+    k.grant_pages(pager.space, pager.backing_base, LEN, true);
+    k.write_mem(pager.space, pager.backing_base, &[0x77; 4]);
+
+    // Level 0 imports the pager region read-write; level 1 imports a
+    // region over level 0 READ-ONLY.
+    let s0 = k.create_space();
+    let mut slot = 0x1c00;
+    while k.object_at(pager.space, slot).is_some() {
+        slot += 32;
+    }
+    k.loader_mapping(pager.space, slot, s0, WINDOW, LEN, pager.region, 0, true);
+    let s1 = k.create_space();
+    let mut rslot = slot + 32;
+    while k.object_at(pager.space, rslot).is_some() {
+        rslot += 32;
+    }
+    let region = k.loader_region_at(pager.space, rslot, s0, WINDOW, LEN, None);
+    let mut mslot = rslot + 32;
+    while k.object_at(pager.space, mslot).is_some() {
+        mslot += 32;
+    }
+    k.loader_mapping(pager.space, mslot, s1, WINDOW, LEN, region, 0, false);
+
+    // Reads succeed.
+    let mut a = Assembler::new("reader");
+    a.movi(Reg::Esi, WINDOW);
+    a.loadb(Reg::Ebx, Reg::Esi, 0);
+    a.halt();
+    let pid = k.register_program(a.finish());
+    let t = k.spawn_thread(s1, pid, fluke_arch::UserRegs::new(), 8);
+    assert!(run_to_halt(&mut k, &[t], 100_000_000));
+    assert_eq!(k.thread_regs(t).get(Reg::Ebx), 0x77);
+
+    // Writes are fatal to the writer (no mapping grants them).
+    let mut a = Assembler::new("writer");
+    a.movi(Reg::Esi, WINDOW);
+    a.movi(Reg::Ebx, 1);
+    a.storeb(Reg::Esi, 0, Reg::Ebx);
+    a.halt();
+    let pid = k.register_program(a.finish());
+    let t = k.spawn_thread(s1, pid, fluke_arch::UserRegs::new(), 8);
+    k.run(Some(100_000_000));
+    assert!(k.thread_halted(t), "writer destroyed by fatal fault");
+    assert!(k.stats.fatal_faults >= 1);
+    // The byte is untouched.
+    assert_eq!(k.read_mem(pager.space, pager.backing_base, 1), vec![0x77]);
+}
+
+/// Mapping offsets slice a region: two children see disjoint halves of
+/// the same backing store.
+#[test]
+fn mapping_offsets_give_disjoint_views() {
+    let mut k = Kernel::new(Config::process_np());
+    let pager = PagerSetup::boot(&mut k, 1 << 20, 12);
+    k.grant_pages(pager.space, pager.backing_base, 2 * LEN, true);
+    k.write_mem(pager.space, pager.backing_base, &[0xAA; 2]);
+    k.write_mem(pager.space, pager.backing_base + LEN, &[0xBB; 2]);
+
+    let view = |k: &mut Kernel, offset: u32| {
+        let s = k.create_space();
+        let mut slot = 0x1c00;
+        while k.object_at(pager.space, slot).is_some() {
+            slot += 32;
+        }
+        k.loader_mapping(
+            pager.space,
+            slot,
+            s,
+            WINDOW,
+            LEN,
+            pager.region,
+            offset,
+            true,
+        );
+        s
+    };
+    let s_lo = view(&mut k, 0);
+    let s_hi = view(&mut k, LEN);
+    assert_eq!(k.read_mem(s_lo, WINDOW, 1), vec![0xAA]);
+    assert_eq!(k.read_mem(s_hi, WINDOW, 1), vec![0xBB]);
+}

@@ -1,0 +1,217 @@
+//! The common-operation matrix: create, get-state, set-state, move,
+//! reference, destroy — exercised through the system-call interface for
+//! **all nine** primitive object types.
+
+use fluke_api::abi::{ARG_COUNT, ARG_HANDLE, ARG_RBUF, ARG_SBUF, ARG_VAL};
+use fluke_api::state::ObjStateFrame;
+use fluke_api::{ErrorCode, ObjType, Sys};
+use fluke_arch::UserRegs;
+use fluke_core::{Config, Kernel};
+use fluke_user::checkpoint::{create_sys, destroy_sys, get_state_sys, set_state_sys, SyscallAgent};
+use fluke_user::proc::ChildProc;
+
+/// The move entrypoint for a type.
+fn move_sys(ty: ObjType) -> Sys {
+    match ty {
+        ObjType::Mutex => Sys::MutexMove,
+        ObjType::Cond => Sys::CondMove,
+        ObjType::Mapping => Sys::MappingMove,
+        ObjType::Region => Sys::RegionMove,
+        ObjType::Port => Sys::PortMove,
+        ObjType::Portset => Sys::PsetMove,
+        ObjType::Space => Sys::SpaceMove,
+        ObjType::Thread => Sys::ThreadMove,
+        ObjType::Reference => Sys::RefMove,
+    }
+}
+
+/// The reference entrypoint for a type.
+fn reference_sys(ty: ObjType) -> Sys {
+    match ty {
+        ObjType::Mutex => Sys::MutexReference,
+        ObjType::Cond => Sys::CondReference,
+        ObjType::Mapping => Sys::MappingReference,
+        ObjType::Region => Sys::RegionReference,
+        ObjType::Port => Sys::PortReference,
+        ObjType::Portset => Sys::PsetReference,
+        ObjType::Space => Sys::SpaceReference,
+        ObjType::Thread => Sys::ThreadReference,
+        ObjType::Reference => Sys::RefReference,
+    }
+}
+
+/// Create-one-of-`ty` arguments (type-specific creates take extra args).
+fn create_regs(ty: ObjType, vaddr: u32, p: &ChildProc) -> UserRegs {
+    let mut regs = UserRegs::new();
+    regs.set(ARG_HANDLE, vaddr);
+    match ty {
+        ObjType::Region => {
+            regs.set(ARG_COUNT, 0x4000); // size
+            regs.set(ARG_VAL, p.mem_base); // base
+            regs.set(ARG_SBUF, 0); // no keeper
+        }
+        ObjType::Mapping => {
+            // Requires an existing region handle in esi; the caller wires
+            // one up before invoking.
+        }
+        _ => {}
+    }
+    regs
+}
+
+#[test]
+fn full_common_operation_matrix_for_all_nine_types() {
+    for cfg in [Config::process_np(), Config::interrupt_np()] {
+        let mut k = Kernel::new(cfg);
+        let mut p = ChildProc::with_mem(&mut k, 0x0010_0000, 0x10_000);
+        let agent = SyscallAgent::new(&mut k, p.space, 20);
+        let scratch = p.mem_base + 0x8000;
+        // A pre-existing region so Mapping creation has a source.
+        let h_region0 = p.alloc_obj();
+        k.loader_region(p.space, h_region0, p.mem_base, 0x4000, None);
+
+        for ty in ObjType::ALL {
+            let vaddr = p.alloc_obj();
+            // -- create --
+            let mut regs = create_regs(ty, vaddr, &p);
+            if ty == ObjType::Mapping {
+                regs.set(ARG_COUNT, 0x1000);
+                regs.set(ARG_VAL, 0x0200_0000);
+                regs.set(ARG_SBUF, h_region0);
+                regs.set(ARG_RBUF, 0);
+            }
+            let (code, _) = agent.call_checked(&mut k, create_sys(ty), regs);
+            assert_eq!(code, ErrorCode::Success, "create {ty}");
+
+            // -- get_state --
+            let words = ObjStateFrame::words_for(ty) as u32;
+            let mut regs = UserRegs::new();
+            regs.set(ARG_HANDLE, vaddr);
+            regs.set(ARG_SBUF, scratch);
+            regs.set(ARG_COUNT, words);
+            let (code, out) = agent.call_checked(&mut k, get_state_sys(ty), regs);
+            assert_eq!(code, ErrorCode::Success, "get_state {ty}");
+            assert_eq!(out.get(ARG_VAL), words, "get_state {ty} word count");
+
+            // -- set_state (idempotent: write back what was read) --
+            let mut regs = UserRegs::new();
+            regs.set(ARG_HANDLE, vaddr);
+            regs.set(ARG_SBUF, scratch);
+            regs.set(ARG_COUNT, words);
+            let (code, _) = agent.call_checked(&mut k, set_state_sys(ty), regs);
+            assert_eq!(code, ErrorCode::Success, "set_state {ty}");
+
+            // -- move (rename) --
+            let new_vaddr = p.alloc_obj();
+            let mut regs = UserRegs::new();
+            regs.set(ARG_HANDLE, vaddr);
+            regs.set(ARG_VAL, new_vaddr);
+            let (code, _) = agent.call_checked(&mut k, move_sys(ty), regs);
+            assert_eq!(code, ErrorCode::Success, "move {ty}");
+            // The old handle is dead.
+            let mut regs = UserRegs::new();
+            regs.set(ARG_HANDLE, vaddr);
+            regs.set(ARG_SBUF, scratch);
+            regs.set(ARG_COUNT, words);
+            let (code, _) = agent.call_checked(&mut k, get_state_sys(ty), regs);
+            assert_eq!(code, ErrorCode::InvalidHandle, "stale handle {ty}");
+
+            // -- reference --
+            let h_ref = p.alloc_obj();
+            let mut regs = UserRegs::new();
+            regs.set(ARG_HANDLE, h_ref);
+            let (code, _) = agent.call_checked(&mut k, Sys::RefCreate, regs);
+            assert_eq!(code, ErrorCode::Success, "ref_create for {ty}");
+            let mut regs = UserRegs::new();
+            regs.set(ARG_HANDLE, new_vaddr);
+            regs.set(ARG_VAL, h_ref);
+            let (code, _) = agent.call_checked(&mut k, reference_sys(ty), regs);
+            assert_eq!(code, ErrorCode::Success, "reference {ty}");
+
+            // -- destroy (via the reference-refreshed handle) --
+            let mut regs = UserRegs::new();
+            regs.set(ARG_HANDLE, new_vaddr);
+            let (code, _) = agent.call_checked(&mut k, destroy_sys(ty), regs);
+            assert_eq!(code, ErrorCode::Success, "destroy {ty}");
+            let mut regs = UserRegs::new();
+            regs.set(ARG_HANDLE, new_vaddr);
+            regs.set(ARG_SBUF, scratch);
+            regs.set(ARG_COUNT, words);
+            let (code, _) = agent.call_checked(&mut k, get_state_sys(ty), regs);
+            assert_eq!(code, ErrorCode::InvalidHandle, "destroyed handle {ty}");
+
+            // Clean up the helper reference for the next round.
+            let mut regs = UserRegs::new();
+            regs.set(ARG_HANDLE, h_ref);
+            let (code, _) = agent.call_checked(&mut k, Sys::RefDestroy, regs);
+            assert_eq!(code, ErrorCode::Success);
+        }
+    }
+}
+
+#[test]
+fn create_at_occupied_slot_reports_already_exists() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::new(&mut k);
+    let agent = SyscallAgent::new(&mut k, p.space, 20);
+    let vaddr = p.alloc_obj();
+    let mut regs = UserRegs::new();
+    regs.set(ARG_HANDLE, vaddr);
+    let (code, _) = agent.call_checked(&mut k, Sys::MutexCreate, regs);
+    assert_eq!(code, ErrorCode::Success);
+    let mut regs = UserRegs::new();
+    regs.set(ARG_HANDLE, vaddr);
+    let (code, _) = agent.call_checked(&mut k, Sys::CondCreate, regs);
+    assert_eq!(code, ErrorCode::AlreadyExists);
+}
+
+#[test]
+fn get_state_with_short_buffer_reports_too_small() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::new(&mut k);
+    let agent = SyscallAgent::new(&mut k, p.space, 20);
+    let vaddr = p.alloc_obj();
+    let t_obj = p.alloc_obj();
+    let mut regs = UserRegs::new();
+    regs.set(ARG_HANDLE, vaddr);
+    agent.call_checked(&mut k, Sys::MutexCreate, regs);
+    // A thread frame needs 18 words; offer 3.
+    let mut regs = UserRegs::new();
+    regs.set(ARG_HANDLE, t_obj);
+    agent.call_checked(&mut k, Sys::ThreadCreate, regs);
+    let mut regs = UserRegs::new();
+    regs.set(ARG_HANDLE, t_obj);
+    regs.set(ARG_SBUF, p.mem_base + 0x3000);
+    regs.set(ARG_COUNT, 3);
+    let (code, _) = agent.call_checked(&mut k, Sys::ThreadGetState, regs);
+    assert_eq!(code, ErrorCode::BufferTooSmall);
+}
+
+#[test]
+fn wrong_type_handles_rejected_for_every_specific_op() {
+    let mut k = Kernel::new(Config::interrupt_np());
+    let mut p = ChildProc::new(&mut k);
+    let agent = SyscallAgent::new(&mut k, p.space, 20);
+    let h_port = p.alloc_obj();
+    let mut regs = UserRegs::new();
+    regs.set(ARG_HANDLE, h_port);
+    agent.call_checked(&mut k, Sys::PortCreate, regs);
+    for sys in [
+        Sys::MutexLock,
+        Sys::MutexTrylock,
+        Sys::MutexUnlock,
+        Sys::CondSignal,
+        Sys::CondBroadcast,
+        Sys::RegionProtect,
+        Sys::MappingProtect,
+        Sys::RegionPopulate,
+        Sys::PsetWait,
+        Sys::ThreadInterrupt,
+    ] {
+        let mut regs = UserRegs::new();
+        regs.set(ARG_HANDLE, h_port);
+        regs.set(ARG_COUNT, 4);
+        let (code, _) = agent.call_checked(&mut k, sys, regs);
+        assert_eq!(code, ErrorCode::WrongType, "{}", sys.name());
+    }
+}

@@ -1,0 +1,358 @@
+//! User-level checkpointing — the paper's flagship application of the
+//! atomic API (§4.1, \[31\]).
+//!
+//! Because every kernel operation is interruptible and restartable, the
+//! complete state of a process is: (a) its memory bytes, (b) the state
+//! frames of the kernel objects living in that memory, and (c) for each
+//! thread, its register frame — *nothing else*. A thread blocked deep in a
+//! multi-stage IPC is captured as "registers about to call
+//! `ipc_client_send_more`"; re-created and resumed, it re-issues the call
+//! and continues where it left off.
+//!
+//! The checkpointer here is a *manager*: an unprivileged party that can
+//! name the child's objects because it maps the child's memory into its
+//! own space at the same addresses (an identity window; see
+//! [`identity_window`]). Every interaction with the child goes through the
+//! ordinary system-call API via a [`SyscallAgent`] — a manager thread the
+//! host drives one call at a time, exactly like a debugger stub.
+
+use fluke_api::abi::{ARG_COUNT, ARG_HANDLE, ARG_SBUF, ARG_VAL};
+use fluke_api::state::ThreadStateFrame;
+use fluke_api::{ErrorCode, ObjStateFrame, ObjType, Sys};
+use fluke_arch::{Assembler, Reg, UserRegs};
+use fluke_core::{Kernel, ObjId, RunExit, SpaceId};
+
+use serde::{Deserialize, Serialize};
+
+/// One checkpointed kernel object.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ObjectRecord {
+    /// The object's handle (virtual address) in the child.
+    pub vaddr: u32,
+    /// Its type.
+    pub ty: ObjType,
+    /// Its exported state frame, in wire (word) format.
+    pub words: Vec<u32>,
+}
+
+/// A complete checkpoint of a space.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointImage {
+    /// Base of the captured memory window.
+    pub mem_base: u32,
+    /// The captured memory bytes.
+    pub memory: Vec<u8>,
+    /// Kernel objects found in the window, in enumeration order.
+    pub records: Vec<ObjectRecord>,
+}
+
+/// A manager thread driven one system call at a time.
+///
+/// Each call spawns a fresh two-instruction program (`syscall; halt`) with
+/// the desired argument registers, runs the kernel until it halts, and
+/// returns the final registers. The kernel side is byte-for-byte the same
+/// code path an ordinary process takes.
+pub struct SyscallAgent {
+    /// The manager space the agent runs in.
+    pub space: SpaceId,
+    /// Scheduling priority (should outrank the workload).
+    pub priority: u32,
+    prog: fluke_arch::ProgramId,
+}
+
+impl SyscallAgent {
+    /// Create an agent in `space`.
+    pub fn new(k: &mut Kernel, space: SpaceId, priority: u32) -> SyscallAgent {
+        let mut a = Assembler::new("agent");
+        a.syscall();
+        a.halt();
+        let prog = k.register_program(a.finish());
+        SyscallAgent {
+            space,
+            priority,
+            prog,
+        }
+    }
+
+    /// Issue one system call with the given argument registers; returns
+    /// the registers at completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent cannot complete within a generous cycle budget
+    /// (which would mean the manager itself got wedged — a test failure).
+    pub fn call(&self, k: &mut Kernel, sys: Sys, mut regs: UserRegs) -> UserRegs {
+        regs.set(Reg::Eax, sys.num());
+        regs.eip = 0;
+        let t = k.spawn_thread(self.space, self.prog, regs, self.priority);
+        // Run in short slices so control returns promptly once the agent
+        // halts — the checkpointed workload should advance as little as
+        // possible while the manager operates.
+        let deadline = k.now() + 2_000_000_000;
+        loop {
+            let exit = k.run(Some((k.now() + 10_000).min(deadline)));
+            if k.thread_halted(t) {
+                break;
+            }
+            match exit {
+                RunExit::TimeLimit if k.now() >= deadline => {
+                    panic!("syscall agent wedged running {sys:?}")
+                }
+                RunExit::TimeLimit => {}
+                RunExit::Deadlock => panic!("deadlock while agent ran {sys:?}"),
+                RunExit::AllHalted => break,
+            }
+        }
+        *k.thread_regs(t)
+    }
+
+    /// Issue a call and return `(result_code, final_regs)`.
+    pub fn call_checked(&self, k: &mut Kernel, sys: Sys, regs: UserRegs) -> (ErrorCode, UserRegs) {
+        let out = self.call(k, sys, regs);
+        let code = ErrorCode::from_u32(out.get(Reg::Eax)).unwrap_or(ErrorCode::InvalidArg);
+        (code, out)
+    }
+}
+
+/// Map `[base, base+len)` of `child` into `manager` at the same addresses,
+/// so the manager can name the child's objects by the child's own handles.
+/// Returns the (region, mapping) objects implementing the window.
+pub fn identity_window(
+    k: &mut Kernel,
+    manager: SpaceId,
+    manager_scratch: u32,
+    child: SpaceId,
+    base: u32,
+    len: u32,
+) -> (ObjId, ObjId) {
+    // The region object (exporting the child's window) and the mapping
+    // object (importing it into the manager) both live in the manager's
+    // scratch page.
+    let mut slot = manager_scratch;
+    while k.object_at(manager, slot).is_some() {
+        slot += 32;
+    }
+    let region = k.loader_region_at(manager, slot, child, base, len, None);
+    let mut mslot = slot + 32;
+    while k.object_at(manager, mslot).is_some() {
+        mslot += 32;
+    }
+    let mapping = k.loader_mapping(manager, mslot, manager, base, len, region, 0, true);
+    (region, mapping)
+}
+
+/// The scratch buffer the agent uses for state frames (one page of the
+/// manager's memory).
+fn scratch_addr(mem_base: u32) -> u32 {
+    mem_base + 0xF00
+}
+
+/// Checkpoint `[base, base+len)` of a child space through the API.
+///
+/// `space_handle` is the manager's handle for the child's Space object;
+/// the window `[base, len)` must be identity-visible to the manager (see
+/// [`identity_window`]). `manager_mem` is a scratch page of the manager.
+pub fn checkpoint_space(
+    k: &mut Kernel,
+    agent: &SyscallAgent,
+    space_handle: u32,
+    base: u32,
+    len: u32,
+    manager_mem: u32,
+) -> CheckpointImage {
+    let scratch = scratch_addr(manager_mem);
+    let mut records = Vec::new();
+    let mut cursor = base;
+    let limit = base.saturating_add(len);
+    loop {
+        // region_search(space, cursor, limit)
+        let mut regs = UserRegs::new();
+        regs.set(ARG_HANDLE, space_handle);
+        regs.set(ARG_VAL, cursor);
+        regs.set(ARG_COUNT, limit);
+        let (code, out) = agent.call_checked(k, Sys::RegionSearch, regs);
+        if code == ErrorCode::NotFound {
+            break;
+        }
+        assert_eq!(code, ErrorCode::Success, "region_search failed");
+        let vaddr = out.get(fluke_api::abi::ARG_SBUF);
+        let ty = ObjType::from_u32(out.get(fluke_api::abi::ARG_RBUF)).expect("valid type");
+        cursor = out.get(ARG_VAL);
+        // <type>_get_state(vaddr, scratch, max_words)
+        let nwords = ObjStateFrame::words_for(ty) as u32;
+        let mut regs = UserRegs::new();
+        regs.set(ARG_HANDLE, vaddr);
+        regs.set(ARG_SBUF, scratch);
+        regs.set(ARG_COUNT, nwords);
+        let (code, _) = agent.call_checked(k, get_state_sys(ty), regs);
+        assert_eq!(code, ErrorCode::Success, "get_state({ty}) failed");
+        let bytes = k.read_mem(agent.space, scratch, nwords * 4);
+        let words: Vec<u32> = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        records.push(ObjectRecord { vaddr, ty, words });
+    }
+    // Memory snapshot through the identity window.
+    let memory = k.read_mem(agent.space, base, len);
+    CheckpointImage {
+        mem_base: base,
+        memory,
+        records,
+    }
+}
+
+/// Restore an image into a fresh child space whose window is already
+/// identity-visible to the manager and writable.
+///
+/// `new_space_handle` is the manager's handle for the new Space object.
+/// Object tokens inside frames (mapping→region, thread→space) are resolved
+/// in the manager's naming; thread frames get their `space_token`
+/// rewritten to `new_space_handle` so restored threads run in the new
+/// space.
+pub fn restore_space(
+    k: &mut Kernel,
+    agent: &SyscallAgent,
+    image: &CheckpointImage,
+    new_space_handle: u32,
+    manager_mem: u32,
+) {
+    let scratch = scratch_addr(manager_mem);
+    // Memory first: object creation requires writable mapped pages, and
+    // the bytes do not disturb object state (objects key off physical
+    // location, and these are fresh frames).
+    k.write_mem(agent.space, image.mem_base, &image.memory);
+    // Creation order: ports/psets/regions before mappings/refs; threads
+    // last so everything they might immediately touch exists.
+    let order = |ty: ObjType| match ty {
+        ObjType::Portset => 0,
+        ObjType::Port => 1,
+        ObjType::Region => 2,
+        ObjType::Mapping => 3,
+        ObjType::Mutex | ObjType::Cond => 4,
+        ObjType::Space => 5,
+        ObjType::Reference => 6,
+        ObjType::Thread => 7,
+    };
+    let mut recs: Vec<&ObjectRecord> = image.records.iter().collect();
+    recs.sort_by_key(|r| (order(r.ty), r.vaddr));
+    for rec in recs {
+        // <type>_create(vaddr, ...) with type-specific arguments pulled
+        // from the frame.
+        let mut regs = UserRegs::new();
+        regs.set(ARG_HANDLE, rec.vaddr);
+        match rec.ty {
+            ObjType::Region => {
+                // frame: [base, size, keeper]
+                regs.set(ARG_COUNT, rec.words[1]);
+                regs.set(ARG_VAL, rec.words[0]);
+                regs.set(ARG_SBUF, rec.words[2]);
+            }
+            ObjType::Mapping => {
+                // frame: [base, size, region_token, offset]
+                regs.set(ARG_COUNT, rec.words[1]);
+                regs.set(ARG_VAL, rec.words[0]);
+                regs.set(ARG_SBUF, rec.words[2]);
+                regs.set(fluke_api::abi::ARG_RBUF, rec.words[3]);
+            }
+            _ => {}
+        }
+        let (code, _) = agent.call_checked(k, create_sys(rec.ty), regs);
+        assert!(
+            code == ErrorCode::Success || code == ErrorCode::AlreadyExists,
+            "create({}) failed: {code:?}",
+            rec.ty
+        );
+        // <type>_set_state(vaddr, scratch, words)
+        let mut words = rec.words.clone();
+        if rec.ty == ObjType::Thread {
+            let mut f = ThreadStateFrame::from_words(&words).expect("thread frame");
+            f.space_token = new_space_handle;
+            words = f.to_words().to_vec();
+        }
+        let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
+        k.write_mem(agent.space, scratch, &bytes);
+        let mut regs = UserRegs::new();
+        regs.set(ARG_HANDLE, rec.vaddr);
+        regs.set(ARG_SBUF, scratch);
+        regs.set(ARG_COUNT, words.len() as u32);
+        let (code, _) = agent.call_checked(k, set_state_sys(rec.ty), regs);
+        assert_eq!(code, ErrorCode::Success, "set_state({}) failed", rec.ty);
+    }
+}
+
+/// The `*_get_state` entrypoint for a type.
+pub fn get_state_sys(ty: ObjType) -> Sys {
+    match ty {
+        ObjType::Mutex => Sys::MutexGetState,
+        ObjType::Cond => Sys::CondGetState,
+        ObjType::Mapping => Sys::MappingGetState,
+        ObjType::Region => Sys::RegionGetState,
+        ObjType::Port => Sys::PortGetState,
+        ObjType::Portset => Sys::PsetGetState,
+        ObjType::Space => Sys::SpaceGetState,
+        ObjType::Thread => Sys::ThreadGetState,
+        ObjType::Reference => Sys::RefGetState,
+    }
+}
+
+/// The `*_set_state` entrypoint for a type.
+pub fn set_state_sys(ty: ObjType) -> Sys {
+    match ty {
+        ObjType::Mutex => Sys::MutexSetState,
+        ObjType::Cond => Sys::CondSetState,
+        ObjType::Mapping => Sys::MappingSetState,
+        ObjType::Region => Sys::RegionSetState,
+        ObjType::Port => Sys::PortSetState,
+        ObjType::Portset => Sys::PsetSetState,
+        ObjType::Space => Sys::SpaceSetState,
+        ObjType::Thread => Sys::ThreadSetState,
+        ObjType::Reference => Sys::RefSetState,
+    }
+}
+
+/// The `*_create` entrypoint for a type.
+pub fn create_sys(ty: ObjType) -> Sys {
+    match ty {
+        ObjType::Mutex => Sys::MutexCreate,
+        ObjType::Cond => Sys::CondCreate,
+        ObjType::Mapping => Sys::MappingCreate,
+        ObjType::Region => Sys::RegionCreate,
+        ObjType::Port => Sys::PortCreate,
+        ObjType::Portset => Sys::PsetCreate,
+        ObjType::Space => Sys::SpaceCreate,
+        ObjType::Thread => Sys::ThreadCreate,
+        ObjType::Reference => Sys::RefCreate,
+    }
+}
+
+/// The `*_destroy` entrypoint for a type.
+pub fn destroy_sys(ty: ObjType) -> Sys {
+    match ty {
+        ObjType::Mutex => Sys::MutexDestroy,
+        ObjType::Cond => Sys::CondDestroy,
+        ObjType::Mapping => Sys::MappingDestroy,
+        ObjType::Region => Sys::RegionDestroy,
+        ObjType::Port => Sys::PortDestroy,
+        ObjType::Portset => Sys::PsetDestroy,
+        ObjType::Space => Sys::SpaceDestroy,
+        ObjType::Thread => Sys::ThreadDestroy,
+        ObjType::Reference => Sys::RefDestroy,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sys_maps_cover_all_types() {
+        for ty in ObjType::ALL {
+            // Each map must return an entrypoint of the right family name.
+            assert!(get_state_sys(ty).name().ends_with("_get_state"));
+            assert!(set_state_sys(ty).name().ends_with("_set_state"));
+            assert!(create_sys(ty).name().ends_with("_create"));
+            assert!(destroy_sys(ty).name().ends_with("_destroy"));
+        }
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! `fluke-user`: the user-mode runtime of the Fluke reproduction
+//! ("libfluke").
+//!
+//! Everything in this crate runs **above** the kernel API:
+//!
+//! * [`asm_ext`] — assembler extensions emitting system-call sequences, so
+//!   workload programs read like libfluke calls;
+//! * [`proc`] — host-side helpers that play the role of the boot loader /
+//!   parent manager: set up spaces, memory windows, and standard objects;
+//! * [`pager`] — a user-level memory manager: an ordinary user program that
+//!   serves page-fault exception IPC on a keeper port with
+//!   `region_populate`;
+//! * [`checkpoint`] — a user-level checkpointer built purely from
+//!   `region_search` + `get_state`/`set_state`, demonstrating the paper's
+//!   claim that an atomic API lets ordinary processes capture and rebuild
+//!   the complete state of other processes;
+//! * [`migrate`] — process migration between two kernel instances, built
+//!   on the checkpoint image format.
+
+pub mod asm_ext;
+pub mod checkpoint;
+pub mod migrate;
+pub mod pager;
+pub mod proc;
+
+pub use asm_ext::FlukeAsm;
+pub use checkpoint::{checkpoint_space, restore_space, CheckpointImage, ObjectRecord};
+pub use migrate::migrate_space;
+pub use pager::PagerSetup;
+pub use proc::ChildProc;

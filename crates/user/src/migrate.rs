@@ -1,0 +1,121 @@
+//! Process migration between kernel instances.
+//!
+//! Migration is checkpoint + ship + restore: extract the complete state of
+//! a space on the source machine (kernel instance), move the image — plus
+//! the program texts it references — to the destination, and rebuild.
+//! Per the paper (§4.1), the atomic API is what makes the extracted state
+//! *correct*: a thread re-created from its frame "behaves
+//! indistinguishably from the original."
+
+use std::collections::HashMap;
+
+use fluke_api::state::ThreadStateFrame;
+use fluke_api::ObjType;
+use fluke_arch::ProgramId;
+use fluke_core::Kernel;
+
+use crate::checkpoint::{restore_space, CheckpointImage, SyscallAgent};
+
+/// Rewrite the program ids inside an image's thread frames using `map`
+/// (source-kernel id → destination-kernel id).
+pub fn rewrite_programs(image: &mut CheckpointImage, map: &HashMap<ProgramId, ProgramId>) {
+    for rec in &mut image.records {
+        if rec.ty == ObjType::Thread {
+            let mut f = ThreadStateFrame::from_words(&rec.words).expect("thread frame");
+            if let Some(new) = map.get(&f.program) {
+                f.program = *new;
+                rec.words = f.to_words().to_vec();
+            }
+        }
+    }
+}
+
+/// Ship the program texts referenced by `image` from `src` to `dst`,
+/// returning the id translation map.
+pub fn ship_programs(
+    src: &Kernel,
+    dst: &mut Kernel,
+    image: &CheckpointImage,
+) -> HashMap<ProgramId, ProgramId> {
+    let mut map = HashMap::new();
+    for rec in &image.records {
+        if rec.ty == ObjType::Thread {
+            let f = ThreadStateFrame::from_words(&rec.words).expect("thread frame");
+            if f.program.0 == u64::MAX || map.contains_key(&f.program) {
+                continue;
+            }
+            let text = src
+                .program(f.program)
+                .expect("image references a registered program");
+            let new = dst.register_program((*text).clone());
+            map.insert(f.program, new);
+        }
+    }
+    map
+}
+
+/// Migrate a checkpointed space into a destination kernel: ship program
+/// texts, rewrite ids, and restore through the destination's manager
+/// agent. The destination window must already be set up (memory granted
+/// and identity-visible) exactly as for [`restore_space`].
+pub fn migrate_space(
+    src: &Kernel,
+    dst: &mut Kernel,
+    agent: &SyscallAgent,
+    mut image: CheckpointImage,
+    new_space_handle: u32,
+    manager_mem: u32,
+) {
+    let map = ship_programs(src, dst, &image);
+    rewrite_programs(&mut image, &map);
+    restore_space(dst, agent, &image, new_space_handle, manager_mem);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::ObjectRecord;
+    use fluke_arch::UserRegs;
+
+    fn thread_record(prog: u64) -> ObjectRecord {
+        let f = ThreadStateFrame {
+            regs: UserRegs::new(),
+            program: ProgramId(prog),
+            space_token: 0,
+            priority: 8,
+            runnable: 1,
+            ipc_phase: 0,
+        };
+        ObjectRecord {
+            vaddr: 0x1000,
+            ty: ObjType::Thread,
+            words: f.to_words().to_vec(),
+        }
+    }
+
+    #[test]
+    fn rewrite_programs_updates_thread_frames() {
+        let mut image = CheckpointImage {
+            mem_base: 0,
+            memory: vec![],
+            records: vec![thread_record(3)],
+        };
+        let mut map = HashMap::new();
+        map.insert(ProgramId(3), ProgramId(7));
+        rewrite_programs(&mut image, &map);
+        let f = ThreadStateFrame::from_words(&image.records[0].words).unwrap();
+        assert_eq!(f.program, ProgramId(7));
+    }
+
+    #[test]
+    fn rewrite_ignores_unmapped_ids() {
+        let mut image = CheckpointImage {
+            mem_base: 0,
+            memory: vec![],
+            records: vec![thread_record(5)],
+        };
+        rewrite_programs(&mut image, &HashMap::new());
+        let f = ThreadStateFrame::from_words(&image.records[0].words).unwrap();
+        assert_eq!(f.program, ProgramId(5));
+    }
+}

@@ -1,0 +1,128 @@
+//! Process setup: the role a parent manager (or the boot loader) plays
+//! when constructing children.
+//!
+//! Conventions used throughout the workloads and tests:
+//!
+//! * a process's private memory starts at [`MEM_BASE`];
+//! * kernel objects live in the first page of that memory (the *object
+//!   page*), allocated 32 bytes apart;
+//! * a manager that wants to checkpoint a child maps the child's memory
+//!   into its own space *at the same addresses* (an identity window), so
+//!   handles enumerated from the child resolve identically in the manager.
+
+use fluke_arch::cost::Cycles;
+use fluke_arch::{Program, ProgramId, UserRegs};
+use fluke_core::{Kernel, RunExit, SpaceId, ThreadId};
+
+/// Default base of a process's private memory.
+pub const MEM_BASE: u32 = 0x0010_0000;
+/// Default size of a process's private memory.
+pub const MEM_LEN: u32 = 0x0001_0000; // 64KB
+/// Spacing between kernel objects on the object page.
+pub const OBJ_STRIDE: u32 = 32;
+
+/// A simple process: a space with directly granted (boot) memory.
+#[derive(Debug, Clone, Copy)]
+pub struct ChildProc {
+    /// The process's space.
+    pub space: SpaceId,
+    /// Base of its private memory.
+    pub mem_base: u32,
+    /// Length of its private memory.
+    pub mem_len: u32,
+    /// Next free object slot on the object page.
+    pub next_obj: u32,
+}
+
+impl ChildProc {
+    /// Create a process with `MEM_LEN` bytes of directly granted memory.
+    pub fn new(k: &mut Kernel) -> ChildProc {
+        Self::with_mem(k, MEM_BASE, MEM_LEN)
+    }
+
+    /// Create a process with a specific memory window.
+    pub fn with_mem(k: &mut Kernel, base: u32, len: u32) -> ChildProc {
+        let space = k.create_space();
+        k.grant_pages(space, base, len, true);
+        ChildProc {
+            space,
+            mem_base: base,
+            mem_len: len,
+            next_obj: base,
+        }
+    }
+
+    /// Reserve the next object slot (a handle address).
+    pub fn alloc_obj(&mut self) -> u32 {
+        let v = self.next_obj;
+        self.next_obj += OBJ_STRIDE;
+        v
+    }
+
+    /// Register `prog` and start a thread running it at priority `prio`.
+    pub fn start(&self, k: &mut Kernel, prog: Program, prio: u32) -> ThreadId {
+        let pid = k.register_program(prog);
+        self.start_registered(k, pid, UserRegs::new(), prio)
+    }
+
+    /// Start a thread from an already registered program with given regs.
+    pub fn start_registered(
+        &self,
+        k: &mut Kernel,
+        prog: ProgramId,
+        regs: UserRegs,
+        prio: u32,
+    ) -> ThreadId {
+        k.spawn_thread(self.space, prog, regs, prio)
+    }
+}
+
+/// Run the kernel until every thread in `threads` has halted (or the cycle
+/// budget is exhausted). Service threads (pagers, servers) may legitimately
+/// remain blocked — [`RunExit::Deadlock`] with all target threads halted is
+/// success.
+///
+/// Returns `true` if all target threads halted.
+pub fn run_to_halt(k: &mut Kernel, threads: &[ThreadId], budget: Cycles) -> bool {
+    let deadline = k.now() + budget;
+    // One bounded run suffices: the kernel returns only at the deadline or
+    // when nothing can run anymore.
+    let _exit: RunExit = k.run(Some(deadline));
+    threads.iter().all(|&t| k.thread_halted(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm_ext::FlukeAsm;
+    use fluke_api::Sys;
+    use fluke_arch::Assembler;
+    use fluke_core::Config;
+
+    #[test]
+    fn child_proc_runs_a_program() {
+        let mut k = Kernel::new(Config::process_np());
+        let mut p = ChildProc::new(&mut k);
+        let h = p.alloc_obj();
+        let mut a = Assembler::new("t");
+        a.sys_h(Sys::MutexCreate, h);
+        a.mutex_lock(h);
+        a.mutex_unlock(h);
+        a.halt();
+        let t = p.start(&mut k, a.finish(), 8);
+        assert!(run_to_halt(&mut k, &[t], 10_000_000));
+        assert_eq!(
+            k.thread_regs(t).get(fluke_arch::Reg::Eax),
+            fluke_api::ErrorCode::Success as u32
+        );
+    }
+
+    #[test]
+    fn obj_slots_do_not_overlap() {
+        let mut k = Kernel::new(Config::process_np());
+        let mut p = ChildProc::new(&mut k);
+        let a = p.alloc_obj();
+        let b = p.alloc_obj();
+        assert!(b >= a + OBJ_STRIDE);
+    }
+}

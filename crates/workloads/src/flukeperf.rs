@@ -1,0 +1,240 @@
+//! flukeperf: the synchronization + IPC microbenchmark suite.
+//!
+//! "It performs a large number of kernel calls and context switches"
+//! (§5.3). Phases, all with statically fixed work so every configuration
+//! measures the identical workload:
+//!
+//! 1. null system calls (the Trivial path);
+//! 2. uncontended mutex lock/unlock pairs (the Short path);
+//! 3. condition-variable signals (Short);
+//! 4. small RPCs against an echo server — the context-switch mill;
+//! 5. medium one-way sends (64KB) into a sink server — the IPC copy path
+//!    with its preemption points;
+//! 6. a few large sends (1.5MB) — the long kernel operations that bound
+//!    NP preemption latency (Table 6 max ≈ 7.4ms);
+//! 7. `region_search` sweeps — the long *non-IPC* kernel path without a
+//!    partial-preemption point (bounds PP latency, ≈ 1.2ms).
+
+use fluke_api::{ObjType, Sys};
+use fluke_arch::Assembler;
+use fluke_core::{Config, Kernel};
+use fluke_user::proc::ChildProc;
+use fluke_user::FlukeAsm;
+
+use crate::common::{counted_loop, WorkloadRun};
+
+/// Phase sizes. `paper()` approximates the published run length (~7s at
+/// 200MHz); `quick()` is for tests.
+#[derive(Debug, Clone)]
+pub struct FlukeperfParams {
+    /// Null system calls.
+    pub nulls: u32,
+    /// Mutex lock/unlock pairs.
+    pub mutex_pairs: u32,
+    /// Condition-variable signals.
+    pub cond_signals: u32,
+    /// Small echo RPCs (64 bytes each way).
+    pub small_rpcs: u32,
+    /// Medium one-way sends.
+    pub medium_sends: u32,
+    /// Bytes per medium send.
+    pub medium_size: u32,
+    /// Large one-way sends.
+    pub big_sends: u32,
+    /// Bytes per large send.
+    pub big_size: u32,
+    /// `region_search` sweeps.
+    pub searches: u32,
+    /// Pages per sweep.
+    pub search_pages: u32,
+}
+
+impl FlukeperfParams {
+    /// Full-size run approximating the paper's (≈5-7 simulated seconds).
+    pub fn paper() -> Self {
+        FlukeperfParams {
+            nulls: 300_000,
+            mutex_pairs: 300_000,
+            cond_signals: 150_000,
+            small_rpcs: 150_000,
+            medium_sends: 2_000,
+            medium_size: 64 << 10,
+            big_sends: 8,
+            big_size: 1_536 << 10,
+            searches: 170,
+            search_pages: 300,
+        }
+    }
+
+    /// Scaled-down run for tests (finishes in well under a second).
+    pub fn quick() -> Self {
+        FlukeperfParams {
+            nulls: 500,
+            mutex_pairs: 500,
+            cond_signals: 300,
+            small_rpcs: 200,
+            medium_sends: 6,
+            medium_size: 64 << 10,
+            big_sends: 1,
+            big_size: 256 << 10,
+            searches: 4,
+            search_pages: 50,
+        }
+    }
+}
+
+// Client-space layout.
+const C_MEM: u32 = 0x0020_0000;
+const C_CTR: u32 = C_MEM + 0x100; // loop counter cells
+const C_SMALL: u32 = C_MEM + 0x1000; // 64B RPC buffers
+const C_REPLY: u32 = C_MEM + 0x1100;
+const C_BIG: u32 = C_MEM + 0x10_000; // up to 1.5MB send buffer
+const SEARCH_BASE: u32 = 0x0500_0000; // swept (empty) range
+
+// Server-space layout.
+const S_MEM: u32 = 0x0010_0000;
+const S_BUF: u32 = S_MEM + 0x10_000;
+
+/// Build flukeperf on a fresh kernel with the given configuration.
+pub fn build(cfg: Config, p: &FlukeperfParams) -> WorkloadRun {
+    let mut k = Kernel::new(cfg);
+    let big = p.big_size.max(p.medium_size);
+
+    // Server process: two ports (echo RPCs, sink for one-way sends).
+    let mut server = ChildProc::with_mem(&mut k, S_MEM, 0x8000);
+    k.grant_pages(server.space, S_BUF, big + 0x1000, true);
+    let h_rpc_port = server.alloc_obj();
+    let h_sink_port = server.alloc_obj();
+    let rpc_port = k.loader_create(server.space, h_rpc_port, ObjType::Port);
+    let sink_port = k.loader_create(server.space, h_sink_port, ObjType::Port);
+
+    // Client process.
+    let mut client = ChildProc::with_mem(&mut k, C_MEM, 0x8000);
+    k.grant_pages(client.space, C_BIG, big + 0x1000, true);
+    let h_mutex = client.alloc_obj();
+    let h_cond = client.alloc_obj();
+    let h_rpc_ref = client.alloc_obj();
+    let h_sink_ref = client.alloc_obj();
+    k.loader_ref(client.space, h_rpc_ref, rpc_port);
+    k.loader_ref(client.space, h_sink_ref, sink_port);
+
+    // Echo server: receive up to 64, reply with the same buffer.
+    let mut a = Assembler::new("flukeperf-echo");
+    a.label("loop");
+    a.server_wait_receive(h_rpc_port, S_BUF, 64);
+    a.server_ack_send(S_BUF, 64);
+    a.jmp("loop");
+    let echo = server.start(&mut k, a.finish(), 9);
+
+    // Sink server: swallow whole messages, drop the connection, repeat.
+    let mut a = Assembler::new("flukeperf-sink");
+    a.label("loop");
+    a.server_wait_receive(h_sink_port, S_BUF, big);
+    a.sys(Sys::IpcServerDisconnect);
+    a.jmp("loop");
+    let sink = server.start(&mut k, a.finish(), 9);
+    let _ = (echo, sink);
+
+    // The client: all phases in order.
+    let mut a = Assembler::new("flukeperf");
+    a.sys_h(Sys::MutexCreate, h_mutex);
+    a.sys_h(Sys::CondCreate, h_cond);
+    if p.nulls > 0 {
+        counted_loop(&mut a, "nulls", C_CTR, p.nulls, |a| {
+            a.sys(Sys::SysNull);
+            a.compute(50); // inter-call application work
+        });
+    }
+    if p.mutex_pairs > 0 {
+        counted_loop(&mut a, "mutexes", C_CTR + 4, p.mutex_pairs, |a| {
+            a.mutex_lock(h_mutex);
+            a.compute(100); // critical-section work
+            a.mutex_unlock(h_mutex);
+        });
+    }
+    if p.cond_signals > 0 {
+        counted_loop(&mut a, "conds", C_CTR + 8, p.cond_signals, |a| {
+            a.cond_signal(h_cond);
+            a.compute(100);
+        });
+    }
+    if p.small_rpcs > 0 {
+        counted_loop(&mut a, "rpcs", C_CTR + 12, p.small_rpcs, |a| {
+            a.client_rpc(h_rpc_ref, C_SMALL, 64, C_REPLY, 64);
+            a.compute(3_000); // request construction / reply processing
+        });
+    }
+    if p.medium_sends > 0 {
+        let size = p.medium_size;
+        counted_loop(&mut a, "mediums", C_CTR + 16, p.medium_sends, move |a| {
+            a.client_connect_send(h_sink_ref, C_BIG, size);
+            a.client_disconnect();
+        });
+    }
+    if p.big_sends > 0 {
+        let size = p.big_size;
+        counted_loop(&mut a, "bigs", C_CTR + 20, p.big_sends, move |a| {
+            a.client_connect_send(h_sink_ref, C_BIG, size);
+            a.client_disconnect();
+        });
+    }
+    if p.searches > 0 {
+        let limit = SEARCH_BASE + p.search_pages * fluke_api::abi::PAGE_SIZE;
+        counted_loop(&mut a, "searches", C_CTR + 24, p.searches, move |a| {
+            a.movi(fluke_api::abi::ARG_HANDLE, 0);
+            a.movi(fluke_api::abi::ARG_VAL, SEARCH_BASE);
+            a.movi(fluke_api::abi::ARG_COUNT, limit);
+            a.sys(Sys::RegionSearch);
+        });
+    }
+    a.halt();
+    let main = client.start(&mut k, a.finish(), 8);
+
+    WorkloadRun {
+        kernel: k,
+        main_threads: vec![main],
+        label: "flukeperf",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+
+    #[test]
+    fn quick_flukeperf_completes_on_every_configuration() {
+        for cfg in Config::all_five() {
+            let label = cfg.label;
+            let run = build(cfg, &FlukeperfParams::quick());
+            let res = run_workload(run, 5_000_000_000);
+            assert!(res.elapsed > 0, "{label}: no time elapsed");
+            assert!(
+                res.stats.ipc_messages >= 200,
+                "{label}: too few messages ({})",
+                res.stats.ipc_messages
+            );
+            assert!(res.stats.ctx_switches > 400, "{label}: too few switches");
+        }
+    }
+
+    #[test]
+    fn interrupt_model_not_slower_on_flukeperf() {
+        // The paper's headline flukeperf effect: the interrupt model saves
+        // kernel-register save/restore on every context switch.
+        let np = run_workload(
+            build(Config::process_np(), &FlukeperfParams::quick()),
+            5_000_000_000,
+        );
+        let int_np = run_workload(
+            build(Config::interrupt_np(), &FlukeperfParams::quick()),
+            5_000_000_000,
+        );
+        assert!(
+            int_np.elapsed < np.elapsed,
+            "interrupt {} !< process {}",
+            int_np.elapsed,
+            np.elapsed
+        );
+    }
+}

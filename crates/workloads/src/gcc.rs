@@ -1,0 +1,215 @@
+//! gcc: a compile pipeline.
+//!
+//! "Compile a single .c file. This test includes running the front end,
+//! the C preprocessor, C compiler, assembler and linker to produce a
+//! runnable Fluke binary" (§5.3). The reproduction models each tool as a
+//! process in its own space that (a) waits for the previous stage,
+//! (b) reads its input from a file server over IPC in 8KB chunks,
+//! (c) works over demand-paged working memory (exercising the pager like
+//! a real compiler's heap), (d) burns the dominant user-mode compute, and
+//! (e) writes its output back over IPC. The profile is exactly what
+//! Table 5 needs: overwhelmingly user-mode, with a modest syscall/fault
+//! seasoning.
+
+use fluke_api::{ObjType, Sys};
+use fluke_arch::{Assembler, Reg};
+use fluke_core::{Config, Kernel};
+use fluke_user::pager::PagerSetup;
+use fluke_user::proc::ChildProc;
+use fluke_user::FlukeAsm;
+
+use crate::common::{counted_loop, WorkloadRun};
+
+/// Pipeline shape.
+#[derive(Debug, Clone)]
+pub struct GccParams {
+    /// Number of tool stages (front end, cpp, cc1, as, ld = 5).
+    pub stages: u32,
+    /// 8KB input chunks each stage reads over IPC.
+    pub chunks_per_stage: u32,
+    /// Pages of demand-paged working memory each stage touches.
+    pub work_pages: u32,
+    /// User-mode compute per stage, in `compute(5000)` quanta.
+    pub compute_quanta: u32,
+}
+
+impl GccParams {
+    /// Full-size run (≈6-7 simulated seconds, like the paper's 7150ms).
+    pub fn paper() -> Self {
+        GccParams {
+            stages: 5,
+            chunks_per_stage: 50,
+            work_pages: 1_000,
+            compute_quanta: 50_000,
+        }
+    }
+
+    /// Scaled-down run for tests.
+    pub fn quick() -> Self {
+        GccParams {
+            stages: 3,
+            chunks_per_stage: 3,
+            work_pages: 4,
+            compute_quanta: 500,
+        }
+    }
+}
+
+const FS_MEM: u32 = 0x0010_0000;
+const FS_BUF: u32 = FS_MEM + 0x4000;
+const STAGE_MEM: u32 = 0x0030_0000;
+const WORK_BASE: u32 = 0x0600_0000;
+
+/// Build the gcc pipeline.
+pub fn build(cfg: Config, p: &GccParams) -> WorkloadRun {
+    let mut k = Kernel::new(cfg);
+    let pager = PagerSetup::boot(&mut k, 64 << 20, 12);
+
+    // File server: one thread serves reads (16-byte request → 8KB data),
+    // another serves writes (8KB data → 16-byte ack). Fixed message shapes
+    // keep every window exact.
+    let mut fs = ChildProc::with_mem(&mut k, FS_MEM, 0x8000);
+    k.grant_pages(fs.space, FS_BUF, 32 << 10, true);
+    let h_read_port = fs.alloc_obj();
+    let h_write_port = fs.alloc_obj();
+    let read_port = k.loader_create(fs.space, h_read_port, ObjType::Port);
+    let write_port = k.loader_create(fs.space, h_write_port, ObjType::Port);
+    let mut a = Assembler::new("gcc-fs-read");
+    a.label("loop");
+    a.server_wait_receive(h_read_port, FS_BUF, 16);
+    a.server_ack_send(FS_BUF, 8192);
+    a.jmp("loop");
+    let _fs_read = fs.start(&mut k, a.finish(), 9);
+    let mut a = Assembler::new("gcc-fs-write");
+    a.label("loop");
+    a.server_wait_receive(h_write_port, FS_BUF + 0x3000, 8192);
+    a.server_ack_send(FS_BUF + 0x3000, 16);
+    a.jmp("loop");
+    let _fs_write = fs.start(&mut k, a.finish(), 9);
+
+    // Stages, each in its own space with a demand-paged working window.
+    // Stage i>0 waits on a Thread object at `base + 0x400` in its own
+    // space, wired up after all stages are created.
+    let mut mains = Vec::new();
+    for stage in 0..p.stages {
+        let base = STAGE_MEM + stage * 0x0002_0000;
+        let mut proc = ChildProc::with_mem(&mut k, base, 0x8000);
+        k.grant_pages(proc.space, base + 0x10_000, 16 << 10, true); // io buffers
+        let h_read_ref = proc.alloc_obj();
+        let h_write_ref = proc.alloc_obj();
+        k.loader_ref(proc.space, h_read_ref, read_port);
+        k.loader_ref(proc.space, h_write_ref, write_port);
+        // Demand-paged working memory, a distinct slice per stage.
+        let work = WORK_BASE;
+        let mut slot = 0x1a00;
+        while k.object_at(pager.space, slot).is_some() {
+            slot += 32;
+        }
+        k.loader_mapping(
+            pager.space,
+            slot,
+            proc.space,
+            work,
+            (p.work_pages + 1) * 4096,
+            pager.region,
+            stage * (p.work_pages + 1) * 4096,
+            true,
+        );
+
+        let io_in = base + 0x10_000;
+        let io_req = base + 0x13_000;
+        let ctr = base + 0x200;
+        let mut a = Assembler::new("gcc-stage");
+        // Wait for the previous stage to finish (pipeline ordering).
+        if stage > 0 {
+            a.sys_h(Sys::ThreadWait, base + 0x400);
+        }
+        // Read the input over IPC.
+        if p.chunks_per_stage > 0 {
+            counted_loop(&mut a, "read", ctr, p.chunks_per_stage, |a| {
+                a.client_rpc(h_read_ref, io_req, 16, io_in, 8192);
+            });
+        }
+        // Touch the working set (demand-paged: one fault per page).
+        // `counted_loop` clobbers ebp/edx, so the walk uses esi/ebx.
+        if p.work_pages > 0 {
+            a.movi(Reg::Esi, work);
+            a.movi(Reg::Ebx, 0x5a);
+            counted_loop(&mut a, "touch", ctr + 4, p.work_pages, |a| {
+                a.storeb(Reg::Esi, 0, Reg::Ebx);
+                a.addi(Reg::Esi, 4096);
+            });
+        }
+        // The dominant phase: user-mode compute.
+        if p.compute_quanta > 0 {
+            counted_loop(&mut a, "compute", ctr + 8, p.compute_quanta, |a| {
+                a.compute(5_000);
+            });
+        }
+        // Write the output back.
+        if p.chunks_per_stage > 0 {
+            counted_loop(&mut a, "write", ctr + 12, p.chunks_per_stage, |a| {
+                a.client_rpc(h_write_ref, io_in, 8192, io_req, 16);
+            });
+        }
+        a.halt();
+        let t = proc.start(&mut k, a.finish(), 8);
+        mains.push(t);
+    }
+    // Wire the join handles: stage i+1 waits on stage i.
+    for (i, window) in mains.windows(2).enumerate() {
+        let prev = window[0];
+        let base = STAGE_MEM + ((i as u32) + 1) * 0x0002_0000;
+        let space = {
+            // Recover the space of stage i+1 from its thread.
+            let t = window[1];
+            k.thread_space(t).expect("stage space")
+        };
+        k.loader_thread_object(space, base + 0x400, prev);
+    }
+    WorkloadRun {
+        kernel: k,
+        main_threads: mains,
+        label: "gcc",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::common::run_workload;
+
+    #[test]
+    fn quick_gcc_pipeline_completes() {
+        let res = run_workload(
+            build(Config::process_np(), &GccParams::quick()),
+            50_000_000_000,
+        );
+        // 3 stages × (3 reads + 3 writes) RPCs plus pager traffic.
+        assert!(res.stats.ipc_messages >= 18);
+        assert!(res.stats.hard_faults >= 9, "working sets must fault");
+    }
+
+    #[test]
+    fn gcc_is_user_mode_dominated() {
+        let res = run_workload(
+            build(Config::process_np(), &GccParams::quick()),
+            50_000_000_000,
+        );
+        assert!(
+            res.stats.user_cycles > res.stats.kernel_cycles,
+            "user {} !> kernel {}",
+            res.stats.user_cycles,
+            res.stats.kernel_cycles
+        );
+    }
+
+    #[test]
+    fn gcc_completes_on_all_configurations() {
+        for cfg in Config::all_five() {
+            let label = cfg.label;
+            let res = run_workload(build(cfg, &GccParams::quick()), 50_000_000_000);
+            assert!(res.elapsed > 0, "{label} failed");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+#![warn(missing_docs)]
+//! The benchmark applications of the paper's evaluation (§5.3):
+//!
+//! * [`flukeperf`] — "a series of tests to time various synchronization and
+//!   IPC primitives. It performs a large number of kernel calls and context
+//!   switches";
+//! * [`memtest`] — "accesses 16MB of memory one byte at a time
+//!   sequentially ... under a memory manager which allocates memory on
+//!   demand, exercising kernel fault handling and the exception IPC
+//!   facility";
+//! * [`gcc`] — a compile: a pipeline of user-mode-compute-heavy stages
+//!   (front end, cpp, cc1, as, ld) reading and writing their data over
+//!   IPC, with demand-paged working memory;
+//! * [`latency`] — the Table 6 probe: a high-priority kernel thread
+//!   scheduled every millisecond whose wakeup-to-dispatch delay is the
+//!   preemption latency.
+//!
+//! Every workload builds deterministically from a [`fluke_core::Config`],
+//! so cross-configuration comparisons (Table 5/6) measure exactly the same
+//! work.
+
+pub mod common;
+pub mod flukeperf;
+pub mod gcc;
+pub mod latency;
+pub mod memtest;
+
+pub use common::{run_workload, RunResult, WorkloadRun};
+pub use flukeperf::FlukeperfParams;
+pub use gcc::GccParams;
+pub use latency::LatencyProbe;

@@ -1,0 +1,116 @@
+//! User-level checkpointing — the paper's flagship application (§4.1).
+//!
+//! A manager checkpoints a *running* child mid-computation using nothing
+//! but the ordinary system-call API (`region_search`, `*_get_state`),
+//! then rebuilds it from the image in a fresh space and lets the clone run
+//! to completion. Because every kernel operation is atomic, the frozen
+//! thread's registers are its complete continuation.
+//!
+//! Run with: `cargo run --example checkpoint_restore`
+
+use fluke_arch::{Assembler, Cond, Reg};
+use fluke_core::{Config, Kernel};
+use fluke_user::checkpoint::{checkpoint_space, identity_window, restore_space, SyscallAgent};
+use fluke_user::FlukeAsm;
+
+const CHILD_BASE: u32 = 0x0040_0000;
+const CHILD_LEN: u32 = 0x4000;
+const H_MUTEX: u32 = CHILD_BASE;
+const COUNTER: u32 = CHILD_BASE + 0x1000;
+const DONE: u32 = CHILD_BASE + 0x1004;
+const TARGET: u32 = 500;
+
+fn build_worker() -> fluke_arch::Program {
+    let mut a = Assembler::new("worker");
+    a.sys_h(fluke_api::Sys::MutexCreate, H_MUTEX);
+    a.label("loop");
+    a.mutex_lock(H_MUTEX);
+    a.movi(Reg::Ebp, COUNTER);
+    a.load(Reg::Edx, Reg::Ebp, 0);
+    a.addi(Reg::Edx, 1);
+    a.store(Reg::Ebp, 0, Reg::Edx);
+    a.mutex_unlock(H_MUTEX);
+    a.compute(4_000);
+    a.movi(Reg::Ebp, COUNTER);
+    a.load(Reg::Edx, Reg::Ebp, 0);
+    a.cmpi(Reg::Edx, TARGET);
+    a.jcc(Cond::Lt, "loop");
+    a.store_const(DONE, 0xD00D);
+    a.halt();
+    a.finish()
+}
+
+/// Set up a (manager, child, agent) trio in `kernel`.
+fn make_world(kernel: &mut Kernel, mgr_mem: u32) -> (SyscallAgent, fluke_core::SpaceId, u32) {
+    let manager = kernel.create_space();
+    kernel.grant_pages(manager, mgr_mem, 0x2000, true);
+    let child = kernel.create_space();
+    kernel.grant_pages(child, CHILD_BASE, CHILD_LEN, true);
+    identity_window(
+        kernel,
+        manager,
+        mgr_mem + 0x1000,
+        child,
+        CHILD_BASE,
+        CHILD_LEN,
+    );
+    let handle = mgr_mem + 0x1800;
+    kernel.loader_space_object(manager, handle, child);
+    (SyscallAgent::new(kernel, manager, 20), child, handle)
+}
+
+fn main() {
+    let mut kernel = Kernel::new(Config::process_np());
+    let mgr_mem = 0x0010_0000;
+    let (agent, child, child_handle) = make_world(&mut kernel, mgr_mem);
+
+    let pid = kernel.register_program(build_worker());
+    let worker = kernel.spawn_thread(child, pid, fluke_arch::UserRegs::new(), 8);
+    kernel.loader_thread_object(child, CHILD_BASE + 64, worker);
+
+    // Let the worker get partway through its 500 iterations.
+    kernel.run(Some(1_000_000));
+    let mid = kernel.read_mem_u32(child, COUNTER);
+    println!("checkpointing at counter = {mid} / {TARGET}");
+
+    let image = checkpoint_space(
+        &mut kernel,
+        &agent,
+        child_handle,
+        CHILD_BASE,
+        CHILD_LEN,
+        mgr_mem,
+    );
+    println!(
+        "image: {} bytes of memory, {} kernel objects ({:?})",
+        image.memory.len(),
+        image.records.len(),
+        image.records.iter().map(|r| r.ty).collect::<Vec<_>>()
+    );
+
+    // Build a second, fresh child and restore into it.
+    let mgr2 = 0x0060_0000;
+    let (agent2, child2, child2_handle) = make_world(&mut kernel, mgr2);
+    restore_space(&mut kernel, &agent2, &image, child2_handle, mgr2);
+    println!(
+        "restored clone starts at counter = {}",
+        kernel.read_mem_u32(child2, COUNTER)
+    );
+
+    // Run everything to completion: both the original and the clone finish.
+    let deadline = kernel.now() + 2_000_000_000;
+    while kernel.read_mem_u32(child2, DONE) != 0xD00D || kernel.read_mem_u32(child, DONE) != 0xD00D
+    {
+        if kernel.run(Some(deadline)) != fluke_core::RunExit::TimeLimit {
+            break;
+        }
+    }
+    println!(
+        "original finished at {}, clone finished at {}",
+        kernel.read_mem_u32(child, COUNTER),
+        kernel.read_mem_u32(child2, COUNTER)
+    );
+    assert_eq!(kernel.read_mem_u32(child, COUNTER), TARGET);
+    assert_eq!(kernel.read_mem_u32(child2, COUNTER), TARGET);
+    println!("both reached {TARGET}: the clone resumed exactly where the snapshot froze it");
+}

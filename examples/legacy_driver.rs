@@ -1,0 +1,141 @@
+//! Legacy process-model code under an interrupt-model kernel (paper §5.6).
+//!
+//! The Fluke trick: run the legacy code in **user mode but in the kernel's
+//! address space**. The "driver" below is ordinary process-model code — it
+//! blocks, loops, keeps state on its own stack-like memory — yet the core
+//! kernel stays a pure interrupt-model kernel. Privileged operations
+//! (allocating kernel memory, installing an interrupt binding) are
+//! *exported* to such threads through a special system call; a thread in a
+//! normal space is refused.
+//!
+//! "Hardware" interrupts are modeled by a device thread that fires one-way
+//! messages at the driver's port on a timer.
+//!
+//! Run with: `cargo run --example legacy_driver`
+
+use fluke_api::abi::{ARG_COUNT, ARG_HANDLE, ARG_RBUF, ARG_SBUF, ARG_VAL};
+use fluke_api::{ErrorCode, ObjType, Sys};
+use fluke_arch::cost::ms_to_cycles;
+use fluke_arch::{Assembler, Cond, Reg};
+use fluke_core::{Config, Kernel, RunState};
+use fluke_user::proc::ChildProc;
+use fluke_user::FlukeAsm;
+
+const DRV_MEM: u32 = 0x0001_0000;
+const H_PORT: u32 = DRV_MEM;
+const MSG: u32 = DRV_MEM + 0x100;
+const COUNT: u32 = DRV_MEM + 0x200;
+const KMEM_AT: u32 = 0x0009_0000; // where the driver maps its kernel frame
+
+fn main() {
+    // A pure interrupt-model kernel — the configuration where legacy
+    // process-model code is supposedly impossible to host.
+    let mut kernel = Kernel::new(Config::interrupt_np());
+
+    // The driver's space aliases the kernel: user-mode execution,
+    // kernel-mode privileges via the exported facilities.
+    let drv_space = kernel.create_kernel_alias_space();
+    kernel.grant_pages(drv_space, DRV_MEM, 0x1000, true);
+    let port = kernel.loader_create(drv_space, H_PORT, ObjType::Port);
+
+    // The legacy driver: allocate a kernel frame, register its IRQ, then
+    // serve interrupts forever (classic process-model service loop).
+    let mut a = Assembler::new("legacy-driver");
+    // kcall 0x100: allocate a kernel frame mapped at KMEM_AT.
+    a.movi(ARG_HANDLE, 0x100);
+    a.movi(ARG_SBUF, KMEM_AT);
+    a.sys(Sys::SysStats);
+    // kcall 0x101: install interrupt handler for IRQ 5.
+    a.movi(ARG_HANDLE, 0x101);
+    a.movi(ARG_VAL, 5);
+    a.sys(Sys::SysStats);
+    a.label("service");
+    a.movi(ARG_HANDLE, H_PORT);
+    a.movi(ARG_RBUF, MSG);
+    a.movi(ARG_COUNT, 16);
+    a.sys(Sys::IpcWaitReceiveOneway);
+    // Count the interrupt in the kernel frame it allocated.
+    a.movi(Reg::Ebp, KMEM_AT);
+    a.load(Reg::Edx, Reg::Ebp, 0);
+    a.addi(Reg::Edx, 1);
+    a.store(Reg::Ebp, 0, Reg::Edx);
+    a.store_const(COUNT, 0); // scratch
+    a.jmp("service");
+    let did = kernel.register_program(a.finish());
+    let driver = kernel.spawn_thread(drv_space, did, fluke_arch::UserRegs::new(), 14);
+
+    // A normal (non-alias) process trying the same privileged call is
+    // refused — access control for the exported facilities.
+    let mut probe = ChildProc::with_mem(&mut kernel, 0x0030_0000, 0x2000);
+    let _ = probe.alloc_obj();
+    let mut a = Assembler::new("unprivileged");
+    a.movi(ARG_HANDLE, 0x100);
+    a.movi(ARG_SBUF, 0x0031_0000);
+    a.sys(Sys::SysStats);
+    a.halt();
+    let probe_t = probe.start(&mut kernel, a.finish(), 8);
+
+    // The "device": fires 10 interrupts at 2ms intervals, as one-way
+    // messages to the driver's port, sleeping in between.
+    let mut dev = ChildProc::with_mem(&mut kernel, 0x0050_0000, 0x2000);
+    let h_ref = dev.alloc_obj();
+    kernel.loader_ref(dev.space, h_ref, port);
+    let mut a = Assembler::new("device");
+    a.movi(Reg::Ebp, dev.mem_base + 0x800);
+    a.movi(Reg::Edx, 10);
+    a.store(Reg::Ebp, 0, Reg::Edx);
+    a.label("fire");
+    a.movi(ARG_HANDLE, h_ref);
+    a.movi(ARG_SBUF, dev.mem_base + 0x900);
+    a.movi(ARG_COUNT, 4);
+    a.sys(Sys::IpcSendOneway);
+    a.sys(Sys::ThreadSleep); // woken by the timer below
+    a.movi(Reg::Ebp, dev.mem_base + 0x800);
+    a.load(Reg::Edx, Reg::Ebp, 0);
+    a.subi(Reg::Edx, 1);
+    a.store(Reg::Ebp, 0, Reg::Edx);
+    a.cmpi(Reg::Edx, 0);
+    a.jcc(Cond::Ne, "fire");
+    a.halt();
+    let dev_t = dev.start(&mut kernel, a.finish(), 10);
+    // Timer wakes for the device's sleeps.
+    for i in 1..=10u64 {
+        kernel.wake_at(dev_t, ms_to_cycles(2 * i));
+    }
+
+    // Run until the device has fired everything.
+    let deadline = kernel.now() + ms_to_cycles(100);
+    while !kernel.thread_halted(dev_t) {
+        if kernel.run(Some(deadline)) != fluke_core::RunExit::TimeLimit {
+            break;
+        }
+    }
+    kernel.run(Some(kernel.now() + ms_to_cycles(5)));
+
+    let served = kernel.read_mem_u32(drv_space, KMEM_AT);
+    println!(
+        "kernel model          : {} (pure interrupt model)",
+        kernel.cfg.label
+    );
+    println!("driver space          : kernel alias (user mode, kernel view)");
+    println!("interrupts fired      : 10");
+    println!("interrupts served     : {served}");
+    println!(
+        "privileged kcalls     : {:?} (driver) vs {:?} (normal process)",
+        ErrorCode::Success,
+        ErrorCode::from_u32(kernel.thread_regs(probe_t).get(Reg::Eax)).unwrap()
+    );
+    println!(
+        "driver is now         : {:?} (a process-model loop, blocked in its receive)",
+        kernel.thread_run_state(driver)
+    );
+    assert_eq!(served, 10);
+    assert_eq!(
+        kernel.thread_regs(probe_t).get(Reg::Eax),
+        ErrorCode::PermissionDenied as u32
+    );
+    assert!(matches!(
+        kernel.thread_run_state(driver),
+        RunState::Blocked(_)
+    ));
+}

@@ -1,0 +1,91 @@
+//! Process migration between two kernel instances — and between the two
+//! *execution models*: the image checkpointed on a process-model kernel
+//! restores onto an interrupt-model kernel, because the exported state is
+//! model-independent by construction (paper §4.1, §5).
+//!
+//! Run with: `cargo run --example migration`
+
+use fluke_arch::{Assembler, Cond, Reg};
+use fluke_core::{Config, Kernel};
+use fluke_user::checkpoint::{checkpoint_space, identity_window, SyscallAgent};
+use fluke_user::migrate::migrate_space;
+use fluke_user::FlukeAsm;
+
+const CHILD_BASE: u32 = 0x0040_0000;
+const CHILD_LEN: u32 = 0x4000;
+const COUNTER: u32 = CHILD_BASE + 0x1000;
+const DONE: u32 = CHILD_BASE + 0x1004;
+const TARGET: u32 = 300;
+const MGR_MEM: u32 = 0x0010_0000;
+
+fn worker() -> fluke_arch::Program {
+    let mut a = Assembler::new("traveller");
+    a.label("loop");
+    a.movi(Reg::Ebp, COUNTER);
+    a.load(Reg::Edx, Reg::Ebp, 0);
+    a.addi(Reg::Edx, 1);
+    a.store(Reg::Ebp, 0, Reg::Edx);
+    a.compute(3_000);
+    a.cmpi(Reg::Edx, TARGET);
+    a.jcc(Cond::Lt, "loop");
+    a.store_const(DONE, 0xBEEF);
+    a.halt();
+    a.finish()
+}
+
+fn make_world(kernel: &mut Kernel) -> (SyscallAgent, fluke_core::SpaceId, u32) {
+    let manager = kernel.create_space();
+    kernel.grant_pages(manager, MGR_MEM, 0x2000, true);
+    let child = kernel.create_space();
+    kernel.grant_pages(child, CHILD_BASE, CHILD_LEN, true);
+    identity_window(
+        kernel,
+        manager,
+        MGR_MEM + 0x1000,
+        child,
+        CHILD_BASE,
+        CHILD_LEN,
+    );
+    let handle = MGR_MEM + 0x1800;
+    kernel.loader_space_object(manager, handle, child);
+    (SyscallAgent::new(kernel, manager, 20), child, handle)
+}
+
+fn main() {
+    // Source machine: process-model kernel.
+    let mut src = Kernel::new(Config::process_np());
+    let (agent, child, handle) = make_world(&mut src);
+    let pid = src.register_program(worker());
+    let t = src.spawn_thread(child, pid, fluke_arch::UserRegs::new(), 8);
+    src.loader_thread_object(child, CHILD_BASE + 64, t);
+
+    src.run(Some(800_000));
+    let mid = src.read_mem_u32(child, COUNTER);
+    println!(
+        "source ({}): froze the worker at {mid}/{TARGET}",
+        src.cfg.label
+    );
+    let image = checkpoint_space(&mut src, &agent, handle, CHILD_BASE, CHILD_LEN, MGR_MEM);
+
+    // Destination machine: *interrupt-model* kernel.
+    let mut dst = Kernel::new(Config::interrupt_pp());
+    let (dagent, dchild, dhandle) = make_world(&mut dst);
+    migrate_space(&src, &mut dst, &dagent, image, dhandle, MGR_MEM);
+    let dst_label = dst.cfg.label;
+    let resumed_at = dst.read_mem_u32(dchild, COUNTER);
+    println!("destination ({dst_label}): resumed at {resumed_at}");
+
+    let deadline = dst.now() + 2_000_000_000;
+    while dst.read_mem_u32(dchild, DONE) != 0xBEEF {
+        if dst.run(Some(deadline)) != fluke_core::RunExit::TimeLimit {
+            break;
+        }
+    }
+    println!(
+        "destination: worker completed at {} — migrated across execution models",
+        dst.read_mem_u32(dchild, COUNTER)
+    );
+    assert_eq!(dst.read_mem_u32(dchild, COUNTER), TARGET);
+    // The source's copy never finished (we froze and shipped it mid-run).
+    assert!(src.read_mem_u32(child, COUNTER) >= mid);
+}

@@ -1,0 +1,14 @@
+#![warn(missing_docs)]
+//! `fluke` — facade crate for the reproduction of *Interface and Execution
+//! Models in the Fluke Kernel* (OSDI 1999).
+//!
+//! Re-exports the workspace crates under one roof; see the README for the
+//! architecture and EXPERIMENTS.md for the reproduced results. Start at
+//! [`fluke_core::Kernel`] and [`fluke_core::Config`], or run
+//! `cargo run --example quickstart`.
+
+pub use fluke_api;
+pub use fluke_arch;
+pub use fluke_core;
+pub use fluke_user;
+pub use fluke_workloads;

@@ -1,0 +1,121 @@
+//! Whole-API robustness: every one of the 107 entrypoints is invoked with
+//! adversarial argument patterns under multiple configurations. The kernel
+//! must never panic, never wedge the machine, and always leave the caller
+//! either cleanly completed (with a decodable result code) or benignly
+//! blocked at a restartable point.
+
+use fluke_api::{ErrorCode, ObjType, Sys, SYSCALLS};
+use fluke_arch::{Reg, UserRegs};
+use fluke_core::{Config, Kernel, RunState};
+use fluke_user::proc::ChildProc;
+
+/// Argument patterns thrown at every entrypoint.
+fn patterns(p: &ChildProc) -> Vec<[u32; 5]> {
+    let m = p.mem_base;
+    vec![
+        // All zeroes.
+        [0, 0, 0, 0, 0],
+        // Wild pointers.
+        [0xdead_beef, 0xffff_fff0, 0x8000_0000, 0x7fff_ffff, 1],
+        // Valid-looking memory, no objects there.
+        [m + 0x3000, 16, m + 0x3100, m + 0x3200, m + 0x3300],
+        // Page-boundary-straddling buffer addresses.
+        [m + 0xffe, u32::MAX, m + 0x1ffe, m + 0x2ffe, 4],
+    ]
+}
+
+/// Run one entrypoint with one pattern; the machine must stay sane.
+fn poke(cfg: &Config, sys: Sys, args: [u32; 5]) {
+    let mut k = Kernel::new(cfg.clone());
+    let mut p = ChildProc::new(&mut k);
+    // Give the probe a couple of real objects so handle-shaped args can
+    // also hit live objects of the wrong type.
+    let h_mutex = p.alloc_obj();
+    let h_port = p.alloc_obj();
+    k.loader_create(p.space, h_mutex, ObjType::Mutex);
+    k.loader_create(p.space, h_port, ObjType::Port);
+
+    let mut a = fluke_arch::Assembler::new("poke");
+    a.movi(Reg::Eax, sys.num());
+    a.syscall();
+    a.halt();
+    let prog = k.register_program(a.finish());
+    let mut regs = UserRegs::new();
+    regs.set(Reg::Ebx, args[0]);
+    regs.set(Reg::Ecx, args[1]);
+    regs.set(Reg::Edx, args[2]);
+    regs.set(Reg::Esi, args[3]);
+    regs.set(Reg::Edi, args[4]);
+    let t = k.spawn_thread(p.space, prog, regs, 8);
+
+    // Bounded run: blocking forever is legal for Long/Multi calls.
+    let exit = k.run(Some(5_000_000));
+    let _ = exit;
+    match k.thread_run_state(t) {
+        RunState::Halted => {
+            // Completed (or was destroyed for a fatal fault — also fine):
+            // if it returned, the result code must decode.
+            let eax = k.thread_regs(t).get(Reg::Eax);
+            if k.thread_regs(t).eip > 1 {
+                assert!(
+                    ErrorCode::from_u32(eax).is_some(),
+                    "{}: undecodable result {eax:#x} for args {args:x?}",
+                    sys.name()
+                );
+            }
+        }
+        RunState::Blocked(_) | RunState::Ready | RunState::Running(_) | RunState::Stopped => {
+            // Benignly parked; its registers must still be a plausible
+            // continuation (eip within the 3-instruction program).
+            assert!(
+                k.thread_regs(t).eip <= 2,
+                "{}: eip escaped the program for args {args:x?}",
+                sys.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn every_entrypoint_survives_adversarial_arguments() {
+    for cfg in [Config::process_np(), Config::interrupt_pp()] {
+        let mut k = Kernel::new(cfg.clone());
+        let p = ChildProc::new(&mut k);
+        for desc in SYSCALLS {
+            for pat in patterns(&p) {
+                poke(&cfg, desc.sys, pat);
+            }
+        }
+    }
+}
+
+#[test]
+fn every_entrypoint_survives_valid_handles_of_wrong_type() {
+    // Point every handle-argument at a live Port when most calls want
+    // something else — the type checks must fire, not panics.
+    let cfg = Config::process_np();
+    let mut probe_kernel = Kernel::new(cfg.clone());
+    let mut p = ChildProc::new(&mut probe_kernel);
+    let h = p.alloc_obj();
+    for desc in SYSCALLS {
+        poke(&cfg, desc.sys, [h, 4, h, h, h]);
+    }
+}
+
+#[test]
+fn invalid_entrypoint_number_is_rejected_cleanly() {
+    let mut k = Kernel::new(Config::interrupt_np());
+    let mut p = ChildProc::new(&mut k);
+    let _ = p.alloc_obj();
+    let mut a = fluke_arch::Assembler::new("bad");
+    a.movi(Reg::Eax, 9999);
+    a.syscall();
+    a.halt();
+    let t = p.start(&mut k, a.finish(), 8);
+    k.run(Some(1_000_000));
+    assert!(k.thread_halted(t));
+    assert_eq!(
+        k.thread_regs(t).get(Reg::Eax),
+        ErrorCode::InvalidEntrypoint as u32
+    );
+}

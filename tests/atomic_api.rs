@@ -1,0 +1,425 @@
+//! Tests of the paper's four atomic-API properties (§4.1–§4.3):
+//! promptness, correctness, interruptibility and restartability.
+
+use fluke_api::abi::{ARG_COUNT, ARG_HANDLE, ARG_SBUF, ARG_VAL};
+use fluke_api::state::{ThreadStateFrame, THREAD_FRAME_WORDS};
+use fluke_api::{ErrorCode, ObjType, Sys};
+use fluke_arch::{Assembler, Reg, UserRegs};
+use fluke_core::{Config, Kernel, RunState, WaitReason};
+use fluke_user::checkpoint::SyscallAgent;
+use fluke_user::proc::{run_to_halt, ChildProc};
+use fluke_user::FlukeAsm;
+
+/// `cond_wait` is the paper's worked multi-stage example (§4.3): before
+/// sleeping, the kernel rewrites the thread's entrypoint register to
+/// `mutex_lock` with the mutex argument in place, so any wake or interrupt
+/// retries only the re-lock stage.
+#[test]
+fn cond_wait_rewrites_continuation_to_mutex_lock() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::new(&mut k);
+    let h_mutex = p.alloc_obj();
+    let h_cond = p.alloc_obj();
+
+    let mut a = Assembler::new("waiter");
+    a.sys_h(Sys::MutexCreate, h_mutex);
+    a.sys_h(Sys::CondCreate, h_cond);
+    a.mutex_lock(h_mutex);
+    a.cond_wait(h_cond, h_mutex);
+    a.mutex_unlock(h_mutex);
+    a.halt();
+    let t = p.start(&mut k, a.finish(), 8);
+
+    // Run until the waiter is asleep on the condition variable.
+    k.run(Some(1_000_000));
+    assert!(matches!(
+        k.thread_run_state(t),
+        RunState::Blocked(WaitReason::Cond(_))
+    ));
+    // THE paper's claim, verbatim: the blocked thread's user-visible state
+    // is a pending `mutex_lock(mutex)` call.
+    let regs = k.thread_regs(t);
+    assert_eq!(regs.get(Reg::Eax), Sys::MutexLock.num());
+    assert_eq!(regs.get(ARG_HANDLE), h_mutex);
+
+    // A signal from a second thread completes the wait: the waiter
+    // re-acquires the mutex and runs to completion.
+    let mut a = Assembler::new("signaler");
+    a.mutex_lock(h_mutex);
+    a.cond_signal(h_cond);
+    a.mutex_unlock(h_mutex);
+    a.halt();
+    let s = p.start(&mut k, a.finish(), 8);
+    assert!(run_to_halt(&mut k, &[t, s], 10_000_000));
+}
+
+/// Promptness: extracting the state of a thread blocked in a Long call
+/// never waits on any user activity — the extractor runs and completes
+/// while the target stays blocked.
+#[test]
+fn get_state_of_blocked_thread_is_prompt() {
+    let mut k = Kernel::new(Config::interrupt_np());
+    let mut p = ChildProc::new(&mut k);
+    let h_mutex = p.alloc_obj();
+    let h_thread = p.alloc_obj();
+    let scratch = p.mem_base + 0x2000;
+
+    // Victim: lock the mutex twice — the second lock blocks forever.
+    let mut a = Assembler::new("victim");
+    a.sys_h(Sys::MutexCreate, h_mutex);
+    a.mutex_lock(h_mutex);
+    a.mutex_lock(h_mutex);
+    a.halt();
+    let victim = p.start(&mut k, a.finish(), 8);
+    k.run(Some(1_000_000));
+    assert!(matches!(
+        k.thread_run_state(victim),
+        RunState::Blocked(WaitReason::Mutex(_))
+    ));
+    k.loader_thread_object(p.space, h_thread, victim);
+
+    // Extractor: thread_get_state(victim) must complete promptly.
+    let mut a = Assembler::new("extractor");
+    a.movi(ARG_HANDLE, h_thread);
+    a.movi(ARG_SBUF, scratch);
+    a.movi(ARG_COUNT, THREAD_FRAME_WORDS as u32);
+    a.sys(Sys::ThreadGetState);
+    a.halt();
+    let ex = p.start(&mut k, a.finish(), 8);
+    assert!(
+        run_to_halt(&mut k, &[ex], 5_000_000),
+        "extraction not prompt"
+    );
+    assert_eq!(k.thread_regs(ex).get(Reg::Eax), ErrorCode::Success as u32);
+    // The victim is still blocked, untouched.
+    assert!(matches!(
+        k.thread_run_state(victim),
+        RunState::Blocked(WaitReason::Mutex(_))
+    ));
+    // The extracted frame shows a clean pending mutex_lock.
+    let words: Vec<u32> = (0..THREAD_FRAME_WORDS as u32)
+        .map(|i| k.read_mem_u32(p.space, scratch + i * 4))
+        .collect();
+    let frame = ThreadStateFrame::from_words(&words).unwrap();
+    assert_eq!(frame.regs.get(Reg::Eax), Sys::MutexLock.num());
+    assert_eq!(frame.regs.get(ARG_HANDLE), h_mutex);
+    assert_eq!(frame.runnable, 1);
+}
+
+/// Correctness (the paper's defining experiment): extract a thread's state
+/// at an arbitrary time, destroy the thread, create a fresh one, install
+/// the extracted state — the new thread behaves indistinguishably.
+#[test]
+fn destroy_and_recreate_from_extracted_state() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::new(&mut k);
+    let h_mutex = p.alloc_obj();
+    let h_thread = p.alloc_obj();
+    let h_thread2 = p.alloc_obj();
+    let result_addr = p.mem_base + 0x3000;
+
+    // Victim: block on a held mutex, then (when eventually unblocked)
+    // write a sentinel and halt.
+    let mut a = Assembler::new("victim");
+    a.mutex_lock(h_mutex); // blocks: mutex pre-locked below
+    a.store_const(result_addr, 0xC0FFEE);
+    a.halt();
+    let victim_prog = k.register_program(a.finish());
+
+    // Setup: create + pre-lock the mutex from a setup thread.
+    let mut a = Assembler::new("setup");
+    a.sys_h(Sys::MutexCreate, h_mutex);
+    a.mutex_lock(h_mutex);
+    a.halt();
+    let setup = p.start(&mut k, a.finish(), 8);
+    assert!(run_to_halt(&mut k, &[setup], 5_000_000));
+
+    let victim = p.start_registered(&mut k, victim_prog, UserRegs::new(), 8);
+    k.run(Some(2_000_000));
+    assert!(matches!(
+        k.thread_run_state(victim),
+        RunState::Blocked(WaitReason::Mutex(_))
+    ));
+    k.loader_thread_object(p.space, h_thread, victim);
+
+    // Host-side manager: extract, destroy, re-create, install.
+    let agent = SyscallAgent::new(&mut k, p.space, 20);
+    let scratch = p.mem_base + 0x3800;
+    let mut regs = UserRegs::new();
+    regs.set(ARG_HANDLE, h_thread);
+    regs.set(ARG_SBUF, scratch);
+    regs.set(ARG_COUNT, THREAD_FRAME_WORDS as u32);
+    let (code, _) = agent.call_checked(&mut k, Sys::ThreadGetState, regs);
+    assert_eq!(code, ErrorCode::Success);
+
+    let mut regs = UserRegs::new();
+    regs.set(ARG_HANDLE, h_thread);
+    let (code, _) = agent.call_checked(&mut k, Sys::ThreadDestroy, regs);
+    assert_eq!(code, ErrorCode::Success);
+    assert!(k.thread_halted(victim));
+
+    let mut regs = UserRegs::new();
+    regs.set(ARG_HANDLE, h_thread2);
+    let (code, _) = agent.call_checked(&mut k, Sys::ThreadCreate, regs);
+    assert_eq!(code, ErrorCode::Success);
+    let mut regs = UserRegs::new();
+    regs.set(ARG_HANDLE, h_thread2);
+    regs.set(ARG_SBUF, scratch);
+    regs.set(ARG_COUNT, THREAD_FRAME_WORDS as u32);
+    let (code, _) = agent.call_checked(&mut k, Sys::ThreadSetState, regs);
+    assert_eq!(code, ErrorCode::Success);
+
+    // The clone is blocked exactly where the original was: re-executing
+    // mutex_lock and waiting.
+    k.run(Some(1_000_000));
+    let clone = match k.object_at(p.space, h_thread2).map(|_| ()) {
+        Some(()) => {
+            // find the re-created thread by scanning: it is the only
+            // non-halted thread blocked on the mutex
+            (0..64)
+                .map(fluke_core::ThreadId)
+                .find(|t| {
+                    !k.thread_halted(*t)
+                        && matches!(
+                            k.thread_run_state(*t),
+                            RunState::Blocked(WaitReason::Mutex(_))
+                        )
+                })
+                .expect("clone re-blocked on the mutex")
+        }
+        None => panic!("thread object missing"),
+    };
+
+    // Unlock the mutex: the clone must resume and write the sentinel —
+    // indistinguishable from the original's future behaviour.
+    let mut a = Assembler::new("unlocker");
+    a.mutex_unlock(h_mutex);
+    a.halt();
+    let u = p.start(&mut k, a.finish(), 8);
+    assert!(run_to_halt(&mut k, &[u, clone], 10_000_000));
+    assert_eq!(k.read_mem_u32(p.space, result_addr), 0xC0FFEE);
+}
+
+/// `thread_interrupt` breaks a target out of a Long sleep with a visible
+/// `Interrupted` result, leaving a valid continuation for re-issue.
+#[test]
+fn interrupt_breaks_out_of_long_call() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::new(&mut k);
+    let h_thread = p.alloc_obj();
+    let rec = p.mem_base + 0x3000;
+
+    let mut a = Assembler::new("sleeper");
+    a.sys(Sys::ThreadSleep);
+    a.movi(Reg::Ebp, rec);
+    a.store(Reg::Ebp, 0, Reg::Eax);
+    a.halt();
+    let sleeper = p.start(&mut k, a.finish(), 8);
+    k.run(Some(1_000_000));
+    assert!(matches!(
+        k.thread_run_state(sleeper),
+        RunState::Blocked(WaitReason::Sleep)
+    ));
+    k.loader_thread_object(p.space, h_thread, sleeper);
+
+    let mut a = Assembler::new("interruptor");
+    a.sys_h(Sys::ThreadInterrupt, h_thread);
+    a.halt();
+    let i = p.start(&mut k, a.finish(), 8);
+    assert!(run_to_halt(&mut k, &[i, sleeper], 10_000_000));
+    assert_eq!(k.read_mem_u32(p.space, rec), ErrorCode::Interrupted as u32);
+}
+
+/// Restartability of Short calls: naming an object whose page is not yet
+/// derived in the caller's space page-faults, resolves through the
+/// hierarchy, and the call restarts transparently (paper §4.3's
+/// `port_reference` example).
+#[test]
+fn short_call_restarts_after_handle_fault() {
+    let mut k = Kernel::new(Config::interrupt_np());
+    // Parent owns the memory holding a mutex object.
+    let mut parent = ChildProc::with_mem(&mut k, 0x0010_0000, 0x4000);
+    let h_mutex = parent.alloc_obj();
+    k.loader_create(parent.space, h_mutex, ObjType::Mutex);
+    // Child imports the parent's page lazily (no PTEs yet): its first
+    // *naming* of the mutex faults and soft-resolves.
+    let child_space = k.create_space();
+    let region = k.loader_region_at(
+        parent.space,
+        parent.mem_base + 0x2000,
+        parent.space,
+        parent.mem_base,
+        0x4000,
+        None,
+    );
+    k.loader_mapping(
+        parent.space,
+        parent.mem_base + 0x2020,
+        child_space,
+        parent.mem_base,
+        0x4000,
+        region,
+        0,
+        true,
+    );
+    let mut a = Assembler::new("child");
+    a.sys_h(Sys::MutexTrylock, h_mutex);
+    a.halt();
+    let pid = k.register_program(a.finish());
+    let t = k.spawn_thread(child_space, pid, UserRegs::new(), 8);
+    assert!(run_to_halt(&mut k, &[t], 10_000_000));
+    assert_eq!(k.thread_regs(t).get(Reg::Eax), ErrorCode::Success as u32);
+    assert!(k.stats.soft_faults >= 1, "handle naming should soft-fault");
+}
+
+/// The `*_move` rename operation re-keys an object; the old handle stops
+/// resolving and the new one works.
+#[test]
+fn object_move_rekeys_handle() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::new(&mut k);
+    let h_old = p.alloc_obj();
+    let h_new = p.alloc_obj() + 0x1000; // elsewhere in the window
+    let rec = p.mem_base + 0x3000;
+
+    let mut a = Assembler::new("mover");
+    a.sys_h(Sys::MutexCreate, h_old);
+    a.sys_hv(Sys::MutexMove, h_old, h_new);
+    // Old handle must now be invalid; new must work.
+    a.sys_h(Sys::MutexTrylock, h_old);
+    a.movi(Reg::Ebp, rec);
+    a.store(Reg::Ebp, 0, Reg::Eax);
+    a.sys_h(Sys::MutexTrylock, h_new);
+    a.store(Reg::Ebp, 4, Reg::Eax);
+    a.halt();
+    let t = p.start(&mut k, a.finish(), 8);
+    assert!(run_to_halt(&mut k, &[t], 10_000_000));
+    assert_eq!(
+        k.read_mem_u32(p.space, rec),
+        ErrorCode::InvalidHandle as u32
+    );
+    assert_eq!(k.read_mem_u32(p.space, rec + 4), ErrorCode::Success as u32);
+}
+
+/// Destroying a mutex wakes its waiters, whose restarted `mutex_lock`
+/// observes the absence — teardown needs no special-case state.
+#[test]
+fn destroy_mutex_wakes_waiters_with_invalid_handle() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::new(&mut k);
+    let h_mutex = p.alloc_obj();
+    let rec = p.mem_base + 0x3000;
+
+    let mut a = Assembler::new("waiter");
+    a.sys_h(Sys::MutexCreate, h_mutex);
+    a.mutex_lock(h_mutex);
+    a.mutex_lock(h_mutex); // blocks
+    a.movi(Reg::Ebp, rec);
+    a.store(Reg::Ebp, 0, Reg::Eax);
+    a.halt();
+    let w = p.start(&mut k, a.finish(), 8);
+    k.run(Some(1_000_000));
+    assert!(matches!(
+        k.thread_run_state(w),
+        RunState::Blocked(WaitReason::Mutex(_))
+    ));
+
+    let mut a = Assembler::new("destroyer");
+    a.sys_h(Sys::MutexDestroy, h_mutex);
+    a.halt();
+    let d = p.start(&mut k, a.finish(), 8);
+    assert!(run_to_halt(&mut k, &[d, w], 10_000_000));
+    assert_eq!(
+        k.read_mem_u32(p.space, rec),
+        ErrorCode::InvalidHandle as u32
+    );
+}
+
+/// Trivial calls return without ever faulting or sleeping, and yield the
+/// documented values.
+#[test]
+fn trivial_calls_complete_immediately() {
+    let mut k = Kernel::new(Config::interrupt_pp());
+    let mut p = ChildProc::new(&mut k);
+    let rec = p.mem_base + 0x3000;
+    let _ = p.alloc_obj();
+
+    let mut a = Assembler::new("trivial");
+    a.sys(Sys::ThreadSelf);
+    a.movi(Reg::Ebp, rec);
+    a.store(Reg::Ebp, 0, ARG_VAL);
+    a.sys(Sys::SysVersion);
+    a.store(Reg::Ebp, 4, ARG_VAL);
+    a.sys(Sys::SysCpuId);
+    a.store(Reg::Ebp, 8, ARG_VAL);
+    a.sys(Sys::SysNull);
+    a.store(Reg::Ebp, 12, Reg::Eax);
+    a.halt();
+    let t = p.start(&mut k, a.finish(), 8);
+    assert!(run_to_halt(&mut k, &[t], 10_000_000));
+    assert_eq!(k.read_mem_u32(p.space, rec), t.0); // thread_self ordinal
+    assert_eq!(k.read_mem_u32(p.space, rec + 4), 0x0001_0000); // version
+    assert_eq!(k.read_mem_u32(p.space, rec + 8), 0); // cpu id
+    assert_eq!(k.read_mem_u32(p.space, rec + 12), 0); // null: Success
+    assert_eq!(k.stats.soft_faults, 0);
+    assert_eq!(k.stats.hard_faults, 0);
+}
+
+/// `thread_wait` joins a child; `space_wait_threads` reaps a space.
+#[test]
+fn join_and_space_wait() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::new(&mut k);
+    let h_thread = p.alloc_obj();
+
+    let mut a = Assembler::new("short-lived");
+    a.compute(10_000);
+    a.halt();
+    let worker = p.start(&mut k, a.finish(), 8);
+    k.loader_thread_object(p.space, h_thread, worker);
+
+    let mut a = Assembler::new("joiner");
+    a.sys_h(Sys::ThreadWait, h_thread);
+    a.halt();
+    let j = p.start(&mut k, a.finish(), 8);
+    assert!(run_to_halt(&mut k, &[worker, j], 10_000_000));
+    assert_eq!(k.thread_regs(j).get(Reg::Eax), ErrorCode::Success as u32);
+}
+
+/// `region_search` enumerates the objects of a space in address order —
+/// the primitive the user-level checkpointer is built on.
+#[test]
+fn region_search_enumerates_objects() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::new(&mut k);
+    let h_a = p.alloc_obj();
+    let h_b = p.alloc_obj();
+    let h_c = p.alloc_obj();
+    let rec = p.mem_base + 0x3000;
+
+    let mut a = Assembler::new("searcher");
+    a.sys_h(Sys::MutexCreate, h_a);
+    a.sys_h(Sys::CondCreate, h_b);
+    a.sys_h(Sys::PortCreate, h_c);
+    // Search self-space (handle 0) from mem_base.
+    a.movi(ARG_HANDLE, 0);
+    a.movi(ARG_VAL, p.mem_base);
+    a.movi(ARG_COUNT, p.mem_base + 0x8000);
+    a.sys(Sys::RegionSearch);
+    a.movi(Reg::Ebp, rec);
+    a.store(Reg::Ebp, 0, ARG_SBUF); // first object's vaddr
+    a.store(Reg::Ebp, 4, fluke_api::abi::ARG_RBUF); // its type
+                                                    // Continue from the advanced cursor (still in edx).
+    a.movi(ARG_HANDLE, 0);
+    a.movi(ARG_COUNT, p.mem_base + 0x8000);
+    a.sys(Sys::RegionSearch);
+    a.store(Reg::Ebp, 8, ARG_SBUF);
+    a.store(Reg::Ebp, 12, fluke_api::abi::ARG_RBUF);
+    a.halt();
+    let t = p.start(&mut k, a.finish(), 8);
+    assert!(run_to_halt(&mut k, &[t], 50_000_000));
+    assert_eq!(k.read_mem_u32(p.space, rec), h_a);
+    assert_eq!(k.read_mem_u32(p.space, rec + 4), ObjType::Mutex as u32);
+    assert_eq!(k.read_mem_u32(p.space, rec + 8), h_b);
+    assert_eq!(k.read_mem_u32(p.space, rec + 12), ObjType::Cond as u32);
+}

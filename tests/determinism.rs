@@ -1,0 +1,56 @@
+//! Whole-system determinism: identical runs produce bit-identical
+//! simulated outcomes. Every number in EXPERIMENTS.md depends on this.
+
+use fluke_core::Config;
+use fluke_workloads::common::run_workload;
+use fluke_workloads::{flukeperf, gcc, memtest, FlukeperfParams, GccParams};
+
+fn fingerprint(res: &fluke_workloads::RunResult) -> (u64, u64, u64, u64, u64, u64) {
+    (
+        res.elapsed,
+        res.stats.syscalls,
+        res.stats.ctx_switches,
+        res.stats.ipc_bytes,
+        res.stats.soft_faults,
+        res.stats.hard_faults,
+    )
+}
+
+#[test]
+fn flukeperf_is_bit_deterministic() {
+    let run = |cfg: Config| {
+        fingerprint(&run_workload(
+            flukeperf::build(cfg, &FlukeperfParams::quick()),
+            8_000_000_000,
+        ))
+    };
+    for cfg in Config::all_five() {
+        assert_eq!(run(cfg.clone()), run(cfg.clone()), "{}", cfg.label);
+    }
+}
+
+#[test]
+fn memtest_is_bit_deterministic() {
+    let a = fingerprint(&run_workload(
+        memtest::build(Config::interrupt_pp(), 1),
+        50_000_000_000,
+    ));
+    let b = fingerprint(&run_workload(
+        memtest::build(Config::interrupt_pp(), 1),
+        50_000_000_000,
+    ));
+    assert_eq!(a, b);
+}
+
+#[test]
+fn gcc_is_bit_deterministic() {
+    let a = fingerprint(&run_workload(
+        gcc::build(Config::process_fp(), &GccParams::quick()),
+        50_000_000_000,
+    ));
+    let b = fingerprint(&run_workload(
+        gcc::build(Config::process_fp(), &GccParams::quick()),
+        50_000_000_000,
+    ));
+    assert_eq!(a, b);
+}

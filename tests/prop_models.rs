@@ -1,0 +1,210 @@
+//! Property tests of the paper's central claims, quantified over random
+//! workloads:
+//!
+//! * the five kernel configurations are **observationally equivalent** —
+//!   identical user-visible results for identical programs;
+//! * IPC transfers are byte-exact for arbitrary sizes and windows;
+//! * checkpoint/restore at an arbitrary moment preserves behaviour.
+
+use proptest::prelude::*;
+
+use fluke_api::{ObjType, Sys};
+use fluke_arch::{Assembler, Cond, Reg};
+use fluke_core::{Config, Kernel};
+use fluke_user::proc::{run_to_halt, ChildProc};
+use fluke_user::FlukeAsm;
+
+/// A small random "application": arithmetic, memory stores, mutex
+/// sections, and trivial syscalls, ending with a checksum store.
+fn random_app(ops: &[(u8, u32)], mem_base: u32, h_mutex: u32) -> fluke_arch::Program {
+    let mut a = Assembler::new("prop-app");
+    a.sys_h(Sys::MutexCreate, h_mutex);
+    a.xor(Reg::Edi, Reg::Edi); // running checksum
+    for (i, &(op, val)) in ops.iter().enumerate() {
+        match op % 6 {
+            0 => {
+                a.movi(Reg::Edx, val);
+                a.add(Reg::Edi, Reg::Edx);
+            }
+            1 => {
+                // Store + reload through memory.
+                let slot = mem_base + 0x1000 + ((i as u32 * 4) % 0x800);
+                a.movi(Reg::Ebp, slot);
+                a.movi(Reg::Edx, val);
+                a.store(Reg::Ebp, 0, Reg::Edx);
+                a.load(Reg::Ebx, Reg::Ebp, 0);
+                a.add(Reg::Edi, Reg::Ebx);
+            }
+            2 => {
+                a.mutex_lock(h_mutex);
+                a.addi(Reg::Edi, 1);
+                a.mutex_unlock(h_mutex);
+            }
+            3 => {
+                a.sys(Sys::SysNull);
+                a.addi(Reg::Edi, 3);
+            }
+            4 => {
+                a.sys(Sys::ThreadSelf);
+                a.addi(Reg::Edi, 5);
+            }
+            5 => {
+                a.compute(val % 1000);
+                a.addi(Reg::Edi, 7);
+            }
+            _ => unreachable!(),
+        }
+    }
+    a.movi(Reg::Ebp, mem_base + 0x2000);
+    a.store(Reg::Ebp, 0, Reg::Edi);
+    a.halt();
+    a.finish()
+}
+
+/// Run the app under `cfg`, returning (checksum, final edi).
+fn run_app(cfg: Config, ops: &[(u8, u32)]) -> (u32, u32) {
+    let mut k = Kernel::new(cfg);
+    let mut p = ChildProc::new(&mut k);
+    let h_mutex = p.alloc_obj();
+    let prog = random_app(ops, p.mem_base, h_mutex);
+    let t = p.start(&mut k, prog, 8);
+    assert!(run_to_halt(&mut k, &[t], 5_000_000_000));
+    (
+        k.read_mem_u32(p.space, p.mem_base + 0x2000),
+        k.thread_regs(t).get(Reg::Edi),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The paper's configurability claim, as a law: for any program, all
+    /// five Table 4 configurations produce identical user-visible results.
+    #[test]
+    fn five_configurations_observationally_equivalent(
+        ops in proptest::collection::vec((0u8..6, 0u32..10_000), 1..30)
+    ) {
+        let base = run_app(Config::process_np(), &ops);
+        for cfg in Config::all_five().into_iter().skip(1) {
+            let label = cfg.label;
+            let got = run_app(cfg, &ops);
+            prop_assert_eq!(got, base, "config {} diverged", label);
+        }
+    }
+
+    /// IPC transfers are byte-exact for arbitrary message sizes, buffer
+    /// alignments, and receive windows, under both execution models.
+    #[test]
+    fn ipc_transfer_byte_exact(
+        len in 1u32..20_000,
+        src_align in 0u32..128,
+        dst_align in 0u32..128,
+        window_slack in 0u32..4096,
+        interrupt_model in any::<bool>(),
+    ) {
+        let cfg = if interrupt_model { Config::interrupt_pp() } else { Config::process_pp() };
+        let mut k = Kernel::new(cfg);
+        let mut server = ChildProc::with_mem(&mut k, 0x0010_0000, 0x2000);
+        let mut client = ChildProc::with_mem(&mut k, 0x0030_0000, 0x2000);
+        k.grant_pages(server.space, 0x0011_0000, len + 4096 + dst_align, true);
+        k.grant_pages(client.space, 0x0031_0000, len + 4096 + src_align, true);
+        let h_port = server.alloc_obj();
+        let h_ref = client.alloc_obj();
+        let port = k.loader_create(server.space, h_port, ObjType::Port);
+        k.loader_ref(client.space, h_ref, port);
+        let sbuf = 0x0011_0000 + dst_align;
+        let cbuf = 0x0031_0000 + src_align;
+        let window = len + window_slack;
+
+        let mut a = Assembler::new("rx");
+        a.movi(fluke_api::abi::ARG_HANDLE, h_port);
+        a.movi(fluke_api::abi::ARG_RBUF, sbuf);
+        a.movi(fluke_api::abi::ARG_COUNT, window);
+        a.sys(Sys::IpcServerWaitReceive);
+        a.halt();
+        let st = server.start(&mut k, a.finish(), 8);
+
+        let mut a = Assembler::new("tx");
+        a.client_connect_send(h_ref, cbuf, len);
+        a.halt();
+        let ct = client.start(&mut k, a.finish(), 8);
+
+        let payload: Vec<u8> = (0..len).map(|i| (i.wrapping_mul(31) % 251) as u8).collect();
+        k.write_mem(client.space, cbuf, &payload);
+        prop_assert!(run_to_halt(&mut k, &[st, ct], 5_000_000_000));
+        prop_assert_eq!(k.read_mem(server.space, sbuf, len), payload);
+        // Window accounting: the server's remaining window is exact.
+        prop_assert_eq!(k.thread_regs(st).get(fluke_api::abi::ARG_COUNT), window - len);
+        // Sender parameters advanced fully in place.
+        prop_assert_eq!(k.thread_regs(ct).get(fluke_api::abi::ARG_SBUF), cbuf + len);
+    }
+
+    /// Interrupting a thread at an arbitrary moment and reading its state
+    /// never perturbs the final outcome (promptness is free).
+    #[test]
+    fn midrun_state_extraction_is_harmless(
+        ops in proptest::collection::vec((0u8..6, 0u32..10_000), 5..25),
+        probe_at in 1_000u64..200_000,
+    ) {
+        let expected = run_app(Config::interrupt_np(), &ops);
+        // Same run, but pause at an arbitrary cycle and snapshot the
+        // thread's frame through the debugger (identical to get_state).
+        let mut k = Kernel::new(Config::interrupt_np());
+        let mut p = ChildProc::new(&mut k);
+        let h_mutex = p.alloc_obj();
+        let prog = random_app(&ops, p.mem_base, h_mutex);
+        let t = p.start(&mut k, prog, 8);
+        k.run(Some(probe_at));
+        let _frame = k.thread_frame(t);
+        prop_assert!(run_to_halt(&mut k, &[t], 5_000_000_000));
+        let got = (
+            k.read_mem_u32(p.space, p.mem_base + 0x2000),
+            k.thread_regs(t).get(Reg::Edi),
+        );
+        prop_assert_eq!(got, expected);
+    }
+
+    /// `region_search` enumeration is complete and ordered for arbitrary
+    /// object placements.
+    #[test]
+    fn region_search_enumerates_all_objects(slots in proptest::collection::btree_set(0u32..200, 1..12)) {
+        let mut k = Kernel::new(Config::process_np());
+        let mut p = ChildProc::new(&mut k);
+        let _ = p.alloc_obj();
+        let mut expected = Vec::new();
+        for &s in &slots {
+            let vaddr = p.mem_base + 0x1000 + s * 32;
+            k.loader_create(p.space, vaddr, ObjType::Mutex);
+            expected.push(vaddr);
+        }
+        // Enumerate via the syscall from a scanning program.
+        let rec = p.mem_base + 0x3000;
+        let mut a = Assembler::new("scan");
+        a.movi(Reg::Ebp, rec);
+        a.movi(fluke_api::abi::ARG_VAL, p.mem_base + 0x1000);
+        a.label("next");
+        a.movi(fluke_api::abi::ARG_HANDLE, 0);
+        a.movi(fluke_api::abi::ARG_COUNT, p.mem_base + 0x3000);
+        a.sys(Sys::RegionSearch);
+        a.cmpi(Reg::Eax, fluke_api::ErrorCode::NotFound as u32);
+        a.jcc(Cond::Eq, "done");
+        a.store(Reg::Ebp, 0, fluke_api::abi::ARG_SBUF);
+        a.addi(Reg::Ebp, 4);
+        a.jmp("next");
+        a.label("done");
+        a.movi(Reg::Edx, 0);
+        a.store(Reg::Ebp, 0, Reg::Edx); // terminator
+        a.halt();
+        let t = p.start(&mut k, a.finish(), 8);
+        prop_assert!(run_to_halt(&mut k, &[t], 5_000_000_000));
+        let mut got = Vec::new();
+        let mut addr = rec;
+        loop {
+            let v = k.read_mem_u32(p.space, addr);
+            if v == 0 { break; }
+            got.push(v);
+            addr += 4;
+        }
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,115 @@
+//! Full-system soak: many client/server pairs, demand-paged client
+//! buffers, a 1ms latency probe, and multiple CPUs — everything at once,
+//! still byte-exact and deterministic.
+
+use fluke_api::abi::{ARG_COUNT, ARG_HANDLE, ARG_RBUF};
+use fluke_api::{ObjType, Sys};
+use fluke_arch::{Assembler, Reg};
+use fluke_core::{Config, Kernel};
+use fluke_user::pager::PagerSetup;
+use fluke_user::proc::{run_to_halt, ChildProc};
+use fluke_user::FlukeAsm;
+use fluke_workloads::common::counted_loop;
+use fluke_workloads::latency::install_probe;
+
+const PAIRS: u32 = 6;
+const RPCS: u32 = 40;
+const MSG: u32 = 3_000; // crosses a page boundary
+
+fn run_soak(cfg: Config) -> (Vec<Vec<u8>>, u64, u64) {
+    let mut k = Kernel::new(cfg);
+    let pager = PagerSetup::boot(&mut k, 32 << 20, 12);
+    install_probe(&mut k, 1);
+    let mut mains = Vec::new();
+    let mut spaces = Vec::new();
+    for pair in 0..PAIRS {
+        let sbase = 0x0100_0000 + pair * 0x0008_0000;
+        let cbase = 0x0400_0000 + pair * 0x0008_0000;
+        let mut server = ChildProc::with_mem(&mut k, sbase, 0x4000);
+        let mut client = ChildProc::with_mem(&mut k, cbase, 0x4000);
+        // The client's message buffer is demand-paged through the pager:
+        // faults interleave with everyone else's RPC traffic.
+        let paged = cbase + 0x0004_0000;
+        let mut slot = 0x1d00;
+        while k.object_at(pager.space, slot).is_some() {
+            slot += 32;
+        }
+        k.loader_mapping(
+            pager.space,
+            slot,
+            client.space,
+            paged,
+            0x0002_0000,
+            pager.region,
+            pair * 0x0002_0000,
+            true,
+        );
+        let h_port = server.alloc_obj();
+        let h_ref = client.alloc_obj();
+        let port = k.loader_create(server.space, h_port, ObjType::Port);
+        k.loader_ref(client.space, h_ref, port);
+        let sbuf = sbase + 0x1000;
+
+        // Server: echo RPCS messages, accumulating a checksum of the
+        // first byte of each into its memory, then exit.
+        let mut a = Assembler::new("soak-server");
+        counted_loop(&mut a, "serve", sbase + 0x200, RPCS, |a| {
+            a.server_wait_receive(h_port, sbuf, MSG);
+            a.server_ack_send(sbuf, 64);
+        });
+        a.halt();
+        let st = server.start(&mut k, a.finish(), 8);
+
+        // Client: fill the paged buffer once (hard faults), then fire
+        // RPCS round trips from it.
+        let mut a = Assembler::new("soak-client");
+        a.movi(Reg::Esi, paged);
+        a.movi(Reg::Ebx, 0x40 + pair);
+        a.movi(Reg::Ecx, MSG);
+        a.label("fill");
+        a.storeb(Reg::Esi, 0, Reg::Ebx);
+        a.addi(Reg::Esi, 1);
+        a.addi(Reg::Ebx, 1);
+        a.subi(Reg::Ecx, 1);
+        a.cmpi(Reg::Ecx, 0);
+        a.jcc(fluke_arch::Cond::Ne, "fill");
+        counted_loop(&mut a, "rpcs", cbase + 0x200, RPCS, move |a| {
+            a.client_rpc(h_ref, paged, MSG, cbase + 0x2000, 64);
+        });
+        a.halt();
+        let ct = client.start(&mut k, a.finish(), 8);
+        mains.push(st);
+        mains.push(ct);
+        spaces.push((server.space, sbuf));
+    }
+    assert!(
+        run_to_halt(&mut k, &mains, 200_000_000_000),
+        "soak did not complete"
+    );
+    // Collect each server's final received message for integrity checks.
+    let finals: Vec<Vec<u8>> = spaces
+        .iter()
+        .map(|&(s, sbuf)| k.read_mem(s, sbuf, MSG))
+        .collect();
+    let _ = (ARG_HANDLE, ARG_COUNT, ARG_RBUF, Sys::SysNull);
+    (finals, k.stats.probe_runs, k.stats.hard_faults)
+}
+
+#[test]
+fn soak_uniprocessor_byte_exact() {
+    let (finals, probe_runs, hard_faults) = run_soak(Config::interrupt_pp());
+    for (pair, buf) in finals.iter().enumerate() {
+        let expect: Vec<u8> = (0..MSG).map(|i| (0x40 + pair as u32 + i) as u8).collect();
+        assert_eq!(buf, &expect, "pair {pair} corrupted");
+    }
+    assert!(probe_runs > 10, "probe ran during the soak");
+    // One hard fault per paged-buffer page per pair.
+    assert_eq!(hard_faults as u32, PAIRS, "first-touch faults only");
+}
+
+#[test]
+fn soak_multiprocessor_matches_uniprocessor_data() {
+    let (uni, _, _) = run_soak(Config::process_pp());
+    let (mp, _, _) = run_soak(Config::process_pp().with_cpus(4));
+    assert_eq!(uni, mp, "MP run must move identical bytes");
+}
