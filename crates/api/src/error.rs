@@ -7,10 +7,8 @@
 //! the two uses never overlap because a restarting call has, by definition,
 //! not completed.
 
-use serde::{Deserialize, Serialize};
-
 /// A kernel result code, delivered in `eax` on system call completion.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u32)]
 pub enum ErrorCode {
     /// The operation completed successfully.

@@ -9,10 +9,8 @@
 //! the page holding an object can name and operate on it (paper §4.3,
 //! footnote 3).
 
-use serde::{Deserialize, Serialize};
-
 /// A primitive kernel object type.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 #[repr(u32)]
 pub enum ObjType {
     /// A kernel-supported mutex, safe for sharing between processes.

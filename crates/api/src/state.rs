@@ -14,7 +14,6 @@
 //! complete *because* the API is atomic.
 
 use fluke_arch::{ProgramId, UserRegs};
-use serde::{Deserialize, Serialize};
 
 use crate::error::ErrorCode;
 
@@ -24,7 +23,7 @@ pub const THREAD_FRAME_WORDS: usize = 18;
 pub const MAX_FRAME_WORDS: usize = THREAD_FRAME_WORDS;
 
 /// The complete exportable state of a Thread.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ThreadStateFrame {
     /// The user-visible register file — the thread's entire continuation.
     pub regs: UserRegs,
@@ -85,21 +84,21 @@ impl ThreadStateFrame {
 /// Exportable state of a Mutex: just whether it is locked. The wait queue
 /// is *not* state — blocked lockers are each represented by their own
 /// registers and re-queue themselves when restored.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MutexStateFrame {
     /// 1 if locked, 0 if free.
     pub locked: u32,
 }
 
 /// Exportable state of a Cond (none: waiters carry their own state).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CondStateFrame {
     /// Reserved, always 0.
     pub reserved: u32,
 }
 
 /// Exportable state of a Mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MappingStateFrame {
     /// Destination base address in the mapping's space.
     pub base: u32,
@@ -112,7 +111,7 @@ pub struct MappingStateFrame {
 }
 
 /// Exportable state of a Region.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegionStateFrame {
     /// Base address of the exported range in the owning space.
     pub base: u32,
@@ -124,7 +123,7 @@ pub struct RegionStateFrame {
 }
 
 /// Exportable state of a Port.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PortStateFrame {
     /// Handle of the Portset this port is a member of (0 = none).
     pub pset_token: u32,
@@ -132,7 +131,7 @@ pub struct PortStateFrame {
 
 /// Exportable state of a Portset (none beyond its existence; membership is
 /// recorded on each Port).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PsetStateFrame {
     /// Reserved, always 0.
     pub reserved: u32,
@@ -140,14 +139,14 @@ pub struct PsetStateFrame {
 
 /// Exportable state of a Space (none beyond its existence; its contents are
 /// enumerable with `region_search` and its memory with Mapping frames).
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpaceStateFrame {
     /// Reserved, always 0.
     pub reserved: u32,
 }
 
 /// Exportable state of a Reference.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RefStateFrame {
     /// Handle of the referenced object as named when the reference was
     /// pointed (0 = null reference).
@@ -155,7 +154,7 @@ pub struct RefStateFrame {
 }
 
 /// Any object's state frame, tagged by type.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ObjStateFrame {
     /// Mutex state.
     Mutex(MutexStateFrame),

@@ -17,10 +17,8 @@
 //! interrupted multi-stage operations; per the paper §4.4 they are
 //! nevertheless directly callable and occasionally directly useful.
 
-use serde::{Deserialize, Serialize};
-
 /// Table 1 classification of an entrypoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SysClass {
     /// Always runs to completion without sleeping.
     Trivial,
@@ -46,7 +44,7 @@ impl SysClass {
 }
 
 /// Which part of the API an entrypoint belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Family {
     /// Mutex object operations.
     Mutex,
@@ -94,7 +92,7 @@ macro_rules! syscalls {
         /// instruction. Discriminants are dense from zero and index
         /// [`SYSCALLS`].
         #[allow(missing_docs)]
-        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
         #[repr(u32)]
         pub enum Sys { $($variant),* }
 

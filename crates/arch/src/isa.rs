@@ -14,12 +14,10 @@
 //!    off — the hardware analogue of Fluke's multi-stage system calls
 //!    (paper §4.2).
 
-use serde::{Deserialize, Serialize};
-
 use crate::regs::Reg;
 
 /// A branch condition, evaluated against the flags set by `Cmp`/`CmpI`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Cond {
     /// Branch always.
     Always,
@@ -37,7 +35,7 @@ pub enum Cond {
 ///
 /// Branch targets are instruction indices; the [`crate::Assembler`] resolves
 /// symbolic labels to these indices.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Instr {
     /// `dst <- imm`.
     MovI(Reg, u32),

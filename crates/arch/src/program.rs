@@ -7,16 +7,14 @@
 //! the executable image a real checkpointer would re-map (see DESIGN.md,
 //! substitutions).
 
-use serde::{Deserialize, Serialize};
-
 use crate::isa::Instr;
 
 /// Stable identity of a program image, used in exported thread state.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct ProgramId(pub u64);
 
 /// An immutable user-mode program: a name plus its instruction vector.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {
     name: String,
     instrs: Vec<Instr>,

@@ -8,8 +8,6 @@
 //! eight general-purpose registers, an instruction pointer, a flags word, and
 //! two pseudo-registers.
 
-use serde::{Deserialize, Serialize};
-
 /// Zero flag: set by comparison instructions when the operands were equal.
 pub const FLAG_ZF: u32 = 1 << 0;
 /// Less-than flag: set by comparison instructions when `lhs < rhs` (unsigned).
@@ -21,7 +19,7 @@ pub const FLAG_LT: u32 = 1 << 1;
 /// transfers keep their source pointer in `esi`/`edi` and their remaining
 /// byte count in `ecx`, advancing them in place as data moves — the same
 /// convention as the x86 string instructions the paper cites as its analogy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Reg {
     /// Accumulator; holds the syscall entrypoint number on kernel entry and
@@ -89,7 +87,7 @@ impl std::fmt::Display for Reg {
 /// a thread blocks for an indefinite time the kernel has already written all
 /// partial progress back into these registers, so they fully describe how to
 /// resume (or checkpoint, or migrate) the thread.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct UserRegs {
     /// General-purpose registers, indexed by [`Reg::index`].
     pub gpr: [u32; 8],
@@ -210,13 +208,47 @@ mod tests {
     }
 
     #[test]
-    fn serde_roundtrip() {
+    fn json_roundtrip() {
+        use fluke_json::Json;
         let mut r = UserRegs::new();
         r.set(Reg::Eax, 42);
         r.eip = 7;
         r.pr = [1, 2];
-        let s = serde_json::to_string(&r).unwrap();
-        let back: UserRegs = serde_json::from_str(&s).unwrap();
+        let mut j = Json::obj();
+        j.set(
+            "gpr",
+            Json::Arr(r.gpr.iter().map(|&w| Json::from_u32(w)).collect()),
+        );
+        j.set("eip", Json::from_u32(r.eip));
+        j.set("eflags", Json::from_u32(r.eflags));
+        j.set(
+            "pr",
+            Json::Arr(r.pr.iter().map(|&w| Json::from_u32(w)).collect()),
+        );
+        let parsed = Json::parse(&j.to_string()).unwrap();
+        let mut back = UserRegs::new();
+        for (i, w) in parsed
+            .get("gpr")
+            .unwrap()
+            .items()
+            .unwrap()
+            .iter()
+            .enumerate()
+        {
+            back.gpr[i] = w.as_u32().unwrap();
+        }
+        back.eip = parsed.get("eip").unwrap().as_u32().unwrap();
+        back.eflags = parsed.get("eflags").unwrap().as_u32().unwrap();
+        for (i, w) in parsed
+            .get("pr")
+            .unwrap()
+            .items()
+            .unwrap()
+            .iter()
+            .enumerate()
+        {
+            back.pr[i] = w.as_u32().unwrap();
+        }
         assert_eq!(back, r);
     }
 }

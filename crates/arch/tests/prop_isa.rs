@@ -1,9 +1,33 @@
 //! Property tests of the ISA's restartability invariants.
-
-use proptest::prelude::*;
+//!
+//! The container builds offline, so instead of an external property-test
+//! framework these quantify over inputs drawn from a small deterministic
+//! PRNG — same laws, reproducible cases.
 
 use fluke_arch::mem::FlatMem;
 use fluke_arch::{Assembler, Cond, CostModel, Cpu, Instr, Program, Reg, Trap, UserMem, UserRegs};
+
+/// Deterministic splitmix64 generator for test-case synthesis.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u32, hi: u32) -> u32 {
+        lo + self.next_u32() % (hi - lo)
+    }
+}
 
 /// A straight-line arithmetic program and a pure-Rust oracle of it.
 fn arith_program(ops: &[(u8, u8, u32)]) -> (Program, [u32; 8]) {
@@ -40,12 +64,19 @@ fn arith_program(ops: &[(u8, u8, u32)]) -> (Program, [u32; 8]) {
     (a.finish(), model)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_ops(rng: &mut Rng, max_len: u32) -> Vec<(u8, u8, u32)> {
+    let len = rng.range(1, max_len);
+    (0..len)
+        .map(|_| (rng.range(0, 5) as u8, rng.range(0, 8) as u8, rng.next_u32()))
+        .collect()
+}
 
-    /// The CPU agrees with a straight-line oracle on every register.
-    #[test]
-    fn arithmetic_matches_oracle(ops in proptest::collection::vec((0u8..5, 0u8..8, any::<u32>()), 1..40)) {
+/// The CPU agrees with a straight-line oracle on every register.
+#[test]
+fn arithmetic_matches_oracle() {
+    let mut rng = Rng(0xA11C_E5ED);
+    for case in 0..64 {
+        let ops = random_ops(&mut rng, 40);
         let (prog, model) = arith_program(&ops);
         let mut cpu = Cpu::new(0);
         let mut regs = UserRegs::new();
@@ -58,18 +89,21 @@ proptest! {
                 Some(t) => panic!("unexpected trap {t:?}"),
             }
         }
-        prop_assert_eq!(regs.gpr, model);
+        assert_eq!(regs.gpr, model, "case {case}: {ops:?}");
     }
+}
 
-    /// RepMovsB interrupted by an arbitrary fault boundary and resumed
-    /// copies every byte exactly once (the restartable-instruction law).
-    #[test]
-    fn rep_movs_resume_is_exact(
-        len in 1u32..6000,
-        src_off in 0u32..64,
-        dst_gap in 1u32..64,
-        cut in 0u32..6000,
-    ) {
+/// RepMovsB interrupted by an arbitrary fault boundary and resumed
+/// copies every byte exactly once (the restartable-instruction law).
+#[test]
+fn rep_movs_resume_is_exact() {
+    let mut rng = Rng(0xC0FF_EE00);
+    for case in 0..64 {
+        let len = rng.range(1, 6000);
+        let src_off = rng.range(0, 64);
+        let dst_gap = rng.range(1, 64);
+        let cut = rng.range(0, 6000);
+
         let src = src_off;
         let dst = src_off + len + dst_gap;
         let total = dst + len;
@@ -101,13 +135,13 @@ proptest! {
                 Some(Trap::Halt) => break,
                 Some(Trap::PageFault(f)) => {
                     faulted = true;
-                    prop_assert_eq!(f.addr, dst + cut, "fault at the cut");
+                    assert_eq!(f.addr, dst + cut, "case {case}: fault at the cut");
                     break;
                 }
                 Some(t) => panic!("unexpected trap {t:?}"),
             }
         }
-        prop_assert_eq!(faulted, cut < len);
+        assert_eq!(faulted, cut < len, "case {case}");
         // "Resolve" the fault: same bytes, full memory; resume from the
         // exact same registers.
         let mut big = FlatMem::new(total as usize + 8);
@@ -126,17 +160,25 @@ proptest! {
             }
         }
         for i in 0..len {
-            prop_assert_eq!(big.read_u8(dst + i).unwrap(), (i % 251) as u8);
+            assert_eq!(
+                big.read_u8(dst + i).unwrap(),
+                (i % 251) as u8,
+                "case {case}"
+            );
         }
-        prop_assert_eq!(regs.get(Reg::Ecx), 0);
-        prop_assert_eq!(regs.get(Reg::Esi), src + len);
-        prop_assert_eq!(regs.get(Reg::Edi), dst + len);
+        assert_eq!(regs.get(Reg::Ecx), 0);
+        assert_eq!(regs.get(Reg::Esi), src + len);
+        assert_eq!(regs.get(Reg::Edi), dst + len);
     }
+}
 
-    /// A counted loop assembled with symbolic labels runs its body exactly
-    /// `n` times for any n.
-    #[test]
-    fn counted_loops_iterate_exactly(n in 1u32..500) {
+/// A counted loop assembled with symbolic labels runs its body exactly
+/// `n` times for any n.
+#[test]
+fn counted_loops_iterate_exactly() {
+    let mut rng = Rng(0x5EED_1009);
+    for _ in 0..32 {
+        let n = rng.range(1, 500);
         let mut a = Assembler::new("loop");
         a.movi(Reg::Ecx, n);
         a.xor(Reg::Ebx, Reg::Ebx);
@@ -158,13 +200,17 @@ proptest! {
                 Some(t) => panic!("unexpected {t:?}"),
             }
         }
-        prop_assert_eq!(regs.get(Reg::Ebx), n);
+        assert_eq!(regs.get(Reg::Ebx), n);
     }
+}
 
-    /// The cycle clock is deterministic: running the same program twice
-    /// charges exactly the same cycles.
-    #[test]
-    fn simulation_is_deterministic(ops in proptest::collection::vec((0u8..5, 0u8..8, any::<u32>()), 1..30)) {
+/// The cycle clock is deterministic: running the same program twice
+/// charges exactly the same cycles.
+#[test]
+fn simulation_is_deterministic() {
+    let mut rng = Rng(0xDE7E_2017);
+    for _ in 0..32 {
+        let ops = random_ops(&mut rng, 30);
         let (prog, _) = arith_program(&ops);
         let run = || {
             let mut cpu = Cpu::new(0);
@@ -180,6 +226,6 @@ proptest! {
             }
             (cpu.now, regs)
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run());
     }
 }

@@ -1,7 +1,11 @@
-//! Criterion benches of the simulator's hot paths (host wall-clock), plus
-//! cheap re-checks of the model-differential micro-costs.
+//! Wall-clock benches of the simulator's hot paths, plus cheap re-checks
+//! of the model-differential micro-costs.
+//!
+//! This is a plain self-timed harness (`harness = false`) so the
+//! workspace carries no external benchmark framework and still builds
+//! offline. Run with `cargo bench -p fluke-bench`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Instant;
 
 use fluke_api::{ObjType, Sys};
 use fluke_arch::{Assembler, Cond, Reg, UserRegs};
@@ -9,33 +13,45 @@ use fluke_core::{Config, Kernel};
 use fluke_user::proc::{run_to_halt, ChildProc};
 use fluke_user::FlukeAsm;
 
+/// Time `iters` runs of `f`, reporting mean wall-clock per iteration.
+fn bench(name: &str, iters: u32, mut f: impl FnMut()) {
+    // One warmup to populate allocator caches and fault in code pages.
+    f();
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    let total = start.elapsed();
+    let per = total / iters;
+    println!("{name:<40} {per:>12.2?}/iter ({iters} iters, total {total:.2?})");
+}
+
 /// Simulate a burst of pure user instructions (dispatch throughput).
-fn bench_user_instructions(c: &mut Criterion) {
-    c.bench_function("simulate_100k_user_instructions", |b| {
-        b.iter(|| {
-            let mut k = Kernel::new(Config::process_np());
-            let mut p = ChildProc::new(&mut k);
-            let _ = p.alloc_obj();
-            let mut a = Assembler::new("spin");
-            a.movi(Reg::Ecx, 25_000);
-            a.label("l");
-            a.addi(Reg::Ebx, 1);
-            a.subi(Reg::Ecx, 1);
-            a.cmpi(Reg::Ecx, 0);
-            a.jcc(Cond::Ne, "l");
-            a.halt();
-            let t = p.start(&mut k, a.finish(), 8);
-            assert!(run_to_halt(&mut k, &[t], 10_000_000_000));
-        })
+fn bench_user_instructions() {
+    bench("simulate_100k_user_instructions", 20, || {
+        let mut k = Kernel::new(Config::process_np());
+        let mut p = ChildProc::new(&mut k);
+        let _ = p.alloc_obj();
+        let mut a = Assembler::new("spin");
+        a.movi(Reg::Ecx, 25_000);
+        a.label("l");
+        a.addi(Reg::Ebx, 1);
+        a.subi(Reg::Ecx, 1);
+        a.cmpi(Reg::Ecx, 0);
+        a.jcc(Cond::Ne, "l");
+        a.halt();
+        let t = p.start(&mut k, a.finish(), 8);
+        assert!(run_to_halt(&mut k, &[t], 10_000_000_000));
     });
 }
 
 /// Simulate 1000 null system calls under each execution model.
-fn bench_null_syscalls(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_1k_null_syscalls");
+fn bench_null_syscalls() {
     for cfg in [Config::process_np(), Config::interrupt_np()] {
-        g.bench_function(cfg.label, |b| {
-            b.iter(|| {
+        bench(
+            &format!("simulate_1k_null_syscalls/{}", cfg.label),
+            20,
+            || {
                 let mut k = Kernel::new(cfg.clone());
                 let mut p = ChildProc::new(&mut k);
                 let _ = p.alloc_obj();
@@ -46,110 +62,99 @@ fn bench_null_syscalls(c: &mut Criterion) {
                 a.halt();
                 let t = p.start(&mut k, a.finish(), 8);
                 assert!(run_to_halt(&mut k, &[t], 10_000_000_000));
-            })
-        });
+            },
+        );
     }
-    g.finish();
 }
 
 /// Simulate 100 small RPC round trips (the context-switch mill).
-fn bench_rpc_round_trips(c: &mut Criterion) {
-    c.bench_function("simulate_100_rpc_round_trips", |b| {
-        b.iter(|| {
-            let mut k = Kernel::new(Config::process_np());
-            let mut server = ChildProc::with_mem(&mut k, 0x0010_0000, 0x8000);
-            let mut client = ChildProc::with_mem(&mut k, 0x0020_0000, 0x8000);
-            let h_port = server.alloc_obj();
-            let h_ref = client.alloc_obj();
-            let port = k.loader_create(server.space, h_port, ObjType::Port);
-            k.loader_ref(client.space, h_ref, port);
-            let mut a = Assembler::new("echo");
-            a.label("loop");
-            a.server_wait_receive(h_port, server.mem_base + 0x1000, 64);
-            a.server_ack_send(server.mem_base + 0x1000, 64);
-            a.jmp("loop");
-            let _s = server.start(&mut k, a.finish(), 9);
-            let mut a = Assembler::new("client");
-            fluke_workloads::common::counted_loop(&mut a, "l", client.mem_base + 0x200, 100, |a| {
-                a.client_rpc(
-                    h_ref,
-                    client.mem_base + 0x1000,
-                    64,
-                    client.mem_base + 0x1100,
-                    64,
-                );
-            });
-            a.halt();
-            let t = client.start(&mut k, a.finish(), 8);
-            assert!(run_to_halt(&mut k, &[t], 10_000_000_000));
-        })
+fn bench_rpc_round_trips() {
+    bench("simulate_100_rpc_round_trips", 20, || {
+        let mut k = Kernel::new(Config::process_np());
+        let mut server = ChildProc::with_mem(&mut k, 0x0010_0000, 0x8000);
+        let mut client = ChildProc::with_mem(&mut k, 0x0020_0000, 0x8000);
+        let h_port = server.alloc_obj();
+        let h_ref = client.alloc_obj();
+        let port = k.loader_create(server.space, h_port, ObjType::Port);
+        k.loader_ref(client.space, h_ref, port);
+        let mut a = Assembler::new("echo");
+        a.label("loop");
+        a.server_wait_receive(h_port, server.mem_base + 0x1000, 64);
+        a.server_ack_send(server.mem_base + 0x1000, 64);
+        a.jmp("loop");
+        let _s = server.start(&mut k, a.finish(), 9);
+        let mut a = Assembler::new("client");
+        fluke_workloads::common::counted_loop(&mut a, "l", client.mem_base + 0x200, 100, |a| {
+            a.client_rpc(
+                h_ref,
+                client.mem_base + 0x1000,
+                64,
+                client.mem_base + 0x1100,
+                64,
+            );
+        });
+        a.halt();
+        let t = client.start(&mut k, a.finish(), 8);
+        assert!(run_to_halt(&mut k, &[t], 10_000_000_000));
     });
 }
 
 /// Simulate demand-paging 32 pages through the user-level pager.
-fn bench_demand_paging(c: &mut Criterion) {
-    c.bench_function("simulate_32_hard_faults", |b| {
-        b.iter(|| {
-            let mut k = Kernel::new(Config::process_np());
-            let pager = fluke_user::pager::PagerSetup::boot(&mut k, 1 << 20, 12);
-            let child = pager.paged_child(&mut k, 0x0040_0000, 1 << 20, 0);
-            let mut a = Assembler::new("touch");
-            a.movi(Reg::Esi, 0x0040_0000);
-            a.movi(Reg::Ecx, 32);
-            a.label("l");
-            a.storeb(Reg::Esi, 0, Reg::Ebx);
-            a.addi(Reg::Esi, 4096);
-            a.subi(Reg::Ecx, 1);
-            a.cmpi(Reg::Ecx, 0);
-            a.jcc(Cond::Ne, "l");
-            a.halt();
-            let pid = k.register_program(a.finish());
-            let t = k.spawn_thread(child, pid, UserRegs::new(), 8);
-            assert!(run_to_halt(&mut k, &[t], 10_000_000_000));
-            assert_eq!(k.stats.hard_faults, 32);
-        })
+fn bench_demand_paging() {
+    bench("simulate_32_hard_faults", 20, || {
+        let mut k = Kernel::new(Config::process_np());
+        let pager = fluke_user::pager::PagerSetup::boot(&mut k, 1 << 20, 12);
+        let child = pager.paged_child(&mut k, 0x0040_0000, 1 << 20, 0);
+        let mut a = Assembler::new("touch");
+        a.movi(Reg::Esi, 0x0040_0000);
+        a.movi(Reg::Ecx, 32);
+        a.label("l");
+        a.storeb(Reg::Esi, 0, Reg::Ebx);
+        a.addi(Reg::Esi, 4096);
+        a.subi(Reg::Ecx, 1);
+        a.cmpi(Reg::Ecx, 0);
+        a.jcc(Cond::Ne, "l");
+        a.halt();
+        let pid = k.register_program(a.finish());
+        let t = k.spawn_thread(child, pid, UserRegs::new(), 8);
+        assert!(run_to_halt(&mut k, &[t], 10_000_000_000));
+        assert_eq!(k.stats.hard_faults, 32);
     });
 }
 
 /// Simulate one 256KB IPC transfer (the copy pump).
-fn bench_bulk_transfer(c: &mut Criterion) {
-    let mut g = c.benchmark_group("simulate_256k_transfer");
+fn bench_bulk_transfer() {
     for cfg in [Config::process_np(), Config::process_pp()] {
-        g.bench_function(cfg.label, |b| {
-            b.iter(|| {
-                let mut k = Kernel::new(cfg.clone());
-                let mut server = ChildProc::with_mem(&mut k, 0x0010_0000, 0x8000);
-                let mut client = ChildProc::with_mem(&mut k, 0x0030_0000, 0x8000);
-                k.grant_pages(server.space, 0x0011_0000, 256 << 10, true);
-                k.grant_pages(client.space, 0x0031_0000, 256 << 10, true);
-                let h_port = server.alloc_obj();
-                let h_ref = client.alloc_obj();
-                let port = k.loader_create(server.space, h_port, ObjType::Port);
-                k.loader_ref(client.space, h_ref, port);
-                let mut a = Assembler::new("rx");
-                a.movi(fluke_api::abi::ARG_HANDLE, h_port);
-                a.movi(fluke_api::abi::ARG_RBUF, 0x0011_0000);
-                a.movi(fluke_api::abi::ARG_COUNT, 256 << 10);
-                a.sys(Sys::IpcServerWaitReceive);
-                a.halt();
-                let st = server.start(&mut k, a.finish(), 8);
-                let mut a = Assembler::new("tx");
-                a.client_connect_send(h_ref, 0x0031_0000, 256 << 10);
-                a.halt();
-                let ct = client.start(&mut k, a.finish(), 8);
-                assert!(run_to_halt(&mut k, &[st, ct], 10_000_000_000));
-            })
+        bench(&format!("simulate_256k_transfer/{}", cfg.label), 20, || {
+            let mut k = Kernel::new(cfg.clone());
+            let mut server = ChildProc::with_mem(&mut k, 0x0010_0000, 0x8000);
+            let mut client = ChildProc::with_mem(&mut k, 0x0030_0000, 0x8000);
+            k.grant_pages(server.space, 0x0011_0000, 256 << 10, true);
+            k.grant_pages(client.space, 0x0031_0000, 256 << 10, true);
+            let h_port = server.alloc_obj();
+            let h_ref = client.alloc_obj();
+            let port = k.loader_create(server.space, h_port, ObjType::Port);
+            k.loader_ref(client.space, h_ref, port);
+            let mut a = Assembler::new("rx");
+            a.movi(fluke_api::abi::ARG_HANDLE, h_port);
+            a.movi(fluke_api::abi::ARG_RBUF, 0x0011_0000);
+            a.movi(fluke_api::abi::ARG_COUNT, 256 << 10);
+            a.sys(Sys::IpcServerWaitReceive);
+            a.halt();
+            let st = server.start(&mut k, a.finish(), 8);
+            let mut a = Assembler::new("tx");
+            a.client_connect_send(h_ref, 0x0031_0000, 256 << 10);
+            a.halt();
+            let ct = client.start(&mut k, a.finish(), 8);
+            assert!(run_to_halt(&mut k, &[st, ct], 10_000_000_000));
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_user_instructions,
-    bench_null_syscalls,
-    bench_rpc_round_trips,
-    bench_demand_paging,
-    bench_bulk_transfer
-);
-criterion_main!(benches);
+fn main() {
+    bench_user_instructions();
+    bench_null_syscalls();
+    bench_rpc_round_trips();
+    bench_demand_paging();
+    bench_bulk_transfer();
+}

@@ -1,0 +1,69 @@
+//! Cross-model trace diff: run flukeperf under the process and interrupt
+//! execution models with `ktrace` enabled and verify the user-visible
+//! event sequences are identical.
+//!
+//! Usage: `trace_diff [--chrome PREFIX]`
+//!
+//! `--chrome PREFIX` additionally writes `PREFIX-process.json` and
+//! `PREFIX-interrupt.json` Chrome trace-event files (open in
+//! `chrome://tracing` or Perfetto). `FLUKE_BENCH_SCALE=quick` selects the
+//! scaled-down workload.
+//!
+//! Exits non-zero if the models diverge.
+
+use fluke_bench::trace_export::{chrome_trace, text_summary};
+use fluke_bench::tracediff::{diff_user_visible, run_traced_flukeperf};
+use fluke_bench::Scale;
+use fluke_core::Config;
+
+fn main() {
+    let mut chrome_prefix: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--chrome" => {
+                chrome_prefix = Some(args.next().unwrap_or_else(|| {
+                    eprintln!("--chrome requires a path prefix");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let scale = Scale::from_env();
+
+    println!("running flukeperf under Process NP (traced)…");
+    let process = run_traced_flukeperf(Config::process_np(), scale);
+    println!("running flukeperf under Interrupt NP (traced)…");
+    let interrupt = run_traced_flukeperf(Config::interrupt_np(), scale);
+
+    println!("\n== Process NP ==\n{}", text_summary(&process.trace));
+    println!("== Interrupt NP ==\n{}", text_summary(&interrupt.trace));
+
+    if let Some(prefix) = chrome_prefix {
+        for (kernel, model) in [(&process, "process"), (&interrupt, "interrupt")] {
+            let path = format!("{prefix}-{model}.json");
+            std::fs::write(&path, chrome_trace(&kernel.trace.merged()))
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            println!("wrote {path}");
+        }
+    }
+
+    let div = diff_user_visible(&process, &interrupt);
+    if div.is_empty() {
+        println!(
+            "\nVERDICT: execution models are user-visibly identical \
+             ({} threads compared)",
+            process.trace.user_visible().len()
+        );
+    } else {
+        println!("\nVERDICT: models DIVERGED at {} positions:", div.len());
+        for d in div.iter().take(20) {
+            println!("  {d}");
+        }
+        std::process::exit(1);
+    }
+}

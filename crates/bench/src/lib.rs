@@ -13,6 +13,8 @@ pub mod table3;
 pub mod table5;
 pub mod table6;
 pub mod table7;
+pub mod trace_export;
+pub mod tracediff;
 
 pub use report::TextTable;
 

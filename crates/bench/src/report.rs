@@ -60,7 +60,7 @@ impl TextTable {
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * cols.saturating_sub(1)));
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -98,5 +98,16 @@ mod tests {
     fn rejects_wrong_arity() {
         let mut t = TextTable::new(&["a", "b"]);
         t.row_str(&["only-one"]);
+    }
+
+    #[test]
+    fn renders_empty_header_list_without_panicking() {
+        // Regression: `2 * (cols - 1)` underflowed for a zero-column table.
+        let t = TextTable::new(&[]);
+        let s = t.render();
+        assert_eq!(s, "\n\n");
+        let mut t = TextTable::new(&[]);
+        t.row_str(&[]);
+        assert_eq!(t.render(), "\n\n\n");
     }
 }

@@ -16,6 +16,12 @@ pub struct Row {
     pub config: &'static str,
     /// Average probe latency, µs.
     pub avg_us: f64,
+    /// Median probe latency, µs.
+    pub p50_us: f64,
+    /// 95th-percentile probe latency, µs.
+    pub p95_us: f64,
+    /// 99th-percentile probe latency, µs.
+    pub p99_us: f64,
     /// Maximum probe latency, µs.
     pub max_us: f64,
     /// Times the probe ran.
@@ -33,6 +39,9 @@ fn measure(cfg: Config, params: &FlukeperfParams) -> Row {
     Row {
         config: label,
         avg_us: res.stats.probe_avg_us(),
+        p50_us: res.stats.probe_percentile_us(50.0),
+        p95_us: res.stats.probe_percentile_us(95.0),
+        p99_us: res.stats.probe_percentile_us(99.0),
         max_us: res.stats.probe_max_us(),
         runs: res.stats.probe_runs,
         misses: res.stats.probe_misses,
@@ -63,11 +72,23 @@ pub fn rows(scale: Scale) -> Vec<Row> {
 
 /// Render Table 6 like the paper.
 pub fn render(scale: Scale) -> String {
-    let mut t = TextTable::new(&["Configuration", "avg (µs)", "max (µs)", "run", "miss"]);
+    let mut t = TextTable::new(&[
+        "Configuration",
+        "avg (µs)",
+        "p50 (µs)",
+        "p95 (µs)",
+        "p99 (µs)",
+        "max (µs)",
+        "run",
+        "miss",
+    ]);
     for r in rows(scale) {
         t.row(&[
             r.config.to_string(),
             format!("{:.1}", r.avg_us),
+            format!("{:.1}", r.p50_us),
+            format!("{:.1}", r.p95_us),
+            format!("{:.1}", r.p99_us),
             format!("{:.0}", r.max_us),
             r.runs.to_string(),
             r.misses.to_string(),
@@ -75,7 +96,7 @@ pub fn render(scale: Scale) -> String {
     }
     format!(
         "Table 6: Preemption latency of a 1ms periodic high-priority kernel thread\n\
-         during flukeperf (avg/max wakeup-to-dispatch, runs, missed periods).\n\n{t}"
+         during flukeperf (avg/percentile/max wakeup-to-dispatch, runs, missed periods).\n\n{t}"
     )
 }
 
@@ -94,6 +115,10 @@ mod tests {
         let ipp = by("Interrupt PP");
         for r in &rows {
             assert!(r.runs > 0, "{} probe never ran", r.config);
+            // Percentiles are monotone and bracketed by avg-ish bounds.
+            assert!(r.p50_us <= r.p95_us, "{} p50 > p95", r.config);
+            assert!(r.p95_us <= r.p99_us, "{} p95 > p99", r.config);
+            assert!(r.p99_us <= r.max_us + 1e-9, "{} p99 > max", r.config);
         }
         // Maximum latency spans orders of magnitude: NP is bounded by the
         // largest IPC (≈7.5ms), PP by the unpointed region_search

@@ -1,0 +1,152 @@
+//! Cross-model trace diffing: run the same workload under the process
+//! and interrupt execution models with `ktrace` enabled, project each
+//! trace to its user-visible events, and verify the projections are
+//! identical — the paper's claim that the execution model is a kernel
+//! implementation detail, checked event by event instead of only at
+//! final state.
+//!
+//! The *full* traces legitimately differ: the models charge different
+//! entry/exit and context-switch costs, which shifts preemption timing,
+//! and with it restarts, context switches and rollbacks. What must not
+//! differ is what each thread could itself observe — the ordered result
+//! codes of its completed system calls, its `sys_trace` marks, and its
+//! halt ([`fluke_core::Tracer::user_visible`]).
+
+use fluke_core::{Config, Kernel, RunExit, UserVisible};
+use fluke_workloads::common::WorkloadRun;
+use fluke_workloads::{flukeperf, FlukeperfParams};
+
+use crate::Scale;
+
+/// Ring capacity for diff runs: generous enough that no event drops
+/// (dropped events would punch holes in the projection).
+pub const DIFF_RING_CAPACITY: usize = 1 << 20;
+
+/// Run a built workload to completion and hand back the kernel (unlike
+/// `run_workload`, which consumes it and keeps only the stats).
+///
+/// # Panics
+///
+/// Panics if the workload fails to finish within `budget` cycles.
+pub fn run_keep_kernel(mut w: WorkloadRun, budget: u64) -> Kernel {
+    let start = w.kernel.now();
+    let deadline = start + budget;
+    const SLICE: u64 = 50_000;
+    loop {
+        let exit = w.kernel.run(Some((w.kernel.now() + SLICE).min(deadline)));
+        if w.main_threads.iter().all(|&t| w.kernel.thread_halted(t)) {
+            break;
+        }
+        match exit {
+            RunExit::TimeLimit if w.kernel.now() >= deadline => {
+                panic!("workload {} did not finish within {budget} cycles", w.label)
+            }
+            RunExit::TimeLimit => {}
+            RunExit::AllHalted | RunExit::Deadlock => {
+                panic!("workload {} wedged (exit {exit:?})", w.label)
+            }
+        }
+    }
+    w.kernel
+}
+
+/// Build and run flukeperf under `cfg` with tracing on; return the
+/// kernel with its full trace.
+pub fn run_traced_flukeperf(cfg: Config, scale: Scale) -> Kernel {
+    let params = match scale {
+        Scale::Paper => FlukeperfParams::paper(),
+        Scale::Quick => FlukeperfParams::quick(),
+    };
+    let run = flukeperf::build(cfg.with_tracing(DIFF_RING_CAPACITY), &params);
+    run_keep_kernel(run, 8_000_000_000)
+}
+
+/// One user-visible divergence between two traces.
+#[derive(Debug, Clone)]
+pub struct Divergence {
+    /// The thread (arena id, identical across runs of the same builder).
+    pub thread: u32,
+    /// Index into that thread's user-visible sequence.
+    pub index: usize,
+    /// What the first run saw at that position.
+    pub left: Option<UserVisible>,
+    /// What the second run saw.
+    pub right: Option<UserVisible>,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "thread {} event {}: {:?} vs {:?}",
+            self.thread, self.index, self.left, self.right
+        )
+    }
+}
+
+/// Diff two kernels' user-visible projections. Empty result means the
+/// runs were user-visibly identical.
+pub fn diff_user_visible(a: &Kernel, b: &Kernel) -> Vec<Divergence> {
+    assert_eq!(a.trace.dropped_total(), 0, "left trace overflowed");
+    assert_eq!(b.trace.dropped_total(), 0, "right trace overflowed");
+    let ua = a.trace.user_visible();
+    let ub = b.trace.user_visible();
+    let mut out = Vec::new();
+    let threads: std::collections::BTreeSet<_> = ua.keys().chain(ub.keys()).copied().collect();
+    let empty = Vec::new();
+    for t in threads {
+        let left = ua.get(&t).unwrap_or(&empty);
+        let right = ub.get(&t).unwrap_or(&empty);
+        for i in 0..left.len().max(right.len()) {
+            let l = left.get(i).copied();
+            let r = right.get(i).copied();
+            if l != r {
+                out.push(Divergence {
+                    thread: t.0,
+                    index: i,
+                    left: l,
+                    right: r,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_and_interrupt_models_are_user_visibly_identical() {
+        let a = run_traced_flukeperf(Config::process_np(), Scale::Quick);
+        let b = run_traced_flukeperf(Config::interrupt_np(), Scale::Quick);
+        // The raw traces must differ (the models really are different
+        // kernels inside: entry/exit and switch costs shift every
+        // timestamp)…
+        assert_ne!(
+            a.trace.merged(),
+            b.trace.merged(),
+            "expected different internal event streams across models"
+        );
+        // …while the user-visible projections are identical.
+        let div = diff_user_visible(&a, &b);
+        assert!(
+            div.is_empty(),
+            "models diverged: {}",
+            div.iter()
+                .take(5)
+                .map(|d| d.to_string())
+                .collect::<Vec<_>>()
+                .join("; ")
+        );
+    }
+
+    #[test]
+    fn preemption_styles_are_user_visibly_identical() {
+        let a = run_traced_flukeperf(Config::process_np(), Scale::Quick);
+        let b = run_traced_flukeperf(Config::process_pp(), Scale::Quick);
+        let div = diff_user_visible(&a, &b);
+        assert!(div.is_empty(), "{} divergences", div.len());
+    }
+}

@@ -46,6 +46,27 @@ pub enum Preemption {
 /// `Partial` configuration (paper Table 4: "checked after every 8k").
 pub const PP_CHUNK_BYTES: u32 = 8192;
 
+/// Configuration of the `ktrace` flight recorder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceConfig {
+    /// Whether kernel events are recorded. Off by default: a disabled
+    /// tracer costs one predictable branch per emission site and
+    /// allocates nothing.
+    pub enabled: bool,
+    /// Per-CPU ring capacity in records; overflow drops the oldest
+    /// records and counts them.
+    pub ring_capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            enabled: false,
+            ring_capacity: 65_536,
+        }
+    }
+}
+
 /// A complete kernel configuration.
 #[derive(Debug, Clone)]
 pub struct Config {
@@ -64,6 +85,8 @@ pub struct Config {
     pub tcb_bytes: u32,
     /// Scheduler timeslice in cycles.
     pub timeslice: Cycles,
+    /// Kernel tracing (`ktrace`) knob.
+    pub trace: TraceConfig,
     /// A short human-readable label ("Process NP" etc.).
     pub label: &'static str,
 }
@@ -79,6 +102,7 @@ impl Config {
             kstack_bytes: 4096,
             tcb_bytes: 690, // process-model TCB, folded into stack page in Table 7
             timeslice: ms_to_cycles(10),
+            trace: TraceConfig::default(),
             label: "Process NP",
         }
     }
@@ -110,6 +134,7 @@ impl Config {
             kstack_bytes: 0,
             tcb_bytes: 300, // paper Table 7: Fluke interrupt-model TCB
             timeslice: ms_to_cycles(10),
+            trace: TraceConfig::default(),
             label: "Interrupt NP",
         }
     }
@@ -150,6 +175,9 @@ impl Config {
         if self.model == ExecModel::Process && self.kstack_bytes == 0 {
             return Err("process model requires a per-thread kernel stack");
         }
+        if self.trace.enabled && self.trace.ring_capacity == 0 {
+            return Err("tracing enabled with a zero-capacity ring");
+        }
         Ok(())
     }
 
@@ -166,6 +194,15 @@ impl Config {
     /// Use the small "production" 1K kernel stacks (process model).
     pub fn with_small_stacks(mut self) -> Self {
         self.kstack_bytes = 1024;
+        self
+    }
+
+    /// Enable `ktrace` with per-CPU rings of `ring_capacity` records.
+    pub fn with_tracing(mut self, ring_capacity: usize) -> Self {
+        self.trace = TraceConfig {
+            enabled: true,
+            ring_capacity,
+        };
         self
     }
 
@@ -224,6 +261,20 @@ mod tests {
             1024
         );
         assert_eq!(Config::interrupt_np().per_thread_kmem(), 300);
+    }
+
+    #[test]
+    fn tracing_knob_defaults_off_and_validates() {
+        let c = Config::process_np();
+        assert!(!c.trace.enabled);
+        let c = c.with_tracing(1 << 12);
+        assert!(c.trace.enabled);
+        assert_eq!(c.trace.ring_capacity, 1 << 12);
+        c.validate().unwrap();
+        let mut bad = Config::process_np().with_tracing(0);
+        assert!(bad.validate().is_err());
+        bad.trace.enabled = false;
+        bad.validate().unwrap();
     }
 
     #[test]

@@ -135,7 +135,7 @@ impl Kernel {
             }
             SysTrace => {
                 let v = self.arg(t, ARG_VAL);
-                self.stats.trace_log.push(v);
+                self.trace_mark(t, v);
                 Ok(SysOutcome::Done(ErrorCode::Success))
             }
             SysStats => {
@@ -179,7 +179,7 @@ impl Kernel {
                         // binding (modeled as a trace entry).
                         0x101 => {
                             let irq = self.arg(t, ARG_VAL);
-                            self.stats.trace_log.push(0x1000_0000 | irq);
+                            self.trace_mark(t, 0x1000_0000 | irq);
                         }
                         _ => return Err(Self::fail(ErrorCode::InvalidArg)),
                     }

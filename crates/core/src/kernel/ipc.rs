@@ -27,6 +27,7 @@ use crate::ids::{ConnId, ObjId, ThreadId};
 use crate::object::ObjData;
 use crate::stats::FaultSide;
 use crate::thread::{IpcRole, RunState, WaitReason};
+use crate::trace::TraceEvent;
 
 use super::mem::PumpFault;
 use super::{Kernel, SysOutcome, SysResult};
@@ -428,6 +429,7 @@ impl Kernel {
                     }
                 }
                 self.stats.ipc_messages += 1;
+                self.ktrace(TraceEvent::IpcMessage { thread: current });
                 return PumpOut::Complete;
             }
             let (r_rem, _) = self.end_avail(receiver);
@@ -488,6 +490,10 @@ impl Kernel {
             self.end_advance(sender, true, chunk);
             self.end_advance(receiver, false, chunk);
             self.stats.ipc_bytes += chunk as u64;
+            self.ktrace(TraceEvent::IpcTransfer {
+                thread: current,
+                bytes: chunk,
+            });
             since_check += chunk;
             // Explicit preemption points (Table 4: the PP configurations
             // check after every 8KB on this path; FP checks finer).
@@ -686,6 +692,10 @@ impl Kernel {
             IpcRole::Client => (Sys::IpcClientSendMore, Sys::IpcServerReceiveMore),
             IpcRole::Server => (Sys::IpcServerSendMore, Sys::IpcClientReceiveMore),
         };
+        if self.trace.enabled {
+            let bytes = self.end_avail(XferEnd::User(t)).0;
+            self.ktrace(TraceEvent::IpcSend { thread: t, bytes });
+        }
         self.charge(self.cost.ipc_setup / 2);
         {
             let c = self
@@ -904,6 +914,10 @@ impl Kernel {
             IpcRole::Client => (Sys::IpcServerSendMore, Sys::IpcClientReceiveMore),
             IpcRole::Server => (Sys::IpcClientSendMore, Sys::IpcServerReceiveMore),
         };
+        if self.trace.enabled {
+            let window = self.end_avail(XferEnd::User(t)).0;
+            self.ktrace(TraceEvent::IpcReceive { thread: t, window });
+        }
         self.charge(self.cost.ipc_setup / 2);
         // Identify a ready sender.
         let sender = {

@@ -18,6 +18,7 @@ use crate::phys::FrameId;
 use crate::space::Space;
 use crate::stats::{FaultKind, FaultRecord, FaultSide};
 use crate::thread::WaitReason;
+use crate::trace::TraceEvent;
 
 use super::{Kernel, SysOutcome, SysResult};
 
@@ -200,6 +201,11 @@ impl Kernel {
                     during_ipc,
                     at: self.now(),
                 });
+                self.ktrace(TraceEvent::SoftFault {
+                    thread: t,
+                    addr,
+                    remedy: cost,
+                });
                 Ok(())
             }
             Walk::Hard {
@@ -301,6 +307,7 @@ impl Kernel {
             None
         };
         th.kstack_retained = false;
+        self.ktrace(TraceEvent::HardFault { thread: t, offset });
     }
 
     /// Called when the keeper replies to (or disconnects) an exception IPC:
@@ -319,6 +326,10 @@ impl Kernel {
                 rec.remedy_cycles = now.saturating_sub(raised_at);
             }
         }
+        self.ktrace(TraceEvent::HardFaultDone {
+            thread: t,
+            remedy: now.saturating_sub(raised_at),
+        });
         let still_waiting = matches!(
             self.threads.get(t.0).map(|x| x.state),
             Some(crate::thread::RunState::Blocked(WaitReason::PagerReply(c2))) if c2 == conn
@@ -467,6 +478,11 @@ impl Kernel {
                         rollback_cycles: 0,
                         during_ipc: true,
                         at: self.now(),
+                    });
+                    self.ktrace(TraceEvent::SoftFault {
+                        thread: current,
+                        addr,
+                        remedy: cost,
                     });
                     if cross {
                         // Conservative revalidation: the transfer restarts

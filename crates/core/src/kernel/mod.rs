@@ -40,6 +40,7 @@ use crate::sched::ReadyQueue;
 use crate::space::Space;
 use crate::stats::Stats;
 use crate::thread::{NativeBody, RunState, Thread, WaitReason};
+use crate::trace::{TraceEvent, Tracer};
 
 pub use run::RunExit;
 
@@ -110,6 +111,9 @@ pub struct Kernel {
     pub(crate) events: EventQueue,
     /// Run statistics (every table is derived from these).
     pub stats: Stats,
+    /// The `ktrace` flight recorder (disabled and empty unless
+    /// `cfg.trace.enabled`).
+    pub trace: Tracer,
     /// Fault record receiving rollback attribution this dispatch.
     pub(crate) dispatch_rollback: Option<usize>,
     /// True while re-executing a restarted syscall's preamble.
@@ -128,6 +132,7 @@ impl Kernel {
     /// full preemption) — a build error in the original system.
     pub fn new(cfg: Config) -> Self {
         cfg.validate().expect("invalid kernel configuration");
+        let trace = Tracer::new(cfg.trace.enabled, cfg.trace.ring_capacity, cfg.num_cpus);
         let timeslice = cfg.timeslice;
         let cpus = (0..cfg.num_cpus)
             .map(|id| CpuSlot {
@@ -154,6 +159,7 @@ impl Kernel {
             ready: ReadyQueue::new(),
             events: EventQueue::new(),
             stats: Stats::default(),
+            trace,
             dispatch_rollback: None,
             rollback_active: false,
             dispatch_suppress: false,
@@ -163,6 +169,24 @@ impl Kernel {
     /// Current simulated time in cycles.
     pub fn now(&self) -> Cycles {
         self.cur_cpu().cpu.now
+    }
+
+    /// Record a `ktrace` event on the acting CPU at the current simulated
+    /// time. A single predictable branch when tracing is off.
+    #[inline]
+    pub(crate) fn ktrace(&mut self, event: TraceEvent) {
+        if self.trace.enabled {
+            let at = self.cpus[self.active].cpu.now;
+            self.trace.emit(self.active, at, event);
+        }
+    }
+
+    /// Log a value through the `sys_trace` debug channel: the legacy
+    /// `Vec<u32>` view in [`Stats::trace_log`] plus a structured
+    /// [`TraceEvent::Mark`].
+    pub(crate) fn trace_mark(&mut self, thread: ThreadId, value: u32) {
+        self.stats.trace_log.push(value);
+        self.ktrace(TraceEvent::Mark { thread, value });
     }
 
     /// True if the kernel runs the interrupt execution model.
@@ -654,6 +678,9 @@ impl Kernel {
         self.stats.kernel_cycles += c;
         if self.rollback_active {
             self.stats.rollback_cycles += c;
+            if self.trace.enabled {
+                self.trace.pending_rollback += c;
+            }
             if let Some(rec) = self.dispatch_rollback {
                 self.stats.fault_records[rec].rollback_cycles += c;
             }
@@ -664,6 +691,12 @@ impl Kernel {
     /// Mark the point in a handler where *new* work begins: preamble
     /// re-execution (rollback) accounting stops here.
     pub(crate) fn progress(&mut self) {
+        if self.trace.enabled && self.trace.pending_rollback > 0 {
+            let cycles = std::mem::take(&mut self.trace.pending_rollback);
+            if let Some(t) = self.cur_cpu().current {
+                self.ktrace(TraceEvent::Rollback { thread: t, cycles });
+            }
+        }
         self.rollback_active = false;
         self.dispatch_rollback = None;
         self.dispatch_suppress = false;
@@ -759,6 +792,7 @@ impl Kernel {
         th.woken_at = now;
         let prio = th.priority;
         self.ready.push(t, prio);
+        self.ktrace(TraceEvent::Wake { thread: t });
         self.kick_parked(now);
         self.note_wake_priority(prio);
     }
@@ -803,6 +837,7 @@ impl Kernel {
         // block (paper §5.1), so nothing else is saved.
         th.kstack_retained = false;
         self.cur_cpu_mut().current = None;
+        self.ktrace(TraceEvent::Block { thread: t });
         SysOutcome::Block
     }
 
@@ -821,6 +856,7 @@ impl Kernel {
         self.cur_cpu_mut().current = None;
         self.cur_cpu_mut().resched = false;
         self.stats.kernel_preemptions += 1;
+        self.ktrace(TraceEvent::KernelPreempt { thread: t });
         SysOutcome::Preempted
     }
 
@@ -837,6 +873,10 @@ impl Kernel {
         th.regs.eip += 1;
         th.inflight = None;
         th.open_fault = None;
+        self.ktrace(TraceEvent::SyscallExit {
+            thread: t,
+            code: code as u32,
+        });
         self.unblock(t);
     }
 
@@ -935,6 +975,7 @@ impl Kernel {
         th.ipc.role = None;
         let space = th.space;
         self.clear_running_cpu(t);
+        self.ktrace(TraceEvent::Halt { thread: t });
         self.stats.kmem_delta(-(self.cfg.per_thread_kmem() as i64));
         for j in joiners {
             self.complete_blocked(j, ErrorCode::Success);

@@ -13,6 +13,7 @@ use fluke_arch::{Reg, StepOutcome, Trap};
 use crate::ids::ThreadId;
 use crate::stats::FaultSide;
 use crate::thread::{Body, NativeAction, RunState};
+use crate::trace::TraceEvent;
 
 use super::mem::SpaceMemAdapter;
 use super::{Kernel, SysOutcome};
@@ -130,6 +131,7 @@ impl Kernel {
                 self.ready.push(cur, cur_prio);
                 self.cur_cpu_mut().current = None;
                 self.stats.user_preemptions += 1;
+                self.ktrace(TraceEvent::UserPreempt { thread: cur });
             }
             _ => {
                 self.cur_cpu_mut().slice_end = self.cur_cpu_mut().cpu.now + self.cfg.timeslice;
@@ -143,11 +145,16 @@ impl Kernel {
         let interrupt = self.is_interrupt_model();
         let mut cost = self.cost.ctx_switch_cost(interrupt);
         let space = self.threads.get(t.0).and_then(|x| x.space);
-        if space.is_some() && space != self.cur_cpu_mut().last_space {
+        let space_switch = space.is_some() && space != self.cur_cpu_mut().last_space;
+        if space_switch {
             cost += self.cost.addr_space_switch;
             self.stats.space_switches += 1;
         }
         self.stats.ctx_switches += 1;
+        self.ktrace(TraceEvent::CtxSwitch {
+            thread: t,
+            space_switch,
+        });
         if let Some(s) = space {
             self.cur_cpu_mut().last_space = Some(s);
         }
@@ -322,6 +329,14 @@ impl Kernel {
             self.rollback_active = true;
             self.dispatch_rollback = self.threads.get(cur.0).and_then(|t| t.open_fault);
         }
+        if self.trace.enabled {
+            let sys = self.threads.get(cur.0).expect("current").regs.get(Reg::Eax);
+            self.ktrace(if restarting {
+                TraceEvent::SyscallRestart { thread: cur, sys }
+            } else {
+                TraceEvent::SyscallEnter { thread: cur, sys }
+            });
+        }
         self.charge(self.cost.entry_cost(interrupt));
         let mut chained = false;
         loop {
@@ -385,6 +400,10 @@ impl Kernel {
             th.inflight = None;
             th.open_fault = None;
         }
+        self.ktrace(TraceEvent::SyscallExit {
+            thread: cur,
+            code: code as u32,
+        });
         self.progress();
         self.charge(self.cost.exit_cost(interrupt_model));
         // Latched reschedules take effect on the way out; the main loop

@@ -37,9 +37,11 @@ pub mod sched;
 pub mod space;
 pub mod stats;
 pub mod thread;
+pub mod trace;
 
-pub use config::{Config, ExecModel, Preemption, PP_CHUNK_BYTES};
+pub use config::{Config, ExecModel, Preemption, TraceConfig, PP_CHUNK_BYTES};
 pub use ids::{ConnId, ObjId, SpaceId, ThreadId};
 pub use kernel::{Kernel, RunExit};
 pub use stats::{FaultKind, FaultRecord, FaultSide, Stats};
 pub use thread::{NativeAction, NativeBody, RunState, WaitReason};
+pub use trace::{Histogram, TraceEvent, TraceRecord, TraceRing, Tracer, UserVisible};

@@ -3,6 +3,8 @@
 
 use fluke_arch::cost::{cycles_to_us, Cycles};
 
+use crate::trace::Histogram;
+
 /// Which side of an IPC transfer a fault occurred on (paper Table 3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultSide {
@@ -80,8 +82,10 @@ pub struct Stats {
     pub kernel_preemptions: u64,
     /// Preemptions of user-mode execution.
     pub user_preemptions: u64,
-    /// Latency-probe observations: cycles from wakeup to dispatch.
-    pub probe_latencies: Vec<Cycles>,
+    /// Latency-probe observations: cycles from wakeup to dispatch,
+    /// aggregated into a constant-memory histogram (exact count/sum/max;
+    /// log-linear percentiles for Table 6's p50/p95/p99 columns).
+    pub probe_hist: Histogram,
     /// Times the latency probe ran.
     pub probe_runs: u64,
     /// Times the probe was still pending when its next period arrived.
@@ -107,18 +111,24 @@ impl Stats {
         self.thread_kmem_peak = self.thread_kmem_peak.max(self.thread_kmem);
     }
 
-    /// Average probe latency in microseconds (Table 6 "avg").
+    /// Average probe latency in microseconds (Table 6 "avg"). Exact: the
+    /// histogram keeps the true count and sum.
     pub fn probe_avg_us(&self) -> f64 {
-        if self.probe_latencies.is_empty() {
+        if self.probe_hist.is_empty() {
             return 0.0;
         }
-        let sum: Cycles = self.probe_latencies.iter().sum();
-        cycles_to_us(sum) / self.probe_latencies.len() as f64
+        cycles_to_us(self.probe_hist.sum()) / self.probe_hist.count() as f64
     }
 
-    /// Maximum probe latency in microseconds (Table 6 "max").
+    /// Maximum probe latency in microseconds (Table 6 "max"). Exact.
     pub fn probe_max_us(&self) -> f64 {
-        cycles_to_us(self.probe_latencies.iter().copied().max().unwrap_or(0))
+        cycles_to_us(self.probe_hist.max())
+    }
+
+    /// A probe-latency percentile in microseconds (Table 6 p50/p95/p99).
+    /// Within the histogram's ~3% bucket error.
+    pub fn probe_percentile_us(&self, p: f64) -> f64 {
+        cycles_to_us(self.probe_hist.percentile(p))
     }
 
     /// Total busy (non-idle) cycles.
@@ -147,9 +157,14 @@ mod tests {
     fn probe_latency_summaries() {
         let mut s = Stats::default();
         assert_eq!(s.probe_avg_us(), 0.0);
-        s.probe_latencies = vec![200, 400, 600]; // 1µs, 2µs, 3µs
+        for c in [200, 400, 600] {
+            s.probe_hist.record(c); // 1µs, 2µs, 3µs
+        }
         assert!((s.probe_avg_us() - 2.0).abs() < 1e-9);
         assert!((s.probe_max_us() - 3.0).abs() < 1e-9);
+        // p100 is the exact max; lower percentiles stay within bucket error.
+        assert!((s.probe_percentile_us(100.0) - 3.0).abs() < 1e-9);
+        assert!(s.probe_percentile_us(50.0) <= s.probe_percentile_us(99.0));
     }
 
     #[test]

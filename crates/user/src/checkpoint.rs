@@ -21,11 +21,10 @@ use fluke_api::state::ThreadStateFrame;
 use fluke_api::{ErrorCode, ObjStateFrame, ObjType, Sys};
 use fluke_arch::{Assembler, Reg, UserRegs};
 use fluke_core::{Kernel, ObjId, RunExit, SpaceId};
-
-use serde::{Deserialize, Serialize};
+use fluke_json::Json;
 
 /// One checkpointed kernel object.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObjectRecord {
     /// The object's handle (virtual address) in the child.
     pub vaddr: u32,
@@ -35,8 +34,36 @@ pub struct ObjectRecord {
     pub words: Vec<u32>,
 }
 
+impl ObjectRecord {
+    /// Serialize to a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut j = Json::obj();
+        j.set("vaddr", Json::from_u32(self.vaddr));
+        j.set("ty", Json::from_u32(self.ty as u32));
+        j.set(
+            "words",
+            Json::Arr(self.words.iter().map(|&w| Json::from_u32(w)).collect()),
+        );
+        j
+    }
+
+    /// Rebuild from a JSON value produced by [`ObjectRecord::to_json`].
+    pub fn from_json(j: &Json) -> Option<ObjectRecord> {
+        Some(ObjectRecord {
+            vaddr: j.get("vaddr")?.as_u32()?,
+            ty: ObjType::from_u32(j.get("ty")?.as_u32()?)?,
+            words: j
+                .get("words")?
+                .items()?
+                .iter()
+                .map(|w| w.as_u32())
+                .collect::<Option<Vec<u32>>>()?,
+        })
+    }
+}
+
 /// A complete checkpoint of a space.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckpointImage {
     /// Base of the captured memory window.
     pub mem_base: u32,
@@ -44,6 +71,56 @@ pub struct CheckpointImage {
     pub memory: Vec<u8>,
     /// Kernel objects found in the window, in enumeration order.
     pub records: Vec<ObjectRecord>,
+}
+
+impl CheckpointImage {
+    /// Serialize the image to a JSON string (the persistence wire format).
+    pub fn to_json_string(&self) -> String {
+        let mut j = Json::obj();
+        j.set("mem_base", Json::from_u32(self.mem_base));
+        j.set(
+            "memory",
+            Json::Arr(
+                self.memory
+                    .iter()
+                    .map(|&b| Json::from_u32(b as u32))
+                    .collect(),
+            ),
+        );
+        j.set(
+            "records",
+            Json::Arr(self.records.iter().map(|r| r.to_json()).collect()),
+        );
+        j.to_string()
+    }
+
+    /// Rebuild an image from its JSON string form.
+    pub fn from_json_str(text: &str) -> Result<CheckpointImage, String> {
+        let j = Json::parse(text).map_err(|e| e.to_string())?;
+        let bad = || "malformed checkpoint image".to_string();
+        let mem_base = j.get("mem_base").and_then(Json::as_u32).ok_or_else(bad)?;
+        let memory = j
+            .get("memory")
+            .and_then(Json::items)
+            .ok_or_else(bad)?
+            .iter()
+            .map(|b| b.as_u32().and_then(|v| u8::try_from(v).ok()))
+            .collect::<Option<Vec<u8>>>()
+            .ok_or_else(bad)?;
+        let records = j
+            .get("records")
+            .and_then(Json::items)
+            .ok_or_else(bad)?
+            .iter()
+            .map(ObjectRecord::from_json)
+            .collect::<Option<Vec<ObjectRecord>>>()
+            .ok_or_else(bad)?;
+        Ok(CheckpointImage {
+            mem_base,
+            memory,
+            records,
+        })
+    }
 }
 
 /// A manager thread driven one system call at a time.

@@ -23,7 +23,7 @@ pub struct LatencyProbe {
 impl NativeBody for LatencyProbe {
     fn on_dispatch(&mut self, woken_at: Cycles, now: Cycles, stats: &mut Stats) -> NativeAction {
         if woken_at > 0 {
-            stats.probe_latencies.push(now.saturating_sub(woken_at));
+            stats.probe_hist.record(now.saturating_sub(woken_at));
             stats.probe_runs += 1;
         }
         NativeAction::BlockUntilWoken { work: self.work }
@@ -70,7 +70,7 @@ mod tests {
         // latency (user-mode preemption is immediate).
         assert!(k.stats.probe_runs >= 8, "runs={}", k.stats.probe_runs);
         assert_eq!(k.stats.probe_misses, 0);
-        let max = k.stats.probe_latencies.iter().max().copied().unwrap_or(0);
+        let max = k.stats.probe_hist.max();
         // Below ~2000 cycles (10µs): dispatch + at most one Compute(1000).
         assert!(max < 2_000, "max latency {max} cycles");
     }

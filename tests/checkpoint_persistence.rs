@@ -62,9 +62,9 @@ fn image_survives_json_round_trip_and_restores() {
     assert!(snap > 0 && snap < 250, "mid-run snapshot, got {snap}");
 
     // Write to "disk" and read back.
-    let json = serde_json::to_string(&image).expect("image serializes");
+    let json = image.to_json_string();
     assert!(json.len() > CHILD_LEN as usize); // memory bytes included
-    let reloaded: CheckpointImage = serde_json::from_str(&json).expect("image deserializes");
+    let reloaded = CheckpointImage::from_json_str(&json).expect("image deserializes");
     assert_eq!(reloaded, image);
 
     // Restore the reloaded image on a *different* kernel with a different
@@ -93,8 +93,10 @@ fn object_records_serialize_with_type_tags() {
         ty: fluke_api::ObjType::Mutex,
         words: vec![1],
     };
-    let json = serde_json::to_string(&rec).unwrap();
-    assert!(json.contains("Mutex"));
-    let back: fluke_user::checkpoint::ObjectRecord = serde_json::from_str(&json).unwrap();
+    let json = rec.to_json().to_string();
+    assert!(json.contains(&format!("\"ty\":{}", fluke_api::ObjType::Mutex as u32)));
+    let back =
+        fluke_user::checkpoint::ObjectRecord::from_json(&fluke_json::Json::parse(&json).unwrap())
+            .unwrap();
     assert_eq!(back, rec);
 }

@@ -5,14 +5,51 @@
 //!   identical user-visible results for identical programs;
 //! * IPC transfers are byte-exact for arbitrary sizes and windows;
 //! * checkpoint/restore at an arbitrary moment preserves behaviour.
+//!
+//! The container builds offline, so instead of an external property-test
+//! framework these quantify over inputs drawn from a small deterministic
+//! PRNG — same laws, reproducible cases.
 
-use proptest::prelude::*;
+use std::collections::BTreeSet;
 
 use fluke_api::{ObjType, Sys};
 use fluke_arch::{Assembler, Cond, Reg};
 use fluke_core::{Config, Kernel};
 use fluke_user::proc::{run_to_halt, ChildProc};
 use fluke_user::FlukeAsm;
+
+/// Deterministic splitmix64 generator for test-case synthesis.
+struct Rng(u64);
+
+impl Rng {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+
+    /// Uniform in `[lo, hi)`.
+    fn range(&mut self, lo: u32, hi: u32) -> u32 {
+        lo + self.next_u32() % (hi - lo)
+    }
+
+    fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        lo + self.next_u64() % (hi - lo)
+    }
+
+    fn random_ops(&mut self, lo: u32, hi: u32) -> Vec<(u8, u32)> {
+        let len = self.range(lo, hi);
+        (0..len)
+            .map(|_| (self.range(0, 6) as u8, self.range(0, 10_000)))
+            .collect()
+    }
+}
 
 /// A small random "application": arithmetic, memory stores, mutex
 /// sections, and trivial syscalls, ending with a checksum store.
@@ -75,34 +112,39 @@ fn run_app(cfg: Config, ops: &[(u8, u32)]) -> (u32, u32) {
     )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// The paper's configurability claim, as a law: for any program, all
-    /// five Table 4 configurations produce identical user-visible results.
-    #[test]
-    fn five_configurations_observationally_equivalent(
-        ops in proptest::collection::vec((0u8..6, 0u32..10_000), 1..30)
-    ) {
+/// The paper's configurability claim, as a law: for any program, all
+/// five Table 4 configurations produce identical user-visible results.
+#[test]
+fn five_configurations_observationally_equivalent() {
+    let mut rng = Rng(0xF1BE_0001);
+    for _ in 0..24 {
+        let ops = rng.random_ops(1, 30);
         let base = run_app(Config::process_np(), &ops);
         for cfg in Config::all_five().into_iter().skip(1) {
             let label = cfg.label;
             let got = run_app(cfg, &ops);
-            prop_assert_eq!(got, base, "config {} diverged", label);
+            assert_eq!(got, base, "config {label} diverged on {ops:?}");
         }
     }
+}
 
-    /// IPC transfers are byte-exact for arbitrary message sizes, buffer
-    /// alignments, and receive windows, under both execution models.
-    #[test]
-    fn ipc_transfer_byte_exact(
-        len in 1u32..20_000,
-        src_align in 0u32..128,
-        dst_align in 0u32..128,
-        window_slack in 0u32..4096,
-        interrupt_model in any::<bool>(),
-    ) {
-        let cfg = if interrupt_model { Config::interrupt_pp() } else { Config::process_pp() };
+/// IPC transfers are byte-exact for arbitrary message sizes, buffer
+/// alignments, and receive windows, under both execution models.
+#[test]
+fn ipc_transfer_byte_exact() {
+    let mut rng = Rng(0xF1BE_0002);
+    for case in 0..24 {
+        let len = rng.range(1, 20_000);
+        let src_align = rng.range(0, 128);
+        let dst_align = rng.range(0, 128);
+        let window_slack = rng.range(0, 4096);
+        let interrupt_model = rng.next_u64() & 1 == 1;
+
+        let cfg = if interrupt_model {
+            Config::interrupt_pp()
+        } else {
+            Config::process_pp()
+        };
         let mut k = Kernel::new(cfg);
         let mut server = ChildProc::with_mem(&mut k, 0x0010_0000, 0x2000);
         let mut client = ChildProc::with_mem(&mut k, 0x0030_0000, 0x2000);
@@ -131,21 +173,27 @@ proptest! {
 
         let payload: Vec<u8> = (0..len).map(|i| (i.wrapping_mul(31) % 251) as u8).collect();
         k.write_mem(client.space, cbuf, &payload);
-        prop_assert!(run_to_halt(&mut k, &[st, ct], 5_000_000_000));
-        prop_assert_eq!(k.read_mem(server.space, sbuf, len), payload);
+        assert!(run_to_halt(&mut k, &[st, ct], 5_000_000_000), "case {case}");
+        assert_eq!(k.read_mem(server.space, sbuf, len), payload, "case {case}");
         // Window accounting: the server's remaining window is exact.
-        prop_assert_eq!(k.thread_regs(st).get(fluke_api::abi::ARG_COUNT), window - len);
+        assert_eq!(
+            k.thread_regs(st).get(fluke_api::abi::ARG_COUNT),
+            window - len
+        );
         // Sender parameters advanced fully in place.
-        prop_assert_eq!(k.thread_regs(ct).get(fluke_api::abi::ARG_SBUF), cbuf + len);
+        assert_eq!(k.thread_regs(ct).get(fluke_api::abi::ARG_SBUF), cbuf + len);
     }
+}
 
-    /// Interrupting a thread at an arbitrary moment and reading its state
-    /// never perturbs the final outcome (promptness is free).
-    #[test]
-    fn midrun_state_extraction_is_harmless(
-        ops in proptest::collection::vec((0u8..6, 0u32..10_000), 5..25),
-        probe_at in 1_000u64..200_000,
-    ) {
+/// Interrupting a thread at an arbitrary moment and reading its state
+/// never perturbs the final outcome (promptness is free).
+#[test]
+fn midrun_state_extraction_is_harmless() {
+    let mut rng = Rng(0xF1BE_0003);
+    for _ in 0..24 {
+        let ops = rng.random_ops(5, 25);
+        let probe_at = rng.range_u64(1_000, 200_000);
+
         let expected = run_app(Config::interrupt_np(), &ops);
         // Same run, but pause at an arbitrary cycle and snapshot the
         // thread's frame through the debugger (identical to get_state).
@@ -156,18 +204,27 @@ proptest! {
         let t = p.start(&mut k, prog, 8);
         k.run(Some(probe_at));
         let _frame = k.thread_frame(t);
-        prop_assert!(run_to_halt(&mut k, &[t], 5_000_000_000));
+        assert!(run_to_halt(&mut k, &[t], 5_000_000_000));
         let got = (
             k.read_mem_u32(p.space, p.mem_base + 0x2000),
             k.thread_regs(t).get(Reg::Edi),
         );
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "probe at {probe_at} perturbed {ops:?}");
     }
+}
 
-    /// `region_search` enumeration is complete and ordered for arbitrary
-    /// object placements.
-    #[test]
-    fn region_search_enumerates_all_objects(slots in proptest::collection::btree_set(0u32..200, 1..12)) {
+/// `region_search` enumeration is complete and ordered for arbitrary
+/// object placements.
+#[test]
+fn region_search_enumerates_all_objects() {
+    let mut rng = Rng(0xF1BE_0004);
+    for _ in 0..24 {
+        let count = rng.range(1, 12);
+        let mut slots = BTreeSet::new();
+        while (slots.len() as u32) < count {
+            slots.insert(rng.range(0, 200));
+        }
+
         let mut k = Kernel::new(Config::process_np());
         let mut p = ChildProc::new(&mut k);
         let _ = p.alloc_obj();
@@ -196,15 +253,17 @@ proptest! {
         a.store(Reg::Ebp, 0, Reg::Edx); // terminator
         a.halt();
         let t = p.start(&mut k, a.finish(), 8);
-        prop_assert!(run_to_halt(&mut k, &[t], 5_000_000_000));
+        assert!(run_to_halt(&mut k, &[t], 5_000_000_000));
         let mut got = Vec::new();
         let mut addr = rec;
         loop {
             let v = k.read_mem_u32(p.space, addr);
-            if v == 0 { break; }
+            if v == 0 {
+                break;
+            }
             got.push(v);
             addr += 4;
         }
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected);
     }
 }
