@@ -218,27 +218,45 @@ impl Cpu {
                 }
             }
             Instr::RepMovsB => {
+                // Bulk page-run copy, semantically identical to the old
+                // byte loop: cycles charged per completed byte, registers
+                // advanced by exactly the bytes completed, fault aborts
+                // with eip unchanged.
                 self.now += cost.user_instr;
                 let mut count = regs.get(Reg::Ecx);
                 let mut src = regs.get(Reg::Esi);
                 let mut dst = regs.get(Reg::Edi);
-                let chunk = count.min(REP_CHUNK);
-                for _ in 0..chunk {
-                    let b = match mem.read_u8(src) {
-                        Ok(b) => b,
-                        Err(f) => {
-                            self.writeback_movs(regs, src, dst, count);
-                            return Some(Trap::PageFault(f));
-                        }
+                let mut remaining = count.min(REP_CHUNK);
+                let mut buf = [0u8; REP_CHUNK as usize];
+                while remaining > 0 {
+                    // A byte-wise ascending copy with dst inside
+                    // (src, src+n) replicates the source with period
+                    // d = dst - src; block copies of at most d bytes
+                    // reproduce that exactly. Backward/non-overlap needs
+                    // no clamp.
+                    let d = dst.wrapping_sub(src);
+                    let block = if d > 0 && d < remaining { d } else { remaining };
+                    let (rdone, rfault) = match mem.read_bytes(src, &mut buf[..block as usize]) {
+                        Ok(()) => (block, None),
+                        Err(e) => (e.done, Some(e.fault)),
                     };
-                    if let Err(f) = mem.write_u8(dst, b) {
+                    // Bytes read before a read fault are still written —
+                    // byte-wise order writes byte j before reading byte
+                    // j+1. A write fault precedes the read fault, since
+                    // write j happens before read k for j < k.
+                    let (done, fault) = match mem.write_bytes(dst, &buf[..rdone as usize]) {
+                        Ok(()) => (rdone, rfault),
+                        Err(e) => (e.done, Some(e.fault)),
+                    };
+                    src = src.wrapping_add(done);
+                    dst = dst.wrapping_add(done);
+                    count -= done;
+                    remaining -= done;
+                    self.now += cost.user_string_byte_per * done as Cycles;
+                    if let Some(f) = fault {
                         self.writeback_movs(regs, src, dst, count);
                         return Some(Trap::PageFault(f));
                     }
-                    src = src.wrapping_add(1);
-                    dst = dst.wrapping_add(1);
-                    count -= 1;
-                    self.now += cost.user_string_byte_per;
                 }
                 self.writeback_movs(regs, src, dst, count);
                 if count == 0 {
@@ -252,18 +270,19 @@ impl Cpu {
                 let mut count = regs.get(Reg::Ecx);
                 let mut dst = regs.get(Reg::Edi);
                 let chunk = count.min(REP_CHUNK);
-                for _ in 0..chunk {
-                    if let Err(f) = mem.write_u8(dst, val) {
-                        regs.set(Reg::Edi, dst);
-                        regs.set(Reg::Ecx, count);
-                        return Some(Trap::PageFault(f));
-                    }
-                    dst = dst.wrapping_add(1);
-                    count -= 1;
-                    self.now += cost.user_string_byte_per;
-                }
+                let buf = [val; REP_CHUNK as usize];
+                let (done, fault) = match mem.write_bytes(dst, &buf[..chunk as usize]) {
+                    Ok(()) => (chunk, None),
+                    Err(e) => (e.done, Some(e.fault)),
+                };
+                dst = dst.wrapping_add(done);
+                count -= done;
+                self.now += cost.user_string_byte_per * done as Cycles;
                 regs.set(Reg::Edi, dst);
                 regs.set(Reg::Ecx, count);
+                if let Some(f) = fault {
+                    return Some(Trap::PageFault(f));
+                }
                 if count == 0 {
                     regs.eip += 1;
                 }
@@ -509,6 +528,77 @@ mod tests {
         let (regs, _) = run_to_halt(&p, &mut mem);
         assert_eq!(regs.get(Reg::Ecx), 0);
         assert_eq!(mem.read_u8(2 * n - 1).unwrap(), 7);
+    }
+
+    #[test]
+    fn rep_movs_forward_overlap_replicates_pattern() {
+        // dst = src + 3 inside the source range: x86 byte-wise semantics
+        // replicate the first 3 bytes with period 3. The block fast path
+        // must reproduce this exactly.
+        let mut a = Assembler::new("overlap");
+        a.movi(Reg::Esi, 10);
+        a.movi(Reg::Edi, 13);
+        a.movi(Reg::Ecx, 12);
+        a.emit(Instr::RepMovsB);
+        a.halt();
+        let p = a.finish();
+        let mut mem = FlatMem::new(64);
+        for (i, b) in [1u8, 2, 3].iter().enumerate() {
+            mem.write_u8(10 + i as u32, *b).unwrap();
+        }
+        let (regs, _) = run_to_halt(&p, &mut mem);
+        assert_eq!(regs.get(Reg::Ecx), 0);
+        for i in 0..12u32 {
+            assert_eq!(
+                mem.read_u8(13 + i).unwrap(),
+                [1, 2, 3][(i % 3) as usize],
+                "byte {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn rep_movs_backward_overlap_copies_cleanly() {
+        // dst = src - 4 with count 12: ascending byte-wise copy never
+        // clobbers an unread source byte, so the result is a plain copy.
+        let mut a = Assembler::new("backoverlap");
+        a.movi(Reg::Esi, 20);
+        a.movi(Reg::Edi, 16);
+        a.movi(Reg::Ecx, 12);
+        a.emit(Instr::RepMovsB);
+        a.halt();
+        let p = a.finish();
+        let mut mem = FlatMem::new(64);
+        let data: Vec<u8> = (0..12).map(|i| 0x30 + i as u8).collect();
+        for (i, b) in data.iter().enumerate() {
+            mem.write_u8(20 + i as u32, *b).unwrap();
+        }
+        let (_, _) = run_to_halt(&p, &mut mem);
+        for (i, b) in data.iter().enumerate() {
+            assert_eq!(mem.read_u8(16 + i as u32).unwrap(), *b, "byte {i}");
+        }
+    }
+
+    #[test]
+    fn rep_movs_cycle_charge_matches_byte_count() {
+        // The bulk rewrite must charge exactly the per-byte cost model:
+        // one user_instr per step plus user_string_byte_per per byte.
+        let n = REP_CHUNK + 100; // two steps
+        let mut a = Assembler::new("cycles");
+        a.movi(Reg::Esi, 0);
+        a.movi(Reg::Edi, n);
+        a.movi(Reg::Ecx, n);
+        a.emit(Instr::RepMovsB);
+        a.halt();
+        let p = a.finish();
+        let mut mem = FlatMem::new(2 * n as usize);
+        let (_, cycles) = run_to_halt(&p, &mut mem);
+        let cost = CostModel::default();
+        let expect = 3 * cost.user_instr          // three movi
+            + 2 * cost.user_instr                 // two RepMovsB steps
+            + n as Cycles * cost.user_string_byte_per
+            + cost.user_instr; // halt
+        assert_eq!(cycles, expect);
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub use asm::Assembler;
 pub use cost::{cycles_to_us, us_to_cycles, CostModel, Cycles, CYCLES_PER_US};
 pub use cpu::{Cpu, StepOutcome};
 pub use isa::{Cond, Instr};
-pub use mem::{AccessKind, MemFault, UserMem};
+pub use mem::{AccessKind, BulkFault, MemFault, UserMem};
 pub use program::{Program, ProgramId};
 pub use regs::{Reg, UserRegs, FLAG_LT, FLAG_ZF};
 pub use trap::Trap;

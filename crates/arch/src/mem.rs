@@ -31,6 +31,20 @@ pub struct MemFault {
     pub kind: AccessKind,
 }
 
+/// A fault raised partway through a bulk access.
+///
+/// Bulk operations are *not* atomic: like the x86 string instructions they
+/// back, they complete a prefix of the transfer and then report how far they
+/// got, so the caller can advance its cursors by exactly `done` bytes and
+/// retry from the faulting address after the fault is resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BulkFault {
+    /// Bytes successfully transferred before the fault.
+    pub done: u32,
+    /// The fault that stopped the transfer.
+    pub fault: MemFault,
+}
+
 /// The interface the CPU uses to touch a thread's address space.
 ///
 /// Implemented by the kernel's per-space page-table machinery. All accesses
@@ -43,6 +57,44 @@ pub trait UserMem {
 
     /// Write one byte at `addr`.
     fn write_u8(&mut self, addr: u32, val: u8) -> Result<(), MemFault>;
+
+    /// Read `out.len()` bytes starting at `addr`.
+    ///
+    /// On fault, `out[..done]` holds the bytes read before the fault and the
+    /// rest of `out` is unspecified. The default implementation reads byte by
+    /// byte; implementations may translate once per page run but must report
+    /// the same fault address and completed-count the byte-at-a-time loop
+    /// would.
+    fn read_bytes(&mut self, addr: u32, out: &mut [u8]) -> Result<(), BulkFault> {
+        for (i, b) in out.iter_mut().enumerate() {
+            match self.read_u8(addr.wrapping_add(i as u32)) {
+                Ok(v) => *b = v,
+                Err(fault) => {
+                    return Err(BulkFault {
+                        done: i as u32,
+                        fault,
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Write `data` starting at `addr`.
+    ///
+    /// On fault, the first `done` bytes have been committed to memory (partial
+    /// progress is visible, exactly as with the byte-at-a-time loop).
+    fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), BulkFault> {
+        for (i, b) in data.iter().enumerate() {
+            if let Err(fault) = self.write_u8(addr.wrapping_add(i as u32), *b) {
+                return Err(BulkFault {
+                    done: i as u32,
+                    fault,
+                });
+            }
+        }
+        Ok(())
+    }
 
     /// Read a little-endian u32 at `addr` (no alignment requirement).
     fn read_u32(&mut self, addr: u32) -> Result<u32, MemFault> {
@@ -142,5 +194,45 @@ mod tests {
         // Bytes 4..8: byte 6 is the first out of range.
         let f = m.write_u32(4, 1).unwrap_err();
         assert_eq!(f.addr, 6);
+    }
+
+    #[test]
+    fn bulk_roundtrip() {
+        let mut m = FlatMem::new(32);
+        let data: Vec<u8> = (0..20).map(|i| i as u8 ^ 0x5a).collect();
+        m.write_bytes(7, &data).unwrap();
+        let mut out = [0u8; 20];
+        m.read_bytes(7, &mut out).unwrap();
+        assert_eq!(&out[..], &data[..]);
+    }
+
+    #[test]
+    fn bulk_read_reports_done_and_fault() {
+        let mut m = FlatMem::new(10);
+        let mut out = [0xffu8; 8];
+        let e = m.read_bytes(6, &mut out).unwrap_err();
+        assert_eq!(e.done, 4);
+        assert_eq!(e.fault.addr, 10);
+        assert_eq!(e.fault.kind, AccessKind::Read);
+        // The completed prefix is valid data.
+        assert_eq!(&out[..4], &[0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn bulk_write_commits_prefix_before_fault() {
+        let mut m = FlatMem::new(10);
+        let e = m.write_bytes(8, &[1, 2, 3, 4]).unwrap_err();
+        assert_eq!(e.done, 2);
+        assert_eq!(e.fault.addr, 10);
+        assert_eq!(e.fault.kind, AccessKind::Write);
+        assert_eq!(m.read_u8(8).unwrap(), 1);
+        assert_eq!(m.read_u8(9).unwrap(), 2);
+    }
+
+    #[test]
+    fn bulk_empty_is_ok() {
+        let mut m = FlatMem::new(1);
+        m.read_bytes(0xffff_ffff, &mut []).unwrap();
+        m.write_bytes(0xffff_ffff, &[]).unwrap();
     }
 }

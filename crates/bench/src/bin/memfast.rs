@@ -1,0 +1,18 @@
+//! Benchmark the software-TLB + bulk-memory fast path against the
+//! per-byte reference implementation (host wall-clock), and write the
+//! results to `BENCH_memfast.json`.
+//!
+//! Usage: `memfast [output.json]` — scale via `FLUKE_BENCH_SCALE`.
+
+fn main() {
+    let scale = fluke_bench::Scale::from_env();
+    let rows = fluke_bench::memfast::run_memfast(scale);
+    println!("memfast: host wall-clock, fast path vs per-byte reference");
+    println!("{}", fluke_bench::memfast::table(&rows).render());
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_memfast.json".to_string());
+    let doc = fluke_bench::memfast::to_json(scale, &rows);
+    std::fs::write(&out, format!("{doc}\n")).expect("write benchmark report");
+    println!("wrote {out}");
+}

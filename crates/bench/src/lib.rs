@@ -7,6 +7,7 @@
 //! factor, where the orders of magnitude fall) without parsing text.
 
 pub mod ablation;
+pub mod memfast;
 pub mod report;
 pub mod table1;
 pub mod table3;

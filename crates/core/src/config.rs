@@ -87,6 +87,12 @@ pub struct Config {
     pub timeslice: Cycles,
     /// Kernel tracing (`ktrace`) knob.
     pub trace: TraceConfig,
+    /// Use the software-TLB + page-run bulk memory fast path (host-side
+    /// only: simulated cycle charges, traces and stats are bit-identical
+    /// with this on or off). Off selects the uncached byte-at-a-time
+    /// reference implementation, kept as a differential-testing oracle and
+    /// benchmark baseline.
+    pub fast_mem: bool,
     /// A short human-readable label ("Process NP" etc.).
     pub label: &'static str,
 }
@@ -103,6 +109,7 @@ impl Config {
             tcb_bytes: 690, // process-model TCB, folded into stack page in Table 7
             timeslice: ms_to_cycles(10),
             trace: TraceConfig::default(),
+            fast_mem: true,
             label: "Process NP",
         }
     }
@@ -135,6 +142,7 @@ impl Config {
             tcb_bytes: 300, // paper Table 7: Fluke interrupt-model TCB
             timeslice: ms_to_cycles(10),
             trace: TraceConfig::default(),
+            fast_mem: true,
             label: "Interrupt NP",
         }
     }
@@ -194,6 +202,12 @@ impl Config {
     /// Use the small "production" 1K kernel stacks (process model).
     pub fn with_small_stacks(mut self) -> Self {
         self.kstack_bytes = 1024;
+        self
+    }
+
+    /// Select or deselect the memory fast path (see [`Config::fast_mem`]).
+    pub fn with_fast_mem(mut self, fast: bool) -> Self {
+        self.fast_mem = fast;
         self
     }
 

@@ -348,10 +348,12 @@ impl Kernel {
                     s.regions.push(oid);
                 }
             }
-            Some(ObjData::Mapping { space, .. }) => {
-                let space = *space;
+            Some(ObjData::Mapping {
+                space, base, size, ..
+            }) => {
+                let (space, base, size) = (*space, *base, *size);
                 if let Some(s) = self.spaces.get_mut(space.0) {
-                    s.mappings.push(oid);
+                    s.add_mapping(oid, base, size);
                 }
             }
             Some(ObjData::Space(sid)) => {
@@ -458,13 +460,11 @@ impl Kernel {
                 space, base, size, ..
             } => {
                 if let Some(s) = self.spaces.get_mut(space.0) {
-                    s.mappings.retain(|&m| m != oid);
+                    s.remove_mapping(oid);
                     // Flush PTEs derived through this mapping's range.
                     let first = base / abi::PAGE_SIZE;
                     let last = (base.saturating_add(size.saturating_sub(1))) / abi::PAGE_SIZE;
-                    for p in first..=last {
-                        s.pages.remove(&p);
-                    }
+                    s.unmap_vpn_range(first, last);
                 }
             }
             ObjData::Space(sid) => {
@@ -476,6 +476,11 @@ impl Kernel {
                     .collect();
                 for v in victims {
                     self.halt_thread(v);
+                }
+                // Retire the dying space's TLB counters so they survive in
+                // the kernel-wide totals.
+                if let Some(s) = self.spaces.get(sid.0) {
+                    self.stats.tlb_retired.merge(s.tlb_stats());
                 }
                 self.spaces.remove(sid.0);
             }
@@ -660,6 +665,7 @@ impl Kernel {
             ObjStateFrame::Mapping(f) => {
                 let region = self.resolve_region_handle(caller, f.region_token)?;
                 let Some(ObjData::Mapping {
+                    space,
                     base,
                     size,
                     region: r,
@@ -675,6 +681,12 @@ impl Kernel {
                 *r = region;
                 *offset = f.offset;
                 *region_token = f.region_token;
+                // Keep the destination space's interval index coherent with
+                // the mapping's new window.
+                let space = *space;
+                if let Some(s) = self.spaces.get_mut(space.0) {
+                    s.update_mapping(oid, f.base, f.size);
+                }
             }
             ObjStateFrame::Port(f) => {
                 let pset = if f.pset_token != 0 {
@@ -1198,8 +1210,7 @@ impl Kernel {
         let mut touched = 0u64;
         if let Some(s) = self.spaces.get_mut(owner.0) {
             for p in first..=last {
-                if let Some(pte) = s.pages.get_mut(&p) {
-                    pte.writable = writable;
+                if s.set_vpn_writable(p, writable) {
                     touched += 1;
                 }
             }
@@ -1232,9 +1243,7 @@ impl Kernel {
         let first = base / abi::PAGE_SIZE;
         let last = (base + size - 1) / abi::PAGE_SIZE;
         if let Some(s) = self.spaces.get_mut(space.0) {
-            for p in first..=last {
-                s.pages.remove(&p);
-            }
+            s.unmap_vpn_range(first, last);
         }
         Ok(SysOutcome::Done(ErrorCode::Success))
     }
@@ -1272,12 +1281,12 @@ impl Kernel {
             let present = self
                 .spaces
                 .get(owner.0)
-                .map(|s| s.pages.contains_key(&p))
+                .map(|s| s.has_vpn(p))
                 .unwrap_or(false);
             if !present {
                 let frame = self.phys.alloc();
                 if let Some(s) = self.spaces.get_mut(owner.0) {
-                    s.pages.insert(
+                    s.insert_pte(
                         p,
                         crate::space::Pte {
                             frame,
@@ -1323,7 +1332,7 @@ impl Kernel {
         // Invert the page table once, then scan object locations.
         let inv: std::collections::HashMap<crate::phys::FrameId, u32> = match self.spaces.get(sid.0)
         {
-            Some(s) => s.pages.iter().map(|(&vpn, pte)| (pte.frame, vpn)).collect(),
+            Some(s) => s.pages_iter().map(|(&vpn, pte)| (pte.frame, vpn)).collect(),
             None => return Err(Self::fail(ErrorCode::InvalidHandle)),
         };
         let mut best: Option<(u32, ObjId)> = None;

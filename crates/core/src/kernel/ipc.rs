@@ -378,23 +378,44 @@ impl Kernel {
             (XferEnd::User(_), XferEnd::User(_)) => {
                 let (sf, so) = s_loc.expect("sender resolved");
                 let (rf, ro) = r_loc.expect("receiver resolved");
-                self.phys.copy(sf, so, rf, ro, n);
+                if self.cfg.fast_mem {
+                    self.phys.copy(sf, so, rf, ro, n);
+                } else {
+                    // Reference path: byte-at-a-time through a staging
+                    // buffer, so a message whose source and destination
+                    // alias the same frame with overlapping offsets still
+                    // delivers the original source bytes (memmove
+                    // semantics, matching `copy`). A chunk never exceeds a
+                    // page.
+                    let mut buf = [0u8; fluke_api::abi::PAGE_SIZE as usize];
+                    for i in 0..n {
+                        buf[i as usize] = self.phys.read_u8(sf, so + i);
+                    }
+                    for i in 0..n {
+                        self.phys.write_u8(rf, ro + i, buf[i as usize]);
+                    }
+                }
             }
             (XferEnd::KernelSrc(c), XferEnd::User(_)) => {
                 let (rf, ro) = r_loc.expect("receiver resolved");
-                let bytes: Vec<u8> = match &self.conns.get(c.0).expect("conn").client {
-                    ClientEnd::Kernel(km) => km.bytes[km.pos..km.pos + n as usize].to_vec(),
+                // Disjoint field borrows: read the kernel message in place,
+                // no staging allocation.
+                match &self.conns.get(c.0).expect("conn").client {
+                    ClientEnd::Kernel(km) => {
+                        self.phys
+                            .write_slice(rf, ro, &km.bytes[km.pos..km.pos + n as usize]);
+                    }
                     ClientEnd::Thread(_) => unreachable!("kernel src on user client"),
-                };
-                self.phys.write_slice(rf, ro, &bytes);
+                }
             }
             (XferEnd::User(_), XferEnd::KernelSink(c)) => {
                 let (sf, so) = s_loc.expect("sender resolved");
-                let mut buf = vec![0u8; n as usize];
-                self.phys.read_slice(sf, so, &mut buf);
                 if let Some(conn) = self.conns.get_mut(c.0) {
                     if let ClientEnd::Kernel(km) = &mut conn.client {
-                        km.reply.extend_from_slice(&buf);
+                        // Grow the reply and read straight into the tail.
+                        let at = km.reply.len();
+                        km.reply.resize(at + n as usize, 0);
+                        self.phys.read_slice(sf, so, &mut km.reply[at..]);
                     }
                 }
             }

@@ -74,25 +74,24 @@ impl Kernel {
                     };
                 }
             }
-            // Find a mapping in this space covering `a`.
-            let mut found = None;
-            for &mid in &s.mappings {
-                let Some(ObjData::Mapping {
-                    base,
-                    size,
-                    region,
-                    offset,
-                    writable,
-                    ..
-                }) = self.objects.get(mid).map(|o| &o.data)
-                else {
-                    continue;
-                };
-                if a >= *base && a - *base < *size {
-                    found = Some((*region, *offset, a - *base, *writable));
-                    break;
+            // Find the covering mapping via the space's base-sorted interval
+            // index (first in insertion order, same as the linear scan it
+            // replaces).
+            let found = s.mapping_covering(a).and_then(|mid| {
+                match self.objects.get(mid).map(|o| &o.data) {
+                    Some(ObjData::Mapping {
+                        base,
+                        size,
+                        region,
+                        offset,
+                        writable,
+                        ..
+                    }) if a >= *base && a - *base < *size => {
+                        Some((*region, *offset, a - *base, *writable))
+                    }
+                    _ => None,
                 }
-            }
+            });
             let Some((region_id, map_off, delta, map_writable)) = found else {
                 return Walk::Fatal;
             };
@@ -130,12 +129,7 @@ impl Kernel {
             }
             // Owner lacks the page too: either recurse through the owner's
             // own mappings, or fall to the keeper.
-            let owner_has_mapping = owner_space.mappings.iter().any(|&mid| {
-                matches!(
-                    self.objects.get(mid).map(|o| &o.data),
-                    Some(ObjData::Mapping { base, size, .. }) if src >= *base && src - *base < *size
-                )
-            });
+            let owner_has_mapping = owner_space.mapping_covering(src).is_some();
             if owner_has_mapping {
                 sid = *owner;
                 a = src;
@@ -357,12 +351,14 @@ impl Kernel {
             .get(t.0)
             .and_then(|x| x.space)
             .ok_or(SysOutcome::Kill("thread without space"))?;
+        let fast = self.cfg.fast_mem;
         loop {
-            if let Some(hit) = self
-                .spaces
-                .get(sid.0)
-                .and_then(|s| s.translate(addr, write))
-            {
+            let hit = match self.spaces.get_mut(sid.0) {
+                Some(s) if fast => s.translate_cached(addr, write),
+                Some(s) => s.translate(addr, write),
+                None => None,
+            };
+            if let Some(hit) = hit {
                 return Ok(hit);
             }
             self.handle_fault(t, sid, addr, write, FaultSide::Other, false, true)?;
@@ -441,12 +437,14 @@ impl Kernel {
         write: bool,
         side: FaultSide,
     ) -> Result<(FrameId, u32), PumpFault> {
+        let fast = self.cfg.fast_mem;
         loop {
-            if let Some(hit) = self
-                .spaces
-                .get(space.0)
-                .and_then(|s| s.translate(addr, write))
-            {
+            let hit = match self.spaces.get_mut(space.0) {
+                Some(s) if fast => s.translate_cached(addr, write),
+                Some(s) => s.translate(addr, write),
+                None => None,
+            };
+            if let Some(hit) = hit {
                 return Ok(hit);
             }
             match self.walk_hierarchy(space, addr, write) {
@@ -543,14 +541,33 @@ impl WaitReason {
 }
 
 /// Adapter giving the CPU core checked access to a space's memory.
-pub(crate) struct SpaceMemAdapter<'a> {
-    pub space: &'a Space,
-    pub phys: &'a mut crate::phys::PhysMem,
+///
+/// With `fast` set (the default, [`crate::Config::fast_mem`]), translations
+/// go through the space's software TLB and the bulk `read_bytes` /
+/// `write_bytes` operations consume whole page runs via
+/// `PhysMem::read_slice` / `write_slice`. With `fast` clear, every access
+/// is an uncached byte-at-a-time page-table lookup — the reference
+/// implementation the fast path must be indistinguishable from.
+pub struct SpaceMemAdapter<'a> {
+    pub(crate) space: &'a mut Space,
+    pub(crate) phys: &'a mut crate::phys::PhysMem,
+    pub(crate) fast: bool,
+}
+
+impl SpaceMemAdapter<'_> {
+    #[inline]
+    fn translate(&mut self, addr: u32, write: bool) -> Option<(FrameId, u32)> {
+        if self.fast {
+            self.space.translate_cached(addr, write)
+        } else {
+            self.space.translate(addr, write)
+        }
+    }
 }
 
 impl fluke_arch::UserMem for SpaceMemAdapter<'_> {
     fn read_u8(&mut self, addr: u32) -> Result<u8, fluke_arch::MemFault> {
-        match self.space.translate(addr, false) {
+        match self.translate(addr, false) {
             Some((f, off)) => Ok(self.phys.read_u8(f, off)),
             None => Err(fluke_arch::MemFault {
                 addr,
@@ -560,7 +577,7 @@ impl fluke_arch::UserMem for SpaceMemAdapter<'_> {
     }
 
     fn write_u8(&mut self, addr: u32, val: u8) -> Result<(), fluke_arch::MemFault> {
-        match self.space.translate(addr, true) {
+        match self.translate(addr, true) {
             Some((f, off)) => {
                 self.phys.write_u8(f, off, val);
                 Ok(())
@@ -570,6 +587,96 @@ impl fluke_arch::UserMem for SpaceMemAdapter<'_> {
                 kind: fluke_arch::AccessKind::Write,
             }),
         }
+    }
+
+    fn read_u32(&mut self, addr: u32) -> Result<u32, fluke_arch::MemFault> {
+        let mut b = [0u8; 4];
+        self.read_bytes(addr, &mut b).map_err(|e| e.fault)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn write_u32(&mut self, addr: u32, val: u32) -> Result<(), fluke_arch::MemFault> {
+        // Bulk write keeps the byte-loop contract: bytes before the fault
+        // are committed.
+        self.write_bytes(addr, &val.to_le_bytes())
+            .map_err(|e| e.fault)
+    }
+
+    fn read_bytes(&mut self, addr: u32, out: &mut [u8]) -> Result<(), fluke_arch::BulkFault> {
+        if !self.fast {
+            // Byte-at-a-time reference path.
+            for (i, b) in out.iter_mut().enumerate() {
+                match self.read_u8(addr.wrapping_add(i as u32)) {
+                    Ok(v) => *b = v,
+                    Err(fault) => {
+                        return Err(fluke_arch::BulkFault {
+                            done: i as u32,
+                            fault,
+                        })
+                    }
+                }
+            }
+            return Ok(());
+        }
+        // Translate once per page run, copy the run as a slice.
+        let mut done = 0u32;
+        while (done as usize) < out.len() {
+            let a = addr.wrapping_add(done);
+            let run = (PAGE_SIZE - a % PAGE_SIZE).min(out.len() as u32 - done);
+            match self.translate(a, false) {
+                Some((f, off)) => {
+                    self.phys
+                        .read_slice(f, off, &mut out[done as usize..(done + run) as usize]);
+                    done += run;
+                }
+                None => {
+                    return Err(fluke_arch::BulkFault {
+                        done,
+                        fault: fluke_arch::MemFault {
+                            addr: a,
+                            kind: fluke_arch::AccessKind::Read,
+                        },
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn write_bytes(&mut self, addr: u32, data: &[u8]) -> Result<(), fluke_arch::BulkFault> {
+        if !self.fast {
+            for (i, b) in data.iter().enumerate() {
+                if let Err(fault) = self.write_u8(addr.wrapping_add(i as u32), *b) {
+                    return Err(fluke_arch::BulkFault {
+                        done: i as u32,
+                        fault,
+                    });
+                }
+            }
+            return Ok(());
+        }
+        let mut done = 0u32;
+        while (done as usize) < data.len() {
+            let a = addr.wrapping_add(done);
+            let run = (PAGE_SIZE - a % PAGE_SIZE).min(data.len() as u32 - done);
+            match self.translate(a, true) {
+                Some((f, off)) => {
+                    self.phys
+                        .write_slice(f, off, &data[done as usize..(done + run) as usize]);
+                    done += run;
+                }
+                None => {
+                    return Err(fluke_arch::BulkFault {
+                        done,
+                        fault: fluke_arch::MemFault {
+                            addr: a,
+                            kind: fluke_arch::AccessKind::Write,
+                        },
+                    })
+                }
+            }
+        }
+        Ok(())
     }
 }
 

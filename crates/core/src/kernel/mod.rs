@@ -42,6 +42,7 @@ use crate::stats::Stats;
 use crate::thread::{NativeBody, RunState, Thread, WaitReason};
 use crate::trace::{TraceEvent, Tracer};
 
+pub use mem::SpaceMemAdapter;
 pub use run::RunExit;
 
 /// Outcome of one system-call handler invocation.
@@ -307,9 +308,67 @@ impl Kernel {
         for p in 0..pages {
             let frame = self.phys.alloc();
             let s = self.spaces.get_mut(space.0).expect("space exists");
-            s.pages
-                .insert(start + p, crate::space::Pte { frame, writable });
+            s.insert_pte(start + p, crate::space::Pte { frame, writable });
         }
+    }
+
+    /// Map `[dst, dst+len)` in `dst_space` onto the frames already backing
+    /// `[src, src+len)` in `src_space` (boot-time aliasing helper: the two
+    /// ranges share physical memory afterwards).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a source page is unmapped and not derivable.
+    pub fn alias_pages(
+        &mut self,
+        dst_space: SpaceId,
+        dst: u32,
+        src_space: SpaceId,
+        src: u32,
+        len: u32,
+        writable: bool,
+    ) {
+        let page = fluke_api::abi::PAGE_SIZE;
+        let pages = fluke_api::abi::pages_spanning(len.max(1));
+        for p in 0..pages {
+            let (frame, _) = self
+                .debug_translate(src_space, src + p * page, false)
+                .expect("alias_pages: source page unmapped");
+            let s = self.spaces.get_mut(dst_space.0).expect("space exists");
+            s.insert_pte(dst / page + p, crate::space::Pte { frame, writable });
+        }
+    }
+
+    /// Change the writable bit of the resident page covering `addr`
+    /// (boot-time/test helper). Returns false if the page is not resident.
+    pub fn protect_page(&mut self, space: SpaceId, addr: u32, writable: bool) -> bool {
+        match self.spaces.get_mut(space.0) {
+            Some(s) => s.set_vpn_writable(addr / fluke_api::abi::PAGE_SIZE, writable),
+            None => false,
+        }
+    }
+
+    /// Kernel-wide software-TLB counters: retired counters from destroyed
+    /// spaces plus the live spaces' counters.
+    pub fn tlb_stats(&self) -> crate::tlb::TlbStats {
+        let mut total = self.stats.tlb_retired;
+        for (_, s) in self.spaces.iter() {
+            total.merge(s.tlb_stats());
+        }
+        total
+    }
+
+    /// Checked user-memory view of `space` (the same adapter the CPU core
+    /// runs against), honouring the configured fast/reference path. Used by
+    /// tests and benchmarks to exercise the memory layer directly.
+    pub fn user_mem(&mut self, space: SpaceId) -> Option<SpaceMemAdapter<'_>> {
+        let fast = self.cfg.fast_mem;
+        let space = self.spaces.get_mut(space.0)?;
+        Some(SpaceMemAdapter {
+            space,
+            phys: &mut self.phys,
+            fast,
+        })
     }
 
     /// Debugger translation: direct PTE, or a free hierarchy walk with
@@ -523,7 +582,7 @@ impl Kernel {
         };
         let oid = self.loader_insert(home, vaddr, data);
         if let Some(s) = self.spaces.get_mut(dest.0) {
-            s.mappings.push(oid);
+            s.add_mapping(oid, base, size);
         }
         oid
     }

@@ -218,13 +218,14 @@ impl Kernel {
         };
         let trap = {
             let th = self.threads.get_mut(cur.0).expect("current");
-            let Some(space) = self.spaces.get(sid.0) else {
+            let Some(space) = self.spaces.get_mut(sid.0) else {
                 self.kill_thread(cur, "space destroyed");
                 return;
             };
             let mut mem = SpaceMemAdapter {
                 space,
                 phys: &mut self.phys,
+                fast: self.cfg.fast_mem,
             };
             let active = self.active;
             let before = self.cpus[active].cpu.now;

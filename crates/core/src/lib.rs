@@ -37,6 +37,7 @@ pub mod sched;
 pub mod space;
 pub mod stats;
 pub mod thread;
+pub mod tlb;
 pub mod trace;
 
 pub use config::{Config, ExecModel, Preemption, TraceConfig, PP_CHUNK_BYTES};
@@ -44,4 +45,5 @@ pub use ids::{ConnId, ObjId, SpaceId, ThreadId};
 pub use kernel::{Kernel, RunExit};
 pub use stats::{FaultKind, FaultRecord, FaultSide, Stats};
 pub use thread::{NativeAction, NativeBody, RunState, WaitReason};
+pub use tlb::TlbStats;
 pub use trace::{Histogram, TraceEvent, TraceRecord, TraceRing, Tracer, UserVisible};

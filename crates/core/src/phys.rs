@@ -45,18 +45,34 @@ impl PhysMem {
 
     /// Read a slice out of one frame (must not cross the frame boundary).
     pub fn read_slice(&self, frame: FrameId, offset: u32, out: &mut [u8]) {
+        debug_assert!(
+            offset as usize + out.len() <= PAGE_SIZE as usize,
+            "read_slice crosses frame boundary: offset {} + len {} > PAGE_SIZE",
+            offset,
+            out.len()
+        );
         let off = offset as usize;
         out.copy_from_slice(&self.frames[frame as usize][off..off + out.len()]);
     }
 
     /// Write a slice into one frame (must not cross the frame boundary).
     pub fn write_slice(&mut self, frame: FrameId, offset: u32, data: &[u8]) {
+        debug_assert!(
+            offset as usize + data.len() <= PAGE_SIZE as usize,
+            "write_slice crosses frame boundary: offset {} + len {} > PAGE_SIZE",
+            offset,
+            data.len()
+        );
         let off = offset as usize;
         self.frames[frame as usize][off..off + data.len()].copy_from_slice(data);
     }
 
     /// Copy `len` bytes between frames (ranges must not cross frame
     /// boundaries; the IPC pump guarantees this by chunking at page edges).
+    ///
+    /// Same-frame copies (aliased mappings) use `copy_within`, i.e. memmove
+    /// semantics: overlapping ranges copy as if through an intermediate
+    /// buffer.
     pub fn copy(
         &mut self,
         src_frame: FrameId,
@@ -65,15 +81,33 @@ impl PhysMem {
         dst_off: u32,
         len: u32,
     ) {
-        debug_assert!(src_off + len <= PAGE_SIZE && dst_off + len <= PAGE_SIZE);
+        debug_assert!(
+            src_off + len <= PAGE_SIZE && dst_off + len <= PAGE_SIZE,
+            "copy crosses frame boundary: src {}+{} / dst {}+{} vs PAGE_SIZE",
+            src_off,
+            len,
+            dst_off,
+            len
+        );
         if src_frame == dst_frame {
             let f = &mut self.frames[src_frame as usize];
             f.copy_within(src_off as usize..(src_off + len) as usize, dst_off as usize);
         } else {
-            let mut tmp = [0u8; PAGE_SIZE as usize];
-            let chunk = &mut tmp[..len as usize];
-            self.read_slice(src_frame, src_off, chunk);
-            self.write_slice(dst_frame, dst_off, chunk);
+            // Distinct frames: borrow both and copy directly, no staging
+            // buffer.
+            let (lo, hi) = (
+                src_frame.min(dst_frame) as usize,
+                src_frame.max(dst_frame) as usize,
+            );
+            let (head, tail) = self.frames.split_at_mut(hi);
+            let (a, b) = (&mut head[lo], &mut tail[0]);
+            let (src, dst) = if src_frame < dst_frame {
+                (a, b)
+            } else {
+                (b, a)
+            };
+            dst[dst_off as usize..(dst_off + len) as usize]
+                .copy_from_slice(&src[src_off as usize..(src_off + len) as usize]);
         }
     }
 }
@@ -129,5 +163,40 @@ mod tests {
         let mut out = [0u8; 4];
         p.read_slice(f, 8, &mut out);
         assert_eq!(out, [1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn copy_within_one_frame_overlapping_is_memmove() {
+        let mut p = PhysMem::new();
+        let f = p.alloc();
+        p.write_slice(f, 0, &[1, 2, 3, 4, 5, 6]);
+        // Forward overlap: dst = src + 2 inside the source range.
+        p.copy(f, 0, f, 2, 6);
+        let mut out = [0u8; 8];
+        p.read_slice(f, 0, &mut out);
+        assert_eq!(out, [1, 2, 1, 2, 3, 4, 5, 6]);
+        // Backward overlap.
+        p.copy(f, 2, f, 0, 6);
+        p.read_slice(f, 0, &mut out);
+        assert_eq!(out, [1, 2, 3, 4, 5, 6, 5, 6]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "crosses frame boundary")]
+    fn read_slice_rejects_boundary_crossing() {
+        let mut p = PhysMem::new();
+        let f = p.alloc();
+        let mut out = [0u8; 8];
+        p.read_slice(f, PAGE_SIZE - 4, &mut out);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "crosses frame boundary")]
+    fn write_slice_rejects_boundary_crossing() {
+        let mut p = PhysMem::new();
+        let f = p.alloc();
+        p.write_slice(f, PAGE_SIZE - 4, &[0u8; 8]);
     }
 }

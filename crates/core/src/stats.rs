@@ -3,6 +3,7 @@
 
 use fluke_arch::cost::{cycles_to_us, Cycles};
 
+use crate::tlb::TlbStats;
 use crate::trace::Histogram;
 
 /// Which side of an IPC transfer a fault occurred on (paper Table 3).
@@ -102,6 +103,10 @@ pub struct Stats {
     pub objects_created: u64,
     /// Values logged by the `sys_trace` entrypoint (a test/debug channel).
     pub trace_log: Vec<u32>,
+    /// Software-TLB counters retired from destroyed spaces (host-side
+    /// observability only; live spaces' counters are added on top by
+    /// [`crate::Kernel::tlb_stats`]).
+    pub tlb_retired: TlbStats,
 }
 
 impl Stats {

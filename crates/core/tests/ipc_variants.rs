@@ -279,3 +279,54 @@ fn connect_queue_serves_clients_in_order() {
         "both clients served"
     );
 }
+
+/// An IPC transfer whose source and destination buffers alias the *same*
+/// physical frame at overlapping offsets must deliver the sender's
+/// original bytes — under both the bulk fast path and the per-byte
+/// reference implementation. (A naive ascending byte copy would
+/// replicate the first bytes through the overlap instead.)
+#[test]
+fn aliased_same_frame_transfer_copies_correctly() {
+    for cfg in [
+        Config::process_np(),
+        Config::process_np().with_fast_mem(false),
+    ] {
+        let mut r = rig(cfg);
+        // The server's receive window is an alias of the client's send
+        // page: same frame, destination 0x20 bytes above the source.
+        let cbuf_page = r.client.mem_base + 0x1000;
+        let sbuf_page: u32 = 0x0018_0000;
+        r.k.alias_pages(
+            r.server_space,
+            sbuf_page,
+            r.client_space,
+            cbuf_page,
+            4096,
+            true,
+        );
+        let src = cbuf_page + 0x100;
+        let dst_off: u32 = 0x120;
+
+        let mut a = Assembler::new("server");
+        a.server_wait_receive(r.h_port, sbuf_page + dst_off, 64);
+        a.sys(Sys::IpcServerDisconnect);
+        a.halt();
+        let st = r.server.start(&mut r.k, a.finish(), 9);
+
+        let mut a = Assembler::new("client");
+        a.client_connect_send(r.h_ref, src, 64);
+        a.client_disconnect();
+        a.halt();
+        let ct = r.client.start(&mut r.k, a.finish(), 8);
+
+        let pattern: Vec<u8> = (0u8..64).map(|i| i.wrapping_mul(7) ^ 0x5a).collect();
+        r.k.write_mem(r.client_space, src, &pattern);
+        assert!(run_to_halt(&mut r.k, &[st, ct], 100_000_000));
+        assert_eq!(
+            r.k.read_mem(r.server_space, sbuf_page + dst_off, 64),
+            pattern,
+            "{}: overlap-aliased transfer corrupted the message",
+            r.k.cfg.label
+        );
+    }
+}
