@@ -28,4 +28,6 @@ pub use state::{
     CondStateFrame, MappingStateFrame, MutexStateFrame, ObjStateFrame, PortStateFrame,
     PsetStateFrame, RefStateFrame, RegionStateFrame, SpaceStateFrame, ThreadStateFrame,
 };
-pub use sysnum::{Family, Sys, SysClass, SysDesc, SYSCALLS};
+pub use sysnum::{
+    ArgRegs, CommonOp, Family, Sys, SysClass, SysDesc, COMMON_OP_ROWS, SYSCALLS, SYSCALL_COUNT,
+};

@@ -18,7 +18,7 @@
 //! nevertheless directly callable and occasionally directly useful.
 
 /// Table 1 classification of an entrypoint.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SysClass {
     /// Always runs to completion without sleeping.
     Trivial,
@@ -32,6 +32,19 @@ pub enum SysClass {
 }
 
 impl SysClass {
+    /// All four classes in Table 1 order.
+    pub const ALL: [SysClass; 4] = [
+        SysClass::Trivial,
+        SysClass::Short,
+        SysClass::Long,
+        SysClass::MultiStage,
+    ];
+
+    /// Dense index (position in [`SysClass::ALL`]), for class-keyed arrays.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
     /// Display name matching the paper's Table 1.
     pub fn name(self) -> &'static str {
         match self {
@@ -70,7 +83,114 @@ pub enum Family {
     Misc,
 }
 
-/// Static description of one kernel entrypoint.
+impl Family {
+    /// The primitive object type this family manages, for the nine
+    /// families that each own one of the paper's nine object types.
+    /// `Ipc` and `Misc` are not object families.
+    pub const fn obj_type(self) -> Option<crate::ObjType> {
+        use crate::ObjType as O;
+        Some(match self {
+            Family::Mutex => O::Mutex,
+            Family::Cond => O::Cond,
+            Family::Mapping => O::Mapping,
+            Family::Region => O::Region,
+            Family::Port => O::Port,
+            Family::Pset => O::Portset,
+            Family::Space => O::Space,
+            Family::Thread => O::Thread,
+            Family::Ref => O::Reference,
+            Family::Ipc | Family::Misc => return None,
+        })
+    }
+}
+
+/// One of the six common operations every primitive object type
+/// supports (paper §2: `create`, `destroy`, `get_state`, `set_state`,
+/// `move`, `reference` — 9 types × 6 ops = 54 entrypoints).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommonOp {
+    /// Create an object of the family's type at a virtual address.
+    Create,
+    /// Destroy the named object.
+    Destroy,
+    /// Marshal the object's exportable state into a user buffer.
+    GetState,
+    /// Install previously exported state.
+    SetState,
+    /// Rename the object to a new virtual address.
+    Move,
+    /// Point a Reference object at the target.
+    Reference,
+}
+
+impl CommonOp {
+    /// The op's conventional name suffix (`create`, `get_state`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            CommonOp::Create => "create",
+            CommonOp::Destroy => "destroy",
+            CommonOp::GetState => "get_state",
+            CommonOp::SetState => "set_state",
+            CommonOp::Move => "move",
+            CommonOp::Reference => "reference",
+        }
+    }
+}
+
+/// The set of standard argument registers an entrypoint reads, as a
+/// bitmask (results and in-place parameter advances are not listed —
+/// the mask describes the *input* signature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ArgRegs(pub u8);
+
+impl ArgRegs {
+    /// No argument registers (the Trivial no-argument calls).
+    pub const NONE: ArgRegs = ArgRegs(0);
+    /// `ebx` — object handle / selector ([`crate::abi::ARG_HANDLE`]).
+    pub const HANDLE: ArgRegs = ArgRegs(1 << 0);
+    /// `ecx` — count / window size ([`crate::abi::ARG_COUNT`]).
+    pub const COUNT: ArgRegs = ArgRegs(1 << 1);
+    /// `edx` — scalar value ([`crate::abi::ARG_VAL`]).
+    pub const VAL: ArgRegs = ArgRegs(1 << 2);
+    /// `esi` — send buffer pointer ([`crate::abi::ARG_SBUF`]).
+    pub const SBUF: ArgRegs = ArgRegs(1 << 3);
+    /// `edi` — receive buffer pointer ([`crate::abi::ARG_RBUF`]).
+    pub const RBUF: ArgRegs = ArgRegs(1 << 4);
+
+    /// Union of two masks.
+    pub const fn union(self, other: ArgRegs) -> ArgRegs {
+        ArgRegs(self.0 | other.0)
+    }
+
+    /// Whether every register in `other` is in this mask.
+    pub const fn contains(self, other: ArgRegs) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Number of argument registers in the mask.
+    pub const fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Conventional register names in the mask, in ABI order.
+    pub fn names(self) -> Vec<&'static str> {
+        [
+            (ArgRegs::HANDLE, "ebx"),
+            (ArgRegs::COUNT, "ecx"),
+            (ArgRegs::VAL, "edx"),
+            (ArgRegs::SBUF, "esi"),
+            (ArgRegs::RBUF, "edi"),
+        ]
+        .into_iter()
+        .filter(|&(bit, _)| self.contains(bit))
+        .map(|(_, name)| name)
+        .collect()
+    }
+}
+
+/// Static description of one kernel entrypoint — the single source of
+/// truth the kernel's handler table, the atomicity auditor, and the
+/// trace classifiers are all derived from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SysDesc {
     /// The entrypoint this row describes.
@@ -84,6 +204,122 @@ pub struct SysDesc {
     /// Whether this entrypoint exists primarily as a restart point for an
     /// interrupted multi-stage operation (paper §4.4 counts five of these).
     pub restart_point: bool,
+    /// Argument registers read at entry.
+    pub args: ArgRegs,
+    /// Whether the call can block or be preempted in-kernel (exactly the
+    /// Long and Multi-stage classes; Trivial and Short calls only ever
+    /// stop on a page fault, which restarts them wholesale).
+    pub may_block: bool,
+    /// The entrypoint a blocked or preempted instance of this call leaves
+    /// in `eax` as its restart continuation. Self-restarting calls (all
+    /// Long calls, and multi-stage calls whose progress lives entirely in
+    /// advanced parameter registers) name themselves. A call may also
+    /// block with `eax` still naming itself before its first commit point
+    /// — the auditor's allowed set at a block is `{sys, restart_target}`.
+    pub restart_target: Sys,
+    /// For the 54 common-object-operation entrypoints: which of the six
+    /// ops this is (the handler table decodes family × op from here
+    /// instead of 54 hand-written match arms).
+    pub common_op: Option<CommonOp>,
+}
+
+/// Number of rows at the head of the table that are common object
+/// operations (9 types × 6 ops, in `CommonOp` order within each family).
+pub const COMMON_OP_ROWS: u32 = 54;
+
+const fn common_op_of(s: Sys) -> Option<CommonOp> {
+    let n = s as u32;
+    if n >= COMMON_OP_ROWS {
+        return None;
+    }
+    Some(match n % 6 {
+        0 => CommonOp::Create,
+        1 => CommonOp::Destroy,
+        2 => CommonOp::GetState,
+        3 => CommonOp::SetState,
+        4 => CommonOp::Move,
+        _ => CommonOp::Reference,
+    })
+}
+
+/// Where an interrupted instance of each entrypoint restarts (see
+/// [`SysDesc::restart_target`]). The non-self targets are the paper's
+/// §4.3/§4.4 continuation rewrites: `cond_wait` sleeps as
+/// `mutex_lock`, and each multi-stage IPC call records its partial
+/// progress as the corresponding `*_more` restart point.
+const fn restart_target_of(s: Sys) -> Sys {
+    use Sys::*;
+    match s {
+        CondWait => MutexLock,
+        IpcClientConnectSend
+        | IpcClientSend
+        | IpcClientSendOverReceive
+        | IpcClientConnectSendOverReceive
+        | IpcClientSendMore => IpcClientSendMore,
+        IpcClientReceive | IpcClientAckReceive | IpcClientReceiveMore => IpcClientReceiveMore,
+        IpcServerSend
+        | IpcServerSendWaitReceive
+        | IpcServerAckSend
+        | IpcServerAckSendWaitReceive
+        | IpcServerSendOverReceive
+        | IpcServerSendMore => IpcServerSendMore,
+        IpcServerReceive | IpcServerReceiveMore | IpcServerWaitReceive => IpcServerReceiveMore,
+        IpcSendOneway | IpcSendOnewayMore => IpcSendOnewayMore,
+        IpcWaitReceiveOneway | IpcReceiveOneway => IpcWaitReceiveOneway,
+        _ => s,
+    }
+}
+
+/// Input argument registers of each entrypoint (see [`SysDesc::args`]).
+const fn args_of(s: Sys) -> ArgRegs {
+    use Sys::*;
+    const H: ArgRegs = ArgRegs::HANDLE;
+    const C: ArgRegs = ArgRegs::COUNT;
+    const V: ArgRegs = ArgRegs::VAL;
+    const S: ArgRegs = ArgRegs::SBUF;
+    const R: ArgRegs = ArgRegs::RBUF;
+    match s {
+        // Common ops: handle, plus state buffers or rename/target values.
+        // Region/mapping creation carries geometry in the extra registers.
+        RegionCreate => H.union(C).union(V).union(S),
+        MappingCreate => H.union(C).union(V).union(S).union(R),
+        _ => {
+            if let Some(op) = common_op_of(s) {
+                return match op {
+                    CommonOp::Create | CommonOp::Destroy => H,
+                    CommonOp::GetState | CommonOp::SetState => H.union(S).union(C),
+                    CommonOp::Move | CommonOp::Reference => H.union(V),
+                };
+            }
+            match s {
+                MutexTrylock | MutexUnlock | MutexLock | CondSignal | CondBroadcast
+                | ThreadInterrupt | ThreadSchedule | ThreadWait | SpaceWaitThreads
+                | SchedDonate | PortWait | PsetWait | IpcClientConnect => H,
+                CondWait | RegionProtect | MappingProtect | RefCompare => H.union(V),
+                RegionPopulate => H.union(C).union(V),
+                RegionSearch => H.union(C).union(V),
+                SysStats => H.union(V).union(S),
+                SysTrace => V,
+                ThreadSelf | SysNull | SysVersion | SysClock | SysCpuId | SysYield
+                | ThreadSleep | IpcClientDisconnect | IpcServerDisconnect | IpcClientAlert
+                | IpcServerAlert => ArgRegs::NONE,
+                IpcClientConnectSend => H.union(C).union(S),
+                IpcClientConnectSendOverReceive => H.union(C).union(S).union(R),
+                IpcClientSend | IpcClientSendMore => C.union(S),
+                IpcClientSendOverReceive => C.union(S).union(R),
+                IpcClientReceive | IpcClientAckReceive | IpcClientReceiveMore => C.union(R),
+                IpcServerWaitReceive => H.union(C).union(R),
+                IpcServerReceive | IpcServerReceiveMore => C.union(R),
+                IpcServerSend | IpcServerAckSend | IpcServerSendMore => C.union(S),
+                IpcServerSendWaitReceive
+                | IpcServerAckSendWaitReceive
+                | IpcServerSendOverReceive => C.union(S).union(R).union(V),
+                IpcSendOneway | IpcSendOnewayMore => H.union(C).union(S),
+                IpcWaitReceiveOneway | IpcReceiveOneway => H.union(C).union(R),
+                _ => ArgRegs::NONE,
+            }
+        }
+    }
 }
 
 macro_rules! syscalls {
@@ -104,6 +340,13 @@ macro_rules! syscalls {
                 class: SysClass::$class,
                 family: Family::$family,
                 restart_point: $restart,
+                args: args_of(Sys::$variant),
+                may_block: matches!(
+                    SysClass::$class,
+                    SysClass::Long | SysClass::MultiStage
+                ),
+                restart_target: restart_target_of(Sys::$variant),
+                common_op: common_op_of(Sys::$variant),
             } ),*
         ];
     };
@@ -269,7 +512,37 @@ impl Sys {
     pub fn name(self) -> &'static str {
         self.desc().name
     }
+
+    /// The entrypoint's API family.
+    pub fn family(self) -> Family {
+        self.desc().family
+    }
+
+    /// The argument registers the entrypoint reads.
+    pub fn args(self) -> ArgRegs {
+        self.desc().args
+    }
+
+    /// Whether the entrypoint can block or be preempted in-kernel.
+    pub fn may_block(self) -> bool {
+        self.desc().may_block
+    }
+
+    /// The restart continuation a blocked instance of this call leaves
+    /// in `eax` (see [`SysDesc::restart_target`]).
+    pub fn restart_target(self) -> Sys {
+        self.desc().restart_target
+    }
+
+    /// The common object operation this entrypoint performs, if it is
+    /// one of the 54 common-op rows.
+    pub fn common_op(self) -> Option<CommonOp> {
+        self.desc().common_op
+    }
 }
+
+/// Number of kernel entrypoints ([`SYSCALLS`] length; the paper's 107).
+pub const SYSCALL_COUNT: usize = SYSCALLS.len();
 
 /// Count entrypoints in each Table 1 class:
 /// `(trivial, short, long, multi-stage)`.
@@ -356,6 +629,141 @@ mod tests {
         use std::collections::HashSet;
         let fams: HashSet<_> = SYSCALLS.iter().map(|d| d.family).collect();
         assert_eq!(fams.len(), 11, "all 11 families appear in the table");
+    }
+
+    /// The full `SYSCALLS` coverage law: discriminants are dense from
+    /// zero, every `Sys` variant appears exactly once, and the Table 1
+    /// class totals (including the five §4.4 restart points) match the
+    /// paper's published counts.
+    #[test]
+    fn syscall_table_is_dense_complete_and_paper_shaped() {
+        use std::collections::HashSet;
+        assert_eq!(SYSCALLS.len(), SYSCALL_COUNT);
+        // Dense discriminants 0..N, each decoding to a distinct variant.
+        let mut seen = HashSet::new();
+        for n in 0..SYSCALL_COUNT as u32 {
+            let sys = Sys::from_u32(n).expect("dense discriminants");
+            assert_eq!(sys.num(), n);
+            assert!(seen.insert(sys), "variant {} appears twice", sys.name());
+        }
+        assert_eq!(Sys::from_u32(SYSCALL_COUNT as u32), None);
+        assert_eq!(seen.len(), SYSCALL_COUNT);
+        // Paper Table 1 totals, via the descriptor table itself.
+        let (trivial, short, long, multi) = class_counts();
+        assert_eq!(
+            (trivial, short, long, multi, trivial + short + long + multi),
+            (8, 68, 8, 23, 107)
+        );
+        assert_eq!(SYSCALLS.iter().filter(|d| d.restart_point).count(), 5);
+    }
+
+    #[test]
+    fn common_op_rows_decode_family_and_op() {
+        for d in SYSCALLS {
+            if d.sys.num() < COMMON_OP_ROWS {
+                let op = d.common_op.expect("common rows carry an op");
+                let ty = d
+                    .family
+                    .obj_type()
+                    .expect("common rows are object families");
+                // The name is exactly "<family>_<op>" — the decode is
+                // consistent with the hand-written names.
+                assert!(
+                    d.name.ends_with(op.name()),
+                    "{} does not end with {}",
+                    d.name,
+                    op.name()
+                );
+                // Six consecutive rows per family, `CommonOp` order.
+                assert_eq!(
+                    d.sys.num() / 6,
+                    SYSCALLS[(d.sys.num() - d.sys.num() % 6) as usize].sys.num() / 6
+                );
+                let _ = ty;
+            } else {
+                assert_eq!(d.common_op, None, "{} past the common rows", d.name);
+            }
+        }
+        // Spot-check the decode against known rows.
+        assert_eq!(Sys::MutexCreate.common_op(), Some(CommonOp::Create));
+        assert_eq!(Sys::RefReference.common_op(), Some(CommonOp::Reference));
+        assert_eq!(Sys::ThreadGetState.common_op(), Some(CommonOp::GetState));
+        assert_eq!(Sys::MutexLock.common_op(), None);
+        assert_eq!(
+            Sys::PsetMove.family().obj_type(),
+            Some(crate::ObjType::Portset)
+        );
+    }
+
+    #[test]
+    fn may_block_is_exactly_long_and_multistage() {
+        for d in SYSCALLS {
+            assert_eq!(
+                d.may_block,
+                matches!(d.class, SysClass::Long | SysClass::MultiStage),
+                "{}",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn restart_targets_are_blocking_and_fixpoints() {
+        for d in SYSCALLS {
+            // Non-blocking calls restart only as themselves (a page fault
+            // rolls the whole call back).
+            if !d.may_block {
+                assert_eq!(d.restart_target, d.sys, "{}", d.name);
+            } else {
+                // A restart target must itself be a blocking entrypoint…
+                assert!(d.restart_target.may_block(), "{}", d.name);
+                // …and restarting is idempotent: the target restarts as
+                // itself.
+                assert_eq!(
+                    d.restart_target.restart_target(),
+                    d.restart_target,
+                    "{}",
+                    d.name
+                );
+            }
+        }
+        // The five §4.4 restart points are targets of at least one other
+        // entrypoint, and target themselves.
+        for d in SYSCALLS.iter().filter(|d| d.restart_point) {
+            assert_eq!(d.restart_target, d.sys, "{}", d.name);
+            assert!(
+                SYSCALLS
+                    .iter()
+                    .any(|o| o.sys != d.sys && o.restart_target == d.sys),
+                "{} is a restart point nobody restarts into",
+                d.name
+            );
+        }
+        // The paper's worked example (§4.3): cond_wait sleeps as
+        // mutex_lock.
+        assert_eq!(Sys::CondWait.restart_target(), Sys::MutexLock);
+    }
+
+    #[test]
+    fn arg_signatures_are_consistent() {
+        // Trivial calls never name handles (nothing to fault on)…
+        for d in SYSCALLS.iter().filter(|d| d.class == SysClass::Trivial) {
+            assert!(
+                !d.args.contains(ArgRegs::HANDLE) || d.sys == Sys::SysStats,
+                "{}",
+                d.name
+            );
+        }
+        // …while every common op starts from a handle.
+        for d in SYSCALLS.iter().filter(|d| d.common_op.is_some()) {
+            assert!(d.args.contains(ArgRegs::HANDLE), "{}", d.name);
+        }
+        assert_eq!(Sys::SysNull.args(), ArgRegs::NONE);
+        assert_eq!(Sys::MutexLock.args(), ArgRegs::HANDLE);
+        assert_eq!(Sys::MutexLock.args().names(), vec!["ebx"]);
+        assert_eq!(Sys::CondWait.args().count(), 2);
+        assert!(Sys::MappingCreate.args().contains(ArgRegs::RBUF));
+        assert_eq!(Sys::MappingCreate.args().count(), 5);
     }
 
     #[test]

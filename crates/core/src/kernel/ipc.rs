@@ -30,7 +30,7 @@ use crate::thread::{IpcRole, RunState, WaitReason};
 use crate::trace::TraceEvent;
 
 use super::mem::PumpFault;
-use super::{Kernel, SysOutcome, SysResult};
+use super::{Kernel, SysCtx, SysOutcome, SysResult};
 
 /// Bytes between preemption checks under Full preemption (finer than the
 /// Partial configuration's single 8KB point, since FP is preemptible
@@ -202,7 +202,8 @@ impl Kernel {
 
     /// Ensure the current thread has a live client connection to the port
     /// named by `ebx`, creating and queueing one if needed.
-    fn ensure_connected(&mut self, t: ThreadId) -> Result<ConnId, SysOutcome> {
+    fn ensure_connected(&mut self, cx: &mut SysCtx) -> Result<ConnId, SysOutcome> {
+        let t = cx.t;
         if let Some(code) = self.threads.get_mut(t.0).and_then(|x| x.ipc_error.take()) {
             return Err(Self::fail(code));
         }
@@ -225,9 +226,9 @@ impl Kernel {
             // Still waiting for a server: the connection stays queued on
             // the port; sleep again (the restart found us here).
             let port = self.conns.get(conn.0).map(|c| c.port).expect("conn");
-            return Err(self.block_current(t, WaitReason::IpcConnect(port)));
+            return Err(cx.block(self, WaitReason::IpcConnect(port)));
         }
-        let h = self.arg(t, ARG_HANDLE);
+        let h = cx.arg(self, ARG_HANDLE);
         let port = self.port_handle(t, h)?;
         self.charge(self.cost.ipc_setup);
         self.progress();
@@ -243,7 +244,7 @@ impl Kernel {
             th.ipc.role = Some(IpcRole::Client);
         }
         self.wake_port_server(port);
-        Err(self.block_current(t, WaitReason::IpcConnect(port)))
+        Err(cx.block(self, WaitReason::IpcConnect(port)))
     }
 
     /// Tear down a connection; still-blocked peer operations complete with
@@ -510,6 +511,10 @@ impl Kernel {
             self.charge(self.cost.copy_byte_per * chunk as u64);
             self.end_advance(sender, true, chunk);
             self.end_advance(receiver, false, chunk);
+            // The in-place parameter advance *is* the commit: both ends'
+            // registers now describe "transferred this much, about to
+            // transfer more" (paper §4.2).
+            self.audit_commit(current);
             self.stats.ipc_bytes += chunk as u64;
             self.ktrace(TraceEvent::IpcTransfer {
                 thread: current,
@@ -533,7 +538,7 @@ impl Kernel {
                     } else {
                         receiver_restart
                     };
-                    self.set_reg(current, Reg::Eax, restart.num());
+                    self.set_reg_committed(current, Reg::Eax, restart.num());
                     self.preempt_current_in_kernel(current);
                     return PumpOut::Preempted;
                 }
@@ -595,7 +600,7 @@ impl Kernel {
                 write,
                 side,
             } => {
-                self.set_reg(faulter, Reg::Eax, faulter_restart.num());
+                self.set_reg_committed(faulter, Reg::Eax, faulter_restart.num());
                 self.raise_hard_fault(faulter, region, offset, write, keeper, side, true, true);
                 if faulter == current {
                     PumpOut::BlockedCurrent
@@ -612,67 +617,70 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// `ipc_client_connect(ebx=port_ref)`.
-    pub(crate) fn sys_ipc_client_connect(&mut self, t: ThreadId) -> SysResult {
-        let _ = self.ensure_connected(t)?;
+    pub(crate) fn sys_ipc_client_connect(&mut self, cx: &mut SysCtx) -> SysResult {
+        let _ = self.ensure_connected(cx)?;
         Ok(SysOutcome::Done(ErrorCode::Success))
     }
 
     /// `ipc_client_connect_send[_over_receive]`: stage the continuation
     /// bits, connect, then send.
-    pub(crate) fn sys_ipc_client_connect_send(&mut self, t: ThreadId, over: bool) -> SysResult {
+    pub(crate) fn sys_ipc_client_connect_send(&mut self, cx: &mut SysCtx, over: bool) -> SysResult {
         self.stage_after_send(
-            t,
+            cx,
             if over {
                 AfterSend::Receive
             } else {
                 AfterSend::Complete
             },
         );
-        let conn = self.ensure_connected(t)?;
-        self.do_send(t, IpcRole::Client, conn)
+        let conn = self.ensure_connected(cx)?;
+        self.do_send(cx, IpcRole::Client, conn)
     }
 
     /// `ipc_client_send[_over_receive]`: send on the existing connection.
-    pub(crate) fn sys_ipc_client_send(&mut self, t: ThreadId, over: bool) -> SysResult {
+    pub(crate) fn sys_ipc_client_send(&mut self, cx: &mut SysCtx, over: bool) -> SysResult {
         self.stage_after_send(
-            t,
+            cx,
             if over {
                 AfterSend::Receive
             } else {
                 AfterSend::Complete
             },
         );
-        let conn = self.require_conn(t, IpcRole::Client)?;
-        self.do_send(t, IpcRole::Client, conn)
+        let conn = self.require_conn(cx.t, IpcRole::Client)?;
+        self.do_send(cx, IpcRole::Client, conn)
     }
 
     /// `ipc_server_send` and friends: send on the server end.
-    pub(crate) fn sys_ipc_server_send(&mut self, t: ThreadId, after: AfterSend) -> SysResult {
-        self.stage_after_send(t, after);
-        let conn = self.require_conn(t, IpcRole::Server)?;
-        self.do_send(t, IpcRole::Server, conn)
+    pub(crate) fn sys_ipc_server_send(&mut self, cx: &mut SysCtx, after: AfterSend) -> SysResult {
+        self.stage_after_send(cx, after);
+        let conn = self.require_conn(cx.t, IpcRole::Server)?;
+        self.do_send(cx, IpcRole::Server, conn)
     }
 
     /// `ipc_*_send_more`: the restart entrypoints — continuation bits are
     /// already in `pr1`, partial progress in `esi`/`ecx`.
-    pub(crate) fn sys_ipc_send_more(&mut self, t: ThreadId, role: IpcRole) -> SysResult {
-        let conn = self.require_conn(t, role)?;
-        self.do_send(t, role, conn)
+    pub(crate) fn sys_ipc_send_more(&mut self, cx: &mut SysCtx, role: IpcRole) -> SysResult {
+        let conn = self.require_conn(cx.t, role)?;
+        self.do_send(cx, role, conn)
     }
 
     /// Record the after-send continuation in the pseudo-registers (paper
     /// §4.4: intermediate multi-stage IPC state lives in two pseudo-
     /// registers, visible to user code only through thread state frames).
-    fn stage_after_send(&mut self, t: ThreadId, after: AfterSend) {
-        let window = self.arg(t, ARG_VAL);
-        let th = self.threads.get_mut(t.0).expect("current");
-        th.regs.pr[PR_IPC_FLAGS] = after.to_flags();
+    /// Staging is part of bringing the registers to the entrypoint's
+    /// canonical form, so it commits immediately: the call restarts
+    /// identically whether or not staging already ran.
+    fn stage_after_send(&mut self, cx: &mut SysCtx, after: AfterSend) {
+        let window = cx.arg(self, ARG_VAL);
+        cx.set_pr(self, PR_IPC_FLAGS, after.to_flags());
         if matches!(
             after,
             AfterSend::Receive | AfterSend::WaitNext | AfterSend::DisconnectThenWait
         ) {
-            th.regs.pr[PR_RECV_WINDOW] = window;
+            cx.set_pr(self, PR_RECV_WINDOW, window);
         }
+        cx.commit(self);
     }
 
     /// The caller must hold a live, accepted connection in `role`.
@@ -704,7 +712,8 @@ impl Kernel {
     }
 
     /// Common send stage.
-    fn do_send(&mut self, t: ThreadId, role: IpcRole, conn: ConnId) -> SysResult {
+    fn do_send(&mut self, cx: &mut SysCtx, role: IpcRole, conn: ConnId) -> SysResult {
+        let t = cx.t;
         let dir = match role {
             IpcRole::Client => Dir::ClientToServer,
             IpcRole::Server => Dir::ServerToClient,
@@ -751,8 +760,8 @@ impl Kernel {
         };
         let Some(receiver) = receiver else {
             // No window yet: sleep at the *_send_more restart point.
-            self.set_reg(t, Reg::Eax, sender_restart.num());
-            return Ok(self.block_current(t, WaitReason::IpcSend(conn)));
+            cx.set_reg_committed(self, Reg::Eax, sender_restart.num());
+            return Ok(cx.block(self, WaitReason::IpcSend(conn)));
         };
         let out = self.pump(
             Some(conn),
@@ -779,17 +788,17 @@ impl Kernel {
                 if let XferEnd::User(rt) = receiver {
                     self.complete_blocked(rt, ErrorCode::Truncated);
                 }
-                self.set_reg(t, Reg::Eax, sender_restart.num());
-                Ok(self.block_current(t, WaitReason::IpcSend(conn)))
+                cx.set_reg_committed(self, Reg::Eax, sender_restart.num());
+                Ok(cx.block(self, WaitReason::IpcSend(conn)))
             }
             PumpOut::BlockedCurrent => Ok(SysOutcome::Block),
             PumpOut::RestartCurrent => {
-                self.set_reg(t, Reg::Eax, sender_restart.num());
+                cx.set_reg(self, Reg::Eax, sender_restart.num());
                 Ok(SysOutcome::Chain)
             }
             PumpOut::PeerFaulted => {
-                self.set_reg(t, Reg::Eax, sender_restart.num());
-                Ok(self.block_current(t, WaitReason::IpcSend(conn)))
+                cx.set_reg_committed(self, Reg::Eax, sender_restart.num());
+                Ok(cx.block(self, WaitReason::IpcSend(conn)))
             }
             PumpOut::Preempted => Ok(SysOutcome::Preempted),
             PumpOut::FatalCurrent => Ok(SysOutcome::Kill("fatal IPC fault")),
@@ -835,7 +844,7 @@ impl Kernel {
                 Ok(SysOutcome::Chain)
             }
             AfterSend::Disconnect => {
-                self.set_reg(t, Reg::Eax, 0);
+                self.raw_set_reg(t, Reg::Eax, 0);
                 let th = self.threads.get_mut(t.0).expect("current");
                 th.regs.pr[PR_IPC_FLAGS] = 0;
                 self.disconnect_from(conn, ErrorCode::PeerDisconnected, Some(t));
@@ -920,13 +929,19 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// `ipc_{client,server}_receive[_more]` and `ipc_client_ack_receive`.
-    pub(crate) fn sys_ipc_receive(&mut self, t: ThreadId, role: IpcRole, _more: bool) -> SysResult {
-        let conn = self.require_conn(t, role)?;
-        self.do_receive(t, role, conn)
+    pub(crate) fn sys_ipc_receive(
+        &mut self,
+        cx: &mut SysCtx,
+        role: IpcRole,
+        _more: bool,
+    ) -> SysResult {
+        let conn = self.require_conn(cx.t, role)?;
+        self.do_receive(cx, role, conn)
     }
 
     /// Common receive stage.
-    fn do_receive(&mut self, t: ThreadId, role: IpcRole, conn: ConnId) -> SysResult {
+    fn do_receive(&mut self, cx: &mut SysCtx, role: IpcRole, conn: ConnId) -> SysResult {
+        let t = cx.t;
         let dir = match role {
             IpcRole::Client => Dir::ServerToClient,
             IpcRole::Server => Dir::ClientToServer,
@@ -967,8 +982,8 @@ impl Kernel {
             }
         };
         let Some(sender) = sender else {
-            self.set_reg(t, Reg::Eax, receiver_restart.num());
-            return Ok(self.block_current(t, WaitReason::IpcReceive(conn)));
+            cx.set_reg_committed(self, Reg::Eax, receiver_restart.num());
+            return Ok(cx.block(self, WaitReason::IpcReceive(conn)));
         };
         let out = self.pump(
             Some(conn),
@@ -991,12 +1006,12 @@ impl Kernel {
             PumpOut::WindowFull => Ok(SysOutcome::Done(ErrorCode::Truncated)),
             PumpOut::BlockedCurrent => Ok(SysOutcome::Block),
             PumpOut::RestartCurrent => {
-                self.set_reg(t, Reg::Eax, receiver_restart.num());
+                cx.set_reg(self, Reg::Eax, receiver_restart.num());
                 Ok(SysOutcome::Chain)
             }
             PumpOut::PeerFaulted => {
-                self.set_reg(t, Reg::Eax, receiver_restart.num());
-                Ok(self.block_current(t, WaitReason::IpcReceive(conn)))
+                cx.set_reg_committed(self, Reg::Eax, receiver_restart.num());
+                Ok(cx.block(self, WaitReason::IpcReceive(conn)))
             }
             PumpOut::Preempted => Ok(SysOutcome::Preempted),
             PumpOut::FatalCurrent => Ok(SysOutcome::Kill("fatal IPC fault")),
@@ -1008,13 +1023,14 @@ impl Kernel {
     }
 
     /// `ipc_server_wait_receive(ebx=port|pset, edi=buf, ecx=window)`.
-    pub(crate) fn sys_ipc_server_wait_receive(&mut self, t: ThreadId) -> SysResult {
+    pub(crate) fn sys_ipc_server_wait_receive(&mut self, cx: &mut SysCtx) -> SysResult {
+        let t = cx.t;
         // Already connected (e.g. chained from a send): just receive.
         if self.threads.get(t.0).and_then(|x| x.ipc.conn).is_some() {
             let conn = self.require_conn(t, IpcRole::Server)?;
-            return self.do_receive(t, IpcRole::Server, conn);
+            return self.do_receive(cx, IpcRole::Server, conn);
         }
-        let h = self.arg(t, ARG_HANDLE);
+        let h = cx.arg(self, ARG_HANDLE);
         let id = self.lookup_handle(t, h)?;
         self.klock_section();
         self.charge(self.cost.object_op);
@@ -1023,7 +1039,7 @@ impl Kernel {
             Some(ObjType::Port) => {
                 if self.try_accept_from_port(t, id)? {
                     let conn = self.threads.get(t.0).and_then(|x| x.ipc.conn).unwrap();
-                    return self.do_receive(t, IpcRole::Server, conn);
+                    return self.do_receive(cx, IpcRole::Server, conn);
                 }
                 let Some(ObjData::Port { server_q, .. }) =
                     self.objects.get_mut(id).map(|o| &mut o.data)
@@ -1031,7 +1047,7 @@ impl Kernel {
                     return Err(Self::fail(ErrorCode::InvalidHandle));
                 };
                 server_q.push_back(t);
-                Ok(self.block_current(t, WaitReason::PortWait(id)))
+                Ok(cx.block(self, WaitReason::PortWait(id)))
             }
             Some(ObjType::Portset) => {
                 let members: Vec<ObjId> = match self.objects.get(id).map(|o| &o.data) {
@@ -1041,7 +1057,7 @@ impl Kernel {
                 for m in members {
                     if self.try_accept_from_port(t, m)? {
                         let conn = self.threads.get(t.0).and_then(|x| x.ipc.conn).unwrap();
-                        return self.do_receive(t, IpcRole::Server, conn);
+                        return self.do_receive(cx, IpcRole::Server, conn);
                     }
                 }
                 let Some(ObjData::Pset { server_q, .. }) =
@@ -1050,7 +1066,7 @@ impl Kernel {
                     return Err(Self::fail(ErrorCode::InvalidHandle));
                 };
                 server_q.push_back(t);
-                Ok(self.block_current(t, WaitReason::PsetWait(id)))
+                Ok(cx.block(self, WaitReason::PsetWait(id)))
             }
             _ => Err(Self::fail(ErrorCode::WrongType)),
         }
@@ -1061,7 +1077,8 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// `ipc_{client,server}_disconnect()`.
-    pub(crate) fn sys_ipc_disconnect(&mut self, t: ThreadId, role: IpcRole) -> SysResult {
+    pub(crate) fn sys_ipc_disconnect(&mut self, cx: &mut SysCtx, role: IpcRole) -> SysResult {
+        let t = cx.t;
         let th = self.threads.get(t.0).expect("current");
         let Some(conn) = th.ipc.conn else {
             return Ok(SysOutcome::Done(ErrorCode::NotConnected));
@@ -1077,7 +1094,8 @@ impl Kernel {
 
     /// `ipc_{client,server}_alert()`: interrupt the peer's pending IPC
     /// operation promptly (without destroying the connection).
-    pub(crate) fn sys_ipc_alert(&mut self, t: ThreadId, role: IpcRole) -> SysResult {
+    pub(crate) fn sys_ipc_alert(&mut self, cx: &mut SysCtx, role: IpcRole) -> SysResult {
+        let t = cx.t;
         let th = self.threads.get(t.0).expect("current");
         let Some(conn) = th.ipc.conn else {
             return Ok(SysOutcome::Done(ErrorCode::NotConnected));
@@ -1120,8 +1138,9 @@ impl Kernel {
     // ------------------------------------------------------------------
 
     /// `ipc_send_oneway(ebx=port_ref, esi=buf, ecx=count)`.
-    pub(crate) fn sys_ipc_send_oneway(&mut self, t: ThreadId) -> SysResult {
-        let h = self.arg(t, ARG_HANDLE);
+    pub(crate) fn sys_ipc_send_oneway(&mut self, cx: &mut SysCtx) -> SysResult {
+        let t = cx.t;
+        let h = cx.arg(self, ARG_HANDLE);
         let port = self.port_handle(t, h)?;
         self.charge(self.cost.ipc_setup / 2);
         self.progress();
@@ -1138,8 +1157,8 @@ impl Kernel {
                 return Err(Self::fail(ErrorCode::InvalidHandle));
             };
             oneway_senders.push_back(t);
-            self.set_reg(t, Reg::Eax, Sys::IpcSendOnewayMore.num());
-            return Ok(self.block_current(t, WaitReason::OnewaySend(port)));
+            cx.set_reg_committed(self, Reg::Eax, Sys::IpcSendOnewayMore.num());
+            return Ok(cx.block(self, WaitReason::OnewaySend(port)));
         };
         let out = self.pump(
             None,
@@ -1179,7 +1198,7 @@ impl Kernel {
                 {
                     oneway_receivers.push_front(rt);
                 }
-                self.set_reg(t, Reg::Eax, Sys::IpcSendOnewayMore.num());
+                cx.set_reg(self, Reg::Eax, Sys::IpcSendOnewayMore.num());
                 Ok(SysOutcome::Chain)
             }
             PumpOut::PeerFaulted => {
@@ -1189,8 +1208,8 @@ impl Kernel {
                     return Err(Self::fail(ErrorCode::InvalidHandle));
                 };
                 oneway_senders.push_back(t);
-                self.set_reg(t, Reg::Eax, Sys::IpcSendOnewayMore.num());
-                Ok(self.block_current(t, WaitReason::OnewaySend(port)))
+                cx.set_reg_committed(self, Reg::Eax, Sys::IpcSendOnewayMore.num());
+                Ok(cx.block(self, WaitReason::OnewaySend(port)))
             }
             PumpOut::Preempted => {
                 if let Some(ObjData::Port {
@@ -1207,8 +1226,9 @@ impl Kernel {
     }
 
     /// `ipc_[wait_]receive_oneway(ebx=port, edi=buf, ecx=window)`.
-    pub(crate) fn sys_ipc_receive_oneway(&mut self, t: ThreadId, wait: bool) -> SysResult {
-        let h = self.arg(t, ARG_HANDLE);
+    pub(crate) fn sys_ipc_receive_oneway(&mut self, cx: &mut SysCtx, wait: bool) -> SysResult {
+        let t = cx.t;
+        let h = cx.arg(self, ARG_HANDLE);
         let port = self.port_handle(t, h)?;
         self.charge(self.cost.ipc_setup / 2);
         self.progress();
@@ -1227,8 +1247,8 @@ impl Kernel {
                 return Err(Self::fail(ErrorCode::InvalidHandle));
             };
             oneway_receivers.push_back(t);
-            self.set_reg(t, Reg::Eax, Sys::IpcWaitReceiveOneway.num());
-            return Ok(self.block_current(t, WaitReason::OnewayReceive(port)));
+            cx.set_reg_committed(self, Reg::Eax, Sys::IpcWaitReceiveOneway.num());
+            return Ok(cx.block(self, WaitReason::OnewayReceive(port)));
         };
         let out = self.pump(
             None,
@@ -1263,7 +1283,7 @@ impl Kernel {
                 {
                     oneway_senders.push_front(st);
                 }
-                self.set_reg(t, Reg::Eax, Sys::IpcWaitReceiveOneway.num());
+                cx.set_reg(self, Reg::Eax, Sys::IpcWaitReceiveOneway.num());
                 Ok(SysOutcome::Chain)
             }
             PumpOut::PeerFaulted => {
@@ -1274,8 +1294,8 @@ impl Kernel {
                     return Err(Self::fail(ErrorCode::InvalidHandle));
                 };
                 oneway_receivers.push_back(t);
-                self.set_reg(t, Reg::Eax, Sys::IpcWaitReceiveOneway.num());
-                Ok(self.block_current(t, WaitReason::OnewayReceive(port)))
+                cx.set_reg_committed(self, Reg::Eax, Sys::IpcWaitReceiveOneway.num());
+                Ok(cx.block(self, WaitReason::OnewayReceive(port)))
             }
             PumpOut::Preempted => {
                 if let Some(ObjData::Port { oneway_senders, .. }) =

@@ -22,6 +22,10 @@ mod dispatch;
 mod ipc;
 pub(crate) mod mem;
 mod run;
+mod sysctx;
+
+pub use sysctx::block_audit_hits;
+pub(crate) use sysctx::SysCtx;
 
 use std::sync::Arc;
 
@@ -122,6 +126,9 @@ pub struct Kernel {
     /// True while charges are suppressed because the process model retained
     /// the thread's kernel stack across an in-kernel preemption.
     pub(crate) dispatch_suppress: bool,
+    /// Committed-register snapshot for the dispatch in flight (the
+    /// atomicity auditor's state; `None` outside a dispatch).
+    pub(crate) audit: Option<sysctx::AuditState>,
 }
 
 impl Kernel {
@@ -164,6 +171,7 @@ impl Kernel {
             dispatch_rollback: None,
             rollback_active: false,
             dispatch_suppress: false,
+            audit: None,
         }
     }
 
@@ -897,6 +905,7 @@ impl Kernel {
         th.kstack_retained = false;
         self.cur_cpu_mut().current = None;
         self.ktrace(TraceEvent::Block { thread: t });
+        self.audit_block_point(t, false);
         SysOutcome::Block
     }
 
@@ -916,6 +925,7 @@ impl Kernel {
         self.cur_cpu_mut().resched = false;
         self.stats.kernel_preemptions += 1;
         self.ktrace(TraceEvent::KernelPreempt { thread: t });
+        self.audit_block_point(t, true);
         SysOutcome::Preempted
     }
 
@@ -928,6 +938,9 @@ impl Kernel {
         let Some(th) = self.threads.get_mut(t.0) else {
             return;
         };
+        // Read the class of the completed entrypoint before the result
+        // code overwrites `eax`.
+        let class = Sys::from_u32(th.regs.get(fluke_arch::Reg::Eax)).map(|s| s.class());
         th.regs.set(fluke_arch::Reg::Eax, code as u32);
         th.regs.eip += 1;
         th.inflight = None;
@@ -935,6 +948,7 @@ impl Kernel {
         self.ktrace(TraceEvent::SyscallExit {
             thread: t,
             code: code as u32,
+            class,
         });
         self.unblock(t);
     }

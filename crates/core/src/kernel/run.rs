@@ -332,10 +332,19 @@ impl Kernel {
         }
         if self.trace.enabled {
             let sys = self.threads.get(cur.0).expect("current").regs.get(Reg::Eax);
+            let class = Sys::from_u32(sys).map(|s| s.class());
             self.ktrace(if restarting {
-                TraceEvent::SyscallRestart { thread: cur, sys }
+                TraceEvent::SyscallRestart {
+                    thread: cur,
+                    sys,
+                    class,
+                }
             } else {
-                TraceEvent::SyscallEnter { thread: cur, sys }
+                TraceEvent::SyscallEnter {
+                    thread: cur,
+                    sys,
+                    class,
+                }
             });
         }
         self.charge(self.cost.entry_cost(interrupt));
@@ -359,7 +368,16 @@ impl Kernel {
                     break;
                 }
             }
-            let out = self.dispatch_sys(cur, sys).unwrap_or_else(|o| o);
+            let out = {
+                // Every dispatch-loop iteration is its own audited unit:
+                // the entry snapshot is (re-)taken here, so a chained
+                // entrypoint starts from its own committed registers.
+                let mut cx = super::SysCtx { t: cur, sys };
+                self.audit_begin(cur, sys);
+                let r = self.dispatch_sys(&mut cx);
+                self.audit_end();
+                r.unwrap_or_else(|o| o)
+            };
             match out {
                 SysOutcome::Done(code) => {
                     self.progress();
@@ -394,16 +412,21 @@ impl Kernel {
     /// preemption (the NP configurations deliver timer interrupts taken in
     /// kernel mode here, at kernel exit).
     fn finish_syscall(&mut self, cur: ThreadId, code: ErrorCode, interrupt_model: bool) {
-        {
+        // The entrypoint (and thus its class) is still in `eax` here; the
+        // result code overwrites it below.
+        let class = {
             let th = self.threads.get_mut(cur.0).expect("current");
+            let class = Sys::from_u32(th.regs.get(Reg::Eax)).map(|s| s.class());
             th.regs.set(Reg::Eax, code as u32);
             th.regs.eip += 1;
             th.inflight = None;
             th.open_fault = None;
-        }
+            class
+        };
         self.ktrace(TraceEvent::SyscallExit {
             thread: cur,
             code: code as u32,
+            class,
         });
         self.progress();
         self.charge(self.cost.exit_cost(interrupt_model));

@@ -42,7 +42,7 @@ pub mod trace;
 
 pub use config::{Config, ExecModel, Preemption, TraceConfig, PP_CHUNK_BYTES};
 pub use ids::{ConnId, ObjId, SpaceId, ThreadId};
-pub use kernel::{Kernel, RunExit};
+pub use kernel::{block_audit_hits, Kernel, RunExit};
 pub use stats::{FaultKind, FaultRecord, FaultSide, Stats};
 pub use thread::{NativeAction, NativeBody, RunState, WaitReason};
 pub use tlb::TlbStats;

@@ -31,6 +31,7 @@
 
 use std::collections::{BTreeMap, VecDeque};
 
+use fluke_api::SysClass;
 use fluke_arch::cost::Cycles;
 
 use crate::ids::ThreadId;
@@ -47,6 +48,8 @@ pub enum TraceEvent {
         thread: ThreadId,
         /// Raw entrypoint number from `eax`.
         sys: u32,
+        /// Table-1 class of the entrypoint (`None` if `sys` is invalid).
+        class: Option<SysClass>,
     },
     /// A kernel entry that re-dispatches an in-flight (restarted) call.
     SyscallRestart {
@@ -54,6 +57,8 @@ pub enum TraceEvent {
         thread: ThreadId,
         /// Raw entrypoint number being re-issued.
         sys: u32,
+        /// Table-1 class of the entrypoint (`None` if `sys` is invalid).
+        class: Option<SysClass>,
     },
     /// A system call completed user-visibly: result code written to
     /// `eax`, `eip` advanced past the trap. This fires exactly once per
@@ -65,6 +70,9 @@ pub enum TraceEvent {
         thread: ThreadId,
         /// Result code delivered in `eax`.
         code: u32,
+        /// Table-1 class of the entrypoint that completed (`None` when
+        /// the entrypoint number was itself invalid).
+        class: Option<SysClass>,
     },
     /// An IPC send stage began moving bytes.
     IpcSend {
@@ -378,7 +386,9 @@ impl Tracer {
         let mut out: BTreeMap<ThreadId, Vec<UserVisible>> = BTreeMap::new();
         for rec in self.merged() {
             let (thread, ev) = match rec.event {
-                TraceEvent::SyscallExit { thread, code } => (thread, UserVisible::Syscall { code }),
+                TraceEvent::SyscallExit { thread, code, .. } => {
+                    (thread, UserVisible::Syscall { code })
+                }
                 TraceEvent::Mark { thread, value } => (thread, UserVisible::Mark(value)),
                 TraceEvent::Halt { thread } => (thread, UserVisible::Halt),
                 _ => continue,
@@ -533,6 +543,7 @@ mod tests {
         TraceEvent::SyscallEnter {
             thread: ThreadId(t),
             sys: 1,
+            class: None,
         }
     }
 
@@ -586,6 +597,7 @@ mod tests {
             TraceEvent::SyscallExit {
                 thread: t0,
                 code: 0,
+                class: None,
             },
         );
         tr.emit(

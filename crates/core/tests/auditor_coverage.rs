@@ -1,0 +1,472 @@
+//! Coverage test for the atomicity auditor: every blocking entrypoint
+//! (Table 1's Long and Multi-stage classes, 31 calls) must reach at
+//! least one *audited* block or in-kernel preemption point.
+//!
+//! The auditor's per-entrypoint hit counters
+//! ([`fluke_core::block_audit_hits`]) are process-wide, so this file
+//! drives a battery of small kernels — one scenario per way of giving
+//! up the CPU mid-call — and then asserts that no Long or Multi-stage
+//! row in [`fluke_api::SYSCALLS`] went unaudited. Because the debug
+//! contract checks (register/snapshot equality, restart-set membership,
+//! thread-frame round trip) run at every one of these points, passing
+//! this test means the whole blocking surface of the API was
+//! machine-checked against the paper's atomic-API rules at least once.
+
+use fluke_api::abi::{ARG_COUNT, ARG_HANDLE, ARG_RBUF, ARG_SBUF, ARG_VAL};
+use fluke_api::{ObjType, Sys, SysClass, SYSCALLS};
+use fluke_arch::cost::{ms_to_cycles, Cycles};
+use fluke_arch::Assembler;
+use fluke_core::{block_audit_hits, Config, Kernel, NativeAction, NativeBody, Stats};
+use fluke_user::proc::ChildProc;
+use fluke_user::FlukeAsm;
+
+/// A Table 6-style high-priority periodic native thread: its 1ms wakes
+/// set the pending-reschedule flag mid-dispatch, which is what drives
+/// the explicit preemption points (IPC pump, `region_search`).
+#[derive(Debug)]
+struct Kicker;
+
+impl NativeBody for Kicker {
+    fn on_dispatch(&mut self, _woken: Cycles, _now: Cycles, _stats: &mut Stats) -> NativeAction {
+        NativeAction::BlockUntilWoken { work: 100 }
+    }
+}
+
+fn install_kicker(k: &mut Kernel) {
+    let t = k.spawn_native(24, Box::new(Kicker));
+    let period = ms_to_cycles(1);
+    k.start_periodic(t, period, period);
+}
+
+/// Run for `ms` more simulated milliseconds; deadlock is expected (most
+/// scenarios deliberately leave threads blocked forever).
+fn run_for(k: &mut Kernel, ms: u64) {
+    let deadline = k.now() + ms_to_cycles(ms);
+    let _ = k.run(Some(deadline));
+}
+
+/// Long waits with no waker: mutex contention, a never-signalled
+/// condition, and an uninterrupted sleep.
+fn rig_mutex_cond_sleep() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::new(&mut k);
+    let h_m1 = p.alloc_obj();
+    let h_m2 = p.alloc_obj();
+    let h_c = p.alloc_obj();
+
+    // Owner creates and locks m1, then halts still holding it.
+    let mut a = Assembler::new("owner");
+    a.sys_h(Sys::MutexCreate, h_m1);
+    a.mutex_lock(h_m1);
+    a.halt();
+    let owner = p.start(&mut k, a.finish(), 8);
+    run_for(&mut k, 5);
+    assert!(k.thread_halted(owner));
+
+    // Waiter blocks on the orphaned mutex: MutexLock.
+    let mut a = Assembler::new("waiter");
+    a.mutex_lock(h_m1);
+    a.halt();
+    p.start(&mut k, a.finish(), 8);
+
+    // CondWait stage 1: release the mutex, sleep on the condition.
+    let mut a = Assembler::new("cond");
+    a.sys_h(Sys::MutexCreate, h_m2);
+    a.sys_h(Sys::CondCreate, h_c);
+    a.mutex_lock(h_m2);
+    a.cond_wait(h_c, h_m2);
+    a.halt();
+    p.start(&mut k, a.finish(), 8);
+
+    // ThreadSleep with no timer and no interruptor.
+    let mut a = Assembler::new("sleeper");
+    a.sys(Sys::ThreadSleep);
+    a.halt();
+    p.start(&mut k, a.finish(), 8);
+
+    run_for(&mut k, 10);
+}
+
+/// Join, donation and space reaping: all three wait for another
+/// thread's progress and complete once it halts.
+fn rig_join_donate_spacewait() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::new(&mut k);
+    let h_w1 = p.alloc_obj();
+    let h_w2 = p.alloc_obj();
+
+    let mut a = Assembler::new("worker");
+    a.compute(200_000);
+    a.halt();
+    let prog = k.register_program(a.finish());
+    let w1 = p.start_registered(&mut k, prog, fluke_arch::UserRegs::new(), 8);
+    let w2 = p.start_registered(&mut k, prog, fluke_arch::UserRegs::new(), 8);
+    k.loader_thread_object(p.space, h_w1, w1);
+    k.loader_thread_object(p.space, h_w2, w2);
+
+    // Higher priority than the workers: both block while the workers
+    // are still computing.
+    let mut a = Assembler::new("joiner");
+    a.sys_h(Sys::ThreadWait, h_w1);
+    a.halt();
+    p.start(&mut k, a.finish(), 10);
+
+    let mut a = Assembler::new("donor");
+    a.sys_h(Sys::SchedDonate, h_w2);
+    a.halt();
+    p.start(&mut k, a.finish(), 10);
+
+    // A manager in another space reaps the workers' space.
+    let mut mgr = ChildProc::with_mem(&mut k, 0x0030_0000, 0x4000);
+    let h_space = mgr.alloc_obj();
+    k.loader_space_object(mgr.space, h_space, p.space);
+    let mut a = Assembler::new("reaper");
+    a.sys_h(Sys::SpaceWaitThreads, h_space);
+    a.halt();
+    mgr.start(&mut k, a.finish(), 10);
+
+    run_for(&mut k, 50);
+}
+
+/// The three connect-family entrypoints sleeping on a port no server
+/// ever accepts from.
+fn rig_connect_no_server() {
+    let mut k = Kernel::new(Config::interrupt_np());
+    let mut owner = ChildProc::with_mem(&mut k, 0x0010_0000, 0x4000);
+    let mut client = ChildProc::with_mem(&mut k, 0x0020_0000, 0x8000);
+    let h_port = owner.alloc_obj();
+    let port = k.loader_create(owner.space, h_port, ObjType::Port);
+    let buf = client.mem_base + 0x1000;
+
+    let h_r1 = client.alloc_obj();
+    k.loader_ref(client.space, h_r1, port);
+    let mut a = Assembler::new("connect");
+    a.sys_h(Sys::IpcClientConnect, h_r1);
+    a.halt();
+    client.start(&mut k, a.finish(), 8);
+
+    let h_r2 = client.alloc_obj();
+    k.loader_ref(client.space, h_r2, port);
+    let mut a = Assembler::new("connect-send");
+    a.client_connect_send(h_r2, buf, 8);
+    a.halt();
+    client.start(&mut k, a.finish(), 8);
+
+    let h_r3 = client.alloc_obj();
+    k.loader_ref(client.space, h_r3, port);
+    let mut a = Assembler::new("connect-rpc");
+    a.client_rpc(h_r3, buf, 8, buf + 0x100, 8);
+    a.halt();
+    client.start(&mut k, a.finish(), 8);
+
+    run_for(&mut k, 10);
+}
+
+/// Server-side waits with no client: a port receive, a bare port wait
+/// and a portset wait.
+fn rig_server_waits() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::new(&mut k);
+    let h_p1 = p.alloc_obj();
+    let h_p2 = p.alloc_obj();
+    let h_ps = p.alloc_obj();
+    let buf = p.mem_base + 0x1000;
+
+    let mut a = Assembler::new("wait-receive");
+    a.sys_h(Sys::PortCreate, h_p1);
+    a.server_wait_receive(h_p1, buf, 8);
+    a.halt();
+    p.start(&mut k, a.finish(), 8);
+
+    let mut a = Assembler::new("port-wait");
+    a.sys_h(Sys::PortCreate, h_p2);
+    a.sys_h(Sys::PortWait, h_p2);
+    a.halt();
+    p.start(&mut k, a.finish(), 8);
+
+    let mut a = Assembler::new("pset-wait");
+    a.sys_h(Sys::PsetCreate, h_ps);
+    a.sys_h(Sys::PsetWait, h_ps);
+    a.halt();
+    p.start(&mut k, a.finish(), 8);
+
+    run_for(&mut k, 10);
+}
+
+/// An established connection whose server stays alive but inactive
+/// (asleep); the client then issues `op`, which must block for want of
+/// a receiving/sending peer.
+fn rig_client_op(op: &dyn Fn(&mut Assembler, u32)) {
+    let mut k = Kernel::new(Config::process_np());
+    let mut server = ChildProc::with_mem(&mut k, 0x0010_0000, 0x8000);
+    let mut client = ChildProc::with_mem(&mut k, 0x0020_0000, 0x8000);
+    let h_port = server.alloc_obj();
+    let h_ref = client.alloc_obj();
+    let port = k.loader_create(server.space, h_port, ObjType::Port);
+    k.loader_ref(client.space, h_ref, port);
+    let sbuf = server.mem_base + 0x1000;
+    let cbuf = client.mem_base + 0x1000;
+
+    let mut a = Assembler::new("server");
+    a.server_wait_receive(h_port, sbuf, 8);
+    a.sys(Sys::ThreadSleep);
+    a.halt();
+    server.start(&mut k, a.finish(), 10);
+
+    let mut a = Assembler::new("client");
+    a.client_connect_send(h_ref, cbuf, 8);
+    op(&mut a, cbuf);
+    a.halt();
+    client.start(&mut k, a.finish(), 8);
+
+    run_for(&mut k, 20);
+}
+
+/// The mirror image: the client goes to sleep after its first message;
+/// the server then issues `op` and must block.
+fn rig_server_op(op: &dyn Fn(&mut Assembler, u32)) {
+    let mut k = Kernel::new(Config::process_np());
+    let mut server = ChildProc::with_mem(&mut k, 0x0010_0000, 0x8000);
+    let mut client = ChildProc::with_mem(&mut k, 0x0020_0000, 0x8000);
+    let h_port = server.alloc_obj();
+    let h_ref = client.alloc_obj();
+    let port = k.loader_create(server.space, h_port, ObjType::Port);
+    k.loader_ref(client.space, h_ref, port);
+    let sbuf = server.mem_base + 0x1000;
+    let cbuf = client.mem_base + 0x1000;
+
+    let mut a = Assembler::new("server");
+    a.server_wait_receive(h_port, sbuf, 8);
+    op(&mut a, sbuf);
+    a.halt();
+    server.start(&mut k, a.finish(), 10);
+
+    let mut a = Assembler::new("client");
+    a.client_connect_send(h_ref, cbuf, 8);
+    a.sys(Sys::ThreadSleep);
+    a.halt();
+    client.start(&mut k, a.finish(), 8);
+
+    run_for(&mut k, 20);
+}
+
+/// One-way sends and the waiting receive, each sleeping on an otherwise
+/// idle port. `ipc_send_oneway_more` is one of the paper's directly
+/// callable restart points (§4.4).
+fn rig_oneway_blocks() {
+    let mut k = Kernel::new(Config::interrupt_np());
+    let mut p = ChildProc::new(&mut k);
+    let h_pa = p.alloc_obj();
+    let h_pb = p.alloc_obj();
+    let h_pc = p.alloc_obj();
+    let buf = p.mem_base + 0x1000;
+
+    let mut a = Assembler::new("oneway-send");
+    a.sys_h(Sys::PortCreate, h_pa);
+    a.movi(ARG_HANDLE, h_pa);
+    a.movi(ARG_COUNT, 8);
+    a.movi(ARG_SBUF, buf);
+    a.sys(Sys::IpcSendOneway);
+    a.halt();
+    p.start(&mut k, a.finish(), 8);
+
+    let mut a = Assembler::new("oneway-recv");
+    a.sys_h(Sys::PortCreate, h_pb);
+    a.movi(ARG_HANDLE, h_pb);
+    a.movi(ARG_COUNT, 8);
+    a.movi(ARG_RBUF, buf + 0x100);
+    a.sys(Sys::IpcWaitReceiveOneway);
+    a.halt();
+    p.start(&mut k, a.finish(), 8);
+
+    let mut a = Assembler::new("oneway-more");
+    a.sys_h(Sys::PortCreate, h_pc);
+    a.movi(ARG_HANDLE, h_pc);
+    a.movi(ARG_COUNT, 8);
+    a.movi(ARG_SBUF, buf + 0x200);
+    a.sys(Sys::IpcSendOnewayMore);
+    a.halt();
+    p.start(&mut k, a.finish(), 8);
+
+    run_for(&mut k, 10);
+}
+
+/// The non-waiting one-way receive never sleeps for want of a sender,
+/// so its only block points are mid-transfer: run a 256KB pump under
+/// Partial preemption with the 1ms kicker so an explicit preemption
+/// point is taken while `ipc_receive_oneway` is the dispatched call.
+fn rig_oneway_pump_preempt() {
+    let mut k = Kernel::new(Config::process_pp());
+    install_kicker(&mut k);
+    let mut p = ChildProc::with_mem(&mut k, 0x0100_0000, 0x0009_0000);
+    let h_port = p.alloc_obj();
+    let len: u32 = 0x0004_0000; // 256KB ≈ 1.3ms of copying
+    let sbuf = p.mem_base + 0x0001_0000;
+    let rbuf = sbuf + len;
+
+    // Sender first (higher priority): queues on the empty port.
+    let mut a = Assembler::new("big-sender");
+    a.sys_h(Sys::PortCreate, h_port);
+    a.movi(ARG_HANDLE, h_port);
+    a.movi(ARG_COUNT, len);
+    a.movi(ARG_SBUF, sbuf);
+    a.sys(Sys::IpcSendOneway);
+    a.halt();
+    let s = p.start(&mut k, a.finish(), 10);
+
+    let mut a = Assembler::new("big-receiver");
+    a.movi(ARG_HANDLE, h_port);
+    a.movi(ARG_COUNT, len);
+    a.movi(ARG_RBUF, rbuf);
+    a.sys(Sys::IpcReceiveOneway);
+    a.halt();
+    let r = p.start(&mut k, a.finish(), 8);
+
+    run_for(&mut k, 50);
+    assert!(
+        k.thread_halted(s) && k.thread_halted(r),
+        "big transfer hung"
+    );
+    assert!(
+        k.stats.preempt_points_taken >= 1,
+        "pump never hit a preemption point"
+    );
+}
+
+/// `region_search` has no sleep at all; its one block point is the
+/// Full-preemption check inside the page walk. Search 600 empty pages
+/// (≈2.4ms) under FP with the kicker running.
+fn rig_region_search_preempt() {
+    let mut k = Kernel::new(Config::process_fp());
+    install_kicker(&mut k);
+    let mut p = ChildProc::new(&mut k);
+    let _ = p.alloc_obj();
+    let cursor = 0x0200_0000u32;
+    let limit = cursor + 600 * 4096;
+
+    let mut a = Assembler::new("searcher");
+    a.movi(ARG_HANDLE, 0); // own space
+    a.movi(ARG_VAL, cursor);
+    a.movi(ARG_COUNT, limit);
+    a.sys(Sys::RegionSearch);
+    a.halt();
+    let t = p.start(&mut k, a.finish(), 8);
+
+    run_for(&mut k, 50);
+    assert!(k.thread_halted(t), "search hung");
+}
+
+#[test]
+fn every_blocking_entrypoint_is_audited() {
+    rig_mutex_cond_sleep();
+    rig_join_donate_spacewait();
+    rig_connect_no_server();
+    rig_server_waits();
+    rig_oneway_blocks();
+    rig_oneway_pump_preempt();
+    rig_region_search_preempt();
+
+    // Client-side operations on an established connection with an
+    // inactive peer.
+    rig_client_op(&|a, cbuf| {
+        a.movi(ARG_COUNT, 8);
+        a.movi(ARG_SBUF, cbuf);
+        a.sys(Sys::IpcClientSend);
+    });
+    rig_client_op(&|a, cbuf| {
+        a.movi(ARG_COUNT, 8);
+        a.movi(ARG_SBUF, cbuf);
+        a.sys(Sys::IpcClientSendMore);
+    });
+    rig_client_op(&|a, cbuf| {
+        a.movi(ARG_COUNT, 8);
+        a.movi(ARG_SBUF, cbuf);
+        a.movi(ARG_RBUF, cbuf + 0x100);
+        a.movi(ARG_VAL, 8);
+        a.sys(Sys::IpcClientSendOverReceive);
+    });
+    rig_client_op(&|a, cbuf| {
+        a.movi(ARG_COUNT, 8);
+        a.movi(ARG_RBUF, cbuf + 0x100);
+        a.sys(Sys::IpcClientReceive);
+    });
+    rig_client_op(&|a, cbuf| {
+        a.movi(ARG_COUNT, 8);
+        a.movi(ARG_RBUF, cbuf + 0x100);
+        a.sys(Sys::IpcClientReceiveMore);
+    });
+    rig_client_op(&|a, cbuf| {
+        a.movi(ARG_COUNT, 8);
+        a.movi(ARG_RBUF, cbuf + 0x100);
+        a.sys(Sys::IpcClientAckReceive);
+    });
+
+    // Server-side operations with a sleeping client.
+    rig_server_op(&|a, sbuf| {
+        a.movi(ARG_COUNT, 8);
+        a.movi(ARG_SBUF, sbuf);
+        a.sys(Sys::IpcServerSend);
+    });
+    rig_server_op(&|a, sbuf| {
+        a.movi(ARG_COUNT, 8);
+        a.movi(ARG_SBUF, sbuf);
+        a.sys(Sys::IpcServerSendMore);
+    });
+    rig_server_op(&|a, sbuf| {
+        a.movi(ARG_COUNT, 8);
+        a.movi(ARG_SBUF, sbuf);
+        a.sys(Sys::IpcServerAckSend);
+    });
+    rig_server_op(&|a, sbuf| {
+        a.movi(ARG_COUNT, 8);
+        a.movi(ARG_SBUF, sbuf);
+        a.movi(ARG_RBUF, sbuf + 0x100);
+        a.movi(ARG_VAL, 8);
+        a.sys(Sys::IpcServerSendWaitReceive);
+    });
+    rig_server_op(&|a, sbuf| {
+        a.movi(ARG_COUNT, 8);
+        a.movi(ARG_SBUF, sbuf);
+        a.movi(ARG_RBUF, sbuf + 0x100);
+        a.movi(ARG_VAL, 8);
+        a.sys(Sys::IpcServerAckSendWaitReceive);
+    });
+    rig_server_op(&|a, sbuf| {
+        a.movi(ARG_COUNT, 8);
+        a.movi(ARG_SBUF, sbuf);
+        a.movi(ARG_RBUF, sbuf + 0x100);
+        a.movi(ARG_VAL, 8);
+        a.sys(Sys::IpcServerSendOverReceive);
+    });
+    rig_server_op(&|a, sbuf| {
+        a.movi(ARG_COUNT, 8);
+        a.movi(ARG_RBUF, sbuf + 0x100);
+        a.sys(Sys::IpcServerReceive);
+    });
+    rig_server_op(&|a, sbuf| {
+        a.movi(ARG_COUNT, 8);
+        a.movi(ARG_RBUF, sbuf + 0x100);
+        a.sys(Sys::IpcServerReceiveMore);
+    });
+
+    // Every Long and Multi-stage row must have been audited at least
+    // once; Trivial and Short rows must never be (they cannot block).
+    let mut missing = Vec::new();
+    for d in SYSCALLS {
+        let hits = block_audit_hits(d.sys);
+        match d.class {
+            SysClass::Long | SysClass::MultiStage => {
+                if hits == 0 {
+                    missing.push(d.name);
+                }
+            }
+            SysClass::Trivial | SysClass::Short => {
+                assert_eq!(hits, 0, "{} is non-blocking yet was audited", d.name);
+            }
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "blocking entrypoints never reached an audited block point: {missing:?}"
+    );
+}
