@@ -1,0 +1,47 @@
+//! `kmon`: the kernel observability dashboard. Runs `flukeperf` under
+//! every valid Table 4 configuration with the `kprof` profiler enabled
+//! and the latency probe installed, prints the cycle-attribution tree,
+//! preemption-latency and memory-gauge summaries, and writes
+//! `BENCH_observability.json`.
+//!
+//! Usage: `kmon [--check] [--out FILE]` — scale via `FLUKE_BENCH_SCALE`.
+//! `--check` additionally verifies the quick-scale preemption-latency
+//! maxima against the blessed CI bounds and exits nonzero on regression.
+
+use fluke_bench::{observability, Scale};
+
+fn main() {
+    let mut check = false;
+    let mut out = "BENCH_observability.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--out" => out = args.next().expect("--out needs a file name"),
+            other => {
+                eprintln!("usage: kmon [--check] [--out FILE] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    let scale = Scale::from_env();
+    if check && scale != Scale::Quick {
+        eprintln!("kmon --check gates quick-scale bounds; set FLUKE_BENCH_SCALE=quick");
+        std::process::exit(2);
+    }
+    println!("=== kmon: kernel observability dashboard ({scale:?} scale) ===\n");
+    let runs = observability::run_sweep(scale);
+    print!("{}", observability::render_dashboard(&runs));
+    let doc = observability::to_json(scale, &runs);
+    std::fs::write(&out, format!("{doc}\n")).expect("write observability report");
+    println!("wrote {out}");
+    if check {
+        match observability::check_regression(&runs) {
+            Ok(()) => println!("preemption-latency bounds: OK"),
+            Err(e) => {
+                eprintln!("preemption-latency regression:\n{e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

@@ -10,4 +10,7 @@ fn main() {
     println!("{}\n", fluke_bench::table5::render(scale));
     println!("{}\n", fluke_bench::table6::render(scale));
     println!("{}\n", fluke_bench::table7::render());
+    println!("=== Observability (kmon) ===\n");
+    let obs = fluke_bench::observability::run_sweep(scale);
+    println!("{}", fluke_bench::observability::render_dashboard(&obs));
 }

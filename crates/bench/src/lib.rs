@@ -8,6 +8,7 @@
 
 pub mod ablation;
 pub mod memfast;
+pub mod observability;
 pub mod report;
 pub mod table1;
 pub mod table3;

@@ -87,6 +87,11 @@ pub struct Config {
     pub timeslice: Cycles,
     /// Kernel tracing (`ktrace`) knob.
     pub trace: TraceConfig,
+    /// Cycle-attribution profiling (`kprof`) knob. Off by default: a
+    /// disabled profiler costs one predictable branch per hook and never
+    /// perturbs simulated quantities either way (the attribution reads
+    /// the same charges the kernel makes regardless).
+    pub kprof: bool,
     /// Use the software-TLB + page-run bulk memory fast path (host-side
     /// only: simulated cycle charges, traces and stats are bit-identical
     /// with this on or off). Off selects the uncached byte-at-a-time
@@ -109,6 +114,7 @@ impl Config {
             tcb_bytes: 690, // process-model TCB, folded into stack page in Table 7
             timeslice: ms_to_cycles(10),
             trace: TraceConfig::default(),
+            kprof: false,
             fast_mem: true,
             label: "Process NP",
         }
@@ -142,6 +148,7 @@ impl Config {
             tcb_bytes: 300, // paper Table 7: Fluke interrupt-model TCB
             timeslice: ms_to_cycles(10),
             trace: TraceConfig::default(),
+            kprof: false,
             fast_mem: true,
             label: "Interrupt NP",
         }
@@ -208,6 +215,12 @@ impl Config {
     /// Select or deselect the memory fast path (see [`Config::fast_mem`]).
     pub fn with_fast_mem(mut self, fast: bool) -> Self {
         self.fast_mem = fast;
+        self
+    }
+
+    /// Enable the `kprof` cycle-attribution profiler.
+    pub fn with_kprof(mut self) -> Self {
+        self.kprof = true;
         self
     }
 
@@ -289,6 +302,16 @@ mod tests {
         assert!(bad.validate().is_err());
         bad.trace.enabled = false;
         bad.validate().unwrap();
+    }
+
+    #[test]
+    fn kprof_knob_defaults_off() {
+        for c in Config::all_five() {
+            assert!(!c.kprof, "{}", c.label);
+        }
+        let c = Config::process_np().with_kprof();
+        assert!(c.kprof);
+        c.validate().unwrap();
     }
 
     #[test]

@@ -24,8 +24,8 @@ use fluke_arch::Reg;
 use crate::config::{Preemption, PP_CHUNK_BYTES};
 use crate::conn::{ClientEnd, Connection, Dir};
 use crate::ids::{ConnId, ObjId, ThreadId};
+use crate::kstat::FaultSide;
 use crate::object::ObjData;
-use crate::stats::FaultSide;
 use crate::thread::{IpcRole, RunState, WaitReason};
 use crate::trace::TraceEvent;
 
@@ -508,7 +508,9 @@ impl Kernel {
             self.move_bytes(sender, s_loc, receiver, r_loc, chunk);
             // New bytes moved: the preamble (rollback) phase is over.
             self.progress();
+            self.kprof.enter(crate::kprof::Phase::IpcCopy);
             self.charge(self.cost.copy_byte_per * chunk as u64);
+            self.kprof.exit();
             self.end_advance(sender, true, chunk);
             self.end_advance(receiver, false, chunk);
             // The in-place parameter advance *is* the commit: both ends'

@@ -13,10 +13,10 @@ use fluke_api::ErrorCode;
 
 use crate::conn::{Connection, KernelMsg};
 use crate::ids::{ConnId, ObjId, SpaceId, ThreadId};
+use crate::kstat::{FaultKind, FaultRecord, FaultSide};
 use crate::object::ObjData;
 use crate::phys::FrameId;
 use crate::space::Space;
-use crate::stats::{FaultKind, FaultRecord, FaultSide};
 use crate::thread::WaitReason;
 use crate::trace::TraceEvent;
 
@@ -182,7 +182,9 @@ impl Kernel {
                     } else {
                         0
                     };
+                self.kprof.enter(crate::kprof::Phase::MemFill);
                 self.charge(cost);
+                self.kprof.exit();
                 if let Some(s) = self.spaces.get_mut(space.0) {
                     s.map_page(addr, frame, writable);
                 }
@@ -253,7 +255,9 @@ impl Kernel {
         } else {
             0
         };
+        self.kprof.enter(crate::kprof::Phase::FaultIpc);
         self.charge(self.cost.hard_fault_kernel + extra);
+        self.kprof.exit();
         let self_token = match self.objects.get(region).map(|o| &o.data) {
             Some(ObjData::Region { self_token, .. }) => *self_token,
             _ => 0,
@@ -464,7 +468,9 @@ impl Kernel {
                         } else {
                             0
                         };
+                    self.kprof.enter(crate::kprof::Phase::MemFill);
                     self.charge(cost);
+                    self.kprof.exit();
                     if let Some(s) = self.spaces.get_mut(space.0) {
                         s.map_page(addr, frame, writable);
                     }

@@ -38,11 +38,12 @@ use crate::config::{Config, ExecModel};
 use crate::conn::Connection;
 use crate::events::{EventKind, EventQueue};
 use crate::ids::{Arena, SpaceId, ThreadId};
+use crate::kprof::Kprof;
+use crate::kstat::Stats;
 use crate::object::ObjectTable;
 use crate::phys::PhysMem;
 use crate::sched::ReadyQueue;
 use crate::space::Space;
-use crate::stats::Stats;
 use crate::thread::{NativeBody, RunState, Thread, WaitReason};
 use crate::trace::{TraceEvent, Tracer};
 
@@ -119,6 +120,8 @@ pub struct Kernel {
     /// The `ktrace` flight recorder (disabled and empty unless
     /// `cfg.trace.enabled`).
     pub trace: Tracer,
+    /// The `kprof` cycle-attribution profiler (inert unless `cfg.kprof`).
+    pub kprof: Kprof,
     /// Fault record receiving rollback attribution this dispatch.
     pub(crate) dispatch_rollback: Option<usize>,
     /// True while re-executing a restarted syscall's preamble.
@@ -141,6 +144,7 @@ impl Kernel {
     pub fn new(cfg: Config) -> Self {
         cfg.validate().expect("invalid kernel configuration");
         let trace = Tracer::new(cfg.trace.enabled, cfg.trace.ring_capacity, cfg.num_cpus);
+        let cfg_kprof = cfg.kprof;
         let timeslice = cfg.timeslice;
         let cpus = (0..cfg.num_cpus)
             .map(|id| CpuSlot {
@@ -168,6 +172,7 @@ impl Kernel {
             events: EventQueue::new(),
             stats: Stats::default(),
             trace,
+            kprof: Kprof::new(cfg_kprof),
             dispatch_rollback: None,
             rollback_active: false,
             dispatch_suppress: false,
@@ -178,6 +183,13 @@ impl Kernel {
     /// Current simulated time in cycles.
     pub fn now(&self) -> Cycles {
         self.cur_cpu().cpu.now
+    }
+
+    /// Sum of every simulated CPU clock. When `kprof` is enabled from
+    /// boot, its phase totals account for exactly this many cycles
+    /// ([`Kprof::total`] — the sum-exactness invariant).
+    pub fn total_cpu_cycles(&self) -> Cycles {
+        self.cpus.iter().map(|c| c.cpu.now).sum()
     }
 
     /// Record a `ktrace` event on the acting CPU at the current simulated
@@ -222,6 +234,7 @@ impl Kernel {
         if let Some(c) = self.cpus.iter_mut().find(|c| c.parked) {
             let d = at.saturating_sub(c.cpu.now);
             self.stats.idle_cycles += d;
+            self.kprof.attr_idle(d);
             c.cpu.now = c.cpu.now.max(at);
             c.parked = false;
         }
@@ -250,6 +263,7 @@ impl Kernel {
                 let wait = self.kernel_free_at - now;
                 self.stats.klock_cycles += wait;
                 self.stats.kernel_cycles += wait;
+                self.kprof.attr_lock(wait);
                 self.cur_cpu_mut().cpu.now += wait;
             }
         }
@@ -731,6 +745,7 @@ impl Kernel {
             return;
         }
         let mut c = c;
+        let mut lock_extra = 0;
         if self.cfg.preempt == crate::config::Preemption::Full {
             // Full preemption protects every kernel data structure with
             // blocking mutexes; the aggregate acquire/release/contention
@@ -739,10 +754,13 @@ impl Kernel {
             // memtest 1.11, gcc 1.05).
             let extra = c * 2 / 5;
             self.stats.klock_cycles += extra;
+            lock_extra = extra;
             c += extra;
         }
         self.cur_cpu_mut().cpu.now += c;
         self.stats.kernel_cycles += c;
+        self.kprof
+            .attr_kernel(c - lock_extra, self.rollback_active, lock_extra);
         if self.rollback_active {
             self.stats.rollback_cycles += c;
             if self.trace.enabled {
@@ -777,7 +795,9 @@ impl Kernel {
         if self.cfg.preempt == crate::config::Preemption::Full {
             let c = self.cost.klock_acquire + self.cost.klock_release;
             self.stats.klock_cycles += c;
+            self.kprof.lock_begin();
             self.charge(c);
+            self.kprof.lock_end();
         }
     }
 
@@ -834,10 +854,15 @@ impl Kernel {
         let sleeping_call = matches!(th.state, RunState::Blocked(WaitReason::Sleep))
             && th.inflight == Some(Sys::ThreadSleep);
         th.woken_at = at;
+        // Timer wakes are the "event raised" edge of the kprof
+        // preemption-latency probe; written unconditionally (and consumed
+        // at dispatch) so the field never influences simulated behavior.
+        th.wake_pending = at;
         if sleeping_call {
             self.complete_blocked(t, ErrorCode::Success);
             if let Some(th) = self.threads.get_mut(t.0) {
                 th.woken_at = at;
+                th.wake_pending = at;
             }
             return;
         }

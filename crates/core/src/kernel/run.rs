@@ -11,7 +11,8 @@ use fluke_arch::cost::Cycles;
 use fluke_arch::{Reg, StepOutcome, Trap};
 
 use crate::ids::ThreadId;
-use crate::stats::FaultSide;
+use crate::kprof::Phase;
+use crate::kstat::FaultSide;
 use crate::thread::{Body, NativeAction, RunState};
 use crate::trace::TraceEvent;
 
@@ -167,8 +168,20 @@ impl Kernel {
         // (serviced inside `charge`) must set a fresh pending reschedule,
         // not be wiped by it.
         self.cur_cpu_mut().resched = false;
+        self.kprof.enter(Phase::Sched);
         self.charge(cost);
+        self.kprof.exit();
         self.cur_cpu_mut().slice_end = self.cur_cpu_mut().cpu.now + self.cfg.timeslice;
+        // Consume a pending timer-wake mark: the elapsed span is one
+        // event-raised → dispatch preemption-latency observation.
+        let wake_pending = {
+            let th = self.threads.get_mut(t.0).expect("ready thread");
+            std::mem::take(&mut th.wake_pending)
+        };
+        if self.kprof.enabled && wake_pending > 0 {
+            let lat = self.cur_cpu().cpu.now.saturating_sub(wake_pending);
+            self.kprof.record_latency(lat);
+        }
     }
 
     /// Run the current thread until its next trap or the next deadline.
@@ -236,6 +249,7 @@ impl Kernel {
             let used = self.cpus[active].cpu.now - before;
             th.user_cycles += used;
             self.stats.user_cycles += used;
+            self.kprof.attr_user(used);
             match out {
                 StepOutcome::Trapped(t) => Some(t),
                 StepOutcome::DeadlineReached => None,
@@ -347,7 +361,9 @@ impl Kernel {
                 }
             });
         }
+        self.kprof.enter(Phase::Entry);
         self.charge(self.cost.entry_cost(interrupt));
+        self.kprof.exit();
         let mut chained = false;
         loop {
             let eax = self.threads.get(cur.0).expect("current").regs.get(Reg::Eax);
@@ -356,6 +372,7 @@ impl Kernel {
                 break;
             };
             self.stats.syscalls += 1;
+            self.stats.per_sys.bump(sys);
             // A pending thread_interrupt breaks the thread out of any
             // sleeping entrypoint with a visible Interrupted result; the
             // register continuation stays valid for re-issue.
@@ -374,7 +391,9 @@ impl Kernel {
                 // entrypoint starts from its own committed registers.
                 let mut cx = super::SysCtx { t: cur, sys };
                 self.audit_begin(cur, sys);
+                self.kprof.enter(Phase::Dispatch);
                 let r = self.dispatch_sys(&mut cx);
+                self.kprof.exit();
                 self.audit_end();
                 r.unwrap_or_else(|o| o)
             };
@@ -429,7 +448,9 @@ impl Kernel {
             class,
         });
         self.progress();
+        self.kprof.enter(Phase::Exit);
         self.charge(self.cost.exit_cost(interrupt_model));
+        self.kprof.exit();
         // Latched reschedules take effect on the way out; the main loop
         // performs the actual switch at the next iteration.
     }

@@ -31,11 +31,12 @@ pub mod conn;
 pub mod events;
 pub mod ids;
 pub mod kernel;
+pub mod kprof;
+pub mod kstat;
 pub mod object;
 pub mod phys;
 pub mod sched;
 pub mod space;
-pub mod stats;
 pub mod thread;
 pub mod tlb;
 pub mod trace;
@@ -43,7 +44,11 @@ pub mod trace;
 pub use config::{Config, ExecModel, Preemption, TraceConfig, PP_CHUNK_BYTES};
 pub use ids::{ConnId, ObjId, SpaceId, ThreadId};
 pub use kernel::{block_audit_hits, Kernel, RunExit};
-pub use stats::{FaultKind, FaultRecord, FaultSide, Stats};
+pub use kprof::{Kprof, Phase};
+pub use kstat::{
+    FaultKind, FaultRecord, FaultSide, KstatEntry, KstatRegistry, KstatValue, MemGauges,
+    PerSysCounts, Stats,
+};
 pub use thread::{NativeAction, NativeBody, RunState, WaitReason};
 pub use tlb::TlbStats;
 pub use trace::{Histogram, TraceEvent, TraceRecord, TraceRing, Tracer, UserVisible};

@@ -15,7 +15,7 @@ use fluke_arch::cost::Cycles;
 use fluke_arch::{Program, ProgramId, UserRegs};
 
 use crate::ids::{ConnId, ObjId, SpaceId, ThreadId};
-use crate::stats::Stats;
+use crate::kstat::Stats;
 
 /// Default scheduling priority for ordinary threads.
 pub const DEFAULT_PRIORITY: u32 = 8;
@@ -179,6 +179,12 @@ pub struct Thread {
     /// Simulated time the thread was last made runnable (for latency and
     /// the native probe).
     pub woken_at: Cycles,
+    /// Simulated time of the last *timer event* that made the thread
+    /// runnable, pending consumption by the next dispatch (the `kprof`
+    /// preemption-latency probe). Written unconditionally on timer wakes
+    /// and cleared at dispatch, so enabling `kprof` changes nothing
+    /// simulated; 0 means no event pending.
+    pub wake_pending: Cycles,
     /// Index into `Stats::fault_records` of the fault this thread is
     /// currently having remedied (for Table 3 attribution).
     pub open_fault: Option<usize>,
@@ -209,6 +215,7 @@ impl Thread {
             ipc_alerted: false,
             ipc_error: None,
             woken_at: 0,
+            wake_pending: 0,
             open_fault: None,
             user_cycles: 0,
             joiners: Vec::new(),
