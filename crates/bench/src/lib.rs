@@ -7,6 +7,7 @@
 //! factor, where the orders of magnitude fall) without parsing text.
 
 pub mod ablation;
+pub mod kfault_sweep;
 pub mod memfast;
 pub mod observability;
 pub mod report;

@@ -45,6 +45,10 @@ fn event_json(ev: &TraceEvent) -> Json {
         TraceEvent::Mark { value, .. } => {
             args.set("value", Json::from_u32(value));
         }
+        TraceEvent::FaultInjected { kind, site, .. } => {
+            args.set("kind", Json::from_u32(kind));
+            args.set("site", Json::from_u64(site));
+        }
         TraceEvent::IpcMessage { .. }
         | TraceEvent::UserPreempt { .. }
         | TraceEvent::KernelPreempt { .. }

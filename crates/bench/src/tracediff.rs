@@ -105,6 +105,7 @@ pub fn trace_digest(k: &Kernel) -> (u64, u64) {
             TraceEvent::Rollback { cycles, .. } => format!("cycles={cycles}"),
             TraceEvent::CtxSwitch { space_switch, .. } => format!("space={}", space_switch as u32),
             TraceEvent::Mark { value, .. } => format!("value={value}"),
+            TraceEvent::FaultInjected { kind, site, .. } => format!("kind={kind} site={site}"),
             TraceEvent::IpcMessage { .. }
             | TraceEvent::UserPreempt { .. }
             | TraceEvent::KernelPreempt { .. }

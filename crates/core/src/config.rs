@@ -8,6 +8,8 @@
 
 use fluke_arch::cost::{ms_to_cycles, Cycles};
 
+use crate::kfault::KfaultConfig;
+
 /// The kernel's internal execution model (paper §3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecModel {
@@ -98,6 +100,11 @@ pub struct Config {
     /// reference implementation, kept as a differential-testing oracle and
     /// benchmark baseline.
     pub fast_mem: bool,
+    /// Adversarial fault injection (`kfault`) arming. `None` by default:
+    /// a disarmed engine is a single predictable branch per hook; an
+    /// engine armed in count-only mode changes no simulated quantity
+    /// either (the golden-digest proof obligation).
+    pub kfault: Option<KfaultConfig>,
     /// A short human-readable label ("Process NP" etc.).
     pub label: &'static str,
 }
@@ -116,6 +123,7 @@ impl Config {
             trace: TraceConfig::default(),
             kprof: false,
             fast_mem: true,
+            kfault: None,
             label: "Process NP",
         }
     }
@@ -150,6 +158,7 @@ impl Config {
             trace: TraceConfig::default(),
             kprof: false,
             fast_mem: true,
+            kfault: None,
             label: "Interrupt NP",
         }
     }
@@ -221,6 +230,12 @@ impl Config {
     /// Enable the `kprof` cycle-attribution profiler.
     pub fn with_kprof(mut self) -> Self {
         self.kprof = true;
+        self
+    }
+
+    /// Arm the `kfault` deterministic fault-injection engine.
+    pub fn with_kfault(mut self, kf: KfaultConfig) -> Self {
+        self.kfault = Some(kf);
         self
     }
 
@@ -311,6 +326,21 @@ mod tests {
         }
         let c = Config::process_np().with_kprof();
         assert!(c.kprof);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn kfault_knob_defaults_off() {
+        use crate::kfault::KfaultKind;
+        for c in Config::all_five() {
+            assert!(c.kfault.is_none(), "{}", c.label);
+        }
+        let c = Config::process_np().with_kfault(KfaultConfig::at(KfaultKind::Timer, 3));
+        assert_eq!(c.kfault, Some(KfaultConfig::at(KfaultKind::Timer, 3)));
+        c.validate().unwrap();
+        let c =
+            Config::interrupt_pp().with_kfault(KfaultConfig::count_sites(KfaultKind::Transient));
+        assert_eq!(c.kfault.unwrap().site, KfaultConfig::COUNT_ONLY);
         c.validate().unwrap();
     }
 

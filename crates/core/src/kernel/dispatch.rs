@@ -1062,16 +1062,16 @@ impl Kernel {
         let target = self.thread_handle(cx.t, h)?;
         self.charge(self.cost.schedule_op);
         self.progress();
-        let ready = self
-            .threads
-            .get(target.0)
-            .map(|x| x.is_ready())
-            .unwrap_or(false);
-        if ready {
-            let prio = self.threads.get(target.0).unwrap().priority;
-            self.ready.remove(target);
-            self.ready.push_front(target, prio);
-            self.cur_cpu_mut().resched = true;
+        // Single lookup: a handle may outlive its thread (destruction keeps
+        // the arena slot, but future lifecycle changes must not reintroduce
+        // a second-`get` panic window here).
+        if let Some(th) = self.threads.get(target.0) {
+            if th.is_ready() {
+                let prio = th.priority;
+                self.ready.remove(target);
+                self.ready.push_front(target, prio);
+                self.cur_cpu_mut().resched = true;
+            }
         }
         Ok(SysOutcome::Done(ErrorCode::Success))
     }
@@ -1087,19 +1087,15 @@ impl Kernel {
         if target == t {
             return Err(Self::fail(ErrorCode::InvalidArg));
         }
-        let halted = self
-            .threads
-            .get(target.0)
-            .map(|x| x.is_halted())
-            .unwrap_or(true);
-        if halted {
+        // Single lookup, for the same reason as `sys_thread_schedule`:
+        // a missing or halted target means the join completes immediately.
+        let Some(th) = self.threads.get_mut(target.0) else {
+            return Ok(SysOutcome::Done(ErrorCode::Success));
+        };
+        if th.is_halted() {
             return Ok(SysOutcome::Done(ErrorCode::Success));
         }
-        self.threads
-            .get_mut(target.0)
-            .expect("target checked")
-            .joiners
-            .push(t);
+        th.joiners.push(t);
         Ok(cx.block(self, WaitReason::Join(target)))
     }
 
@@ -1143,15 +1139,11 @@ impl Kernel {
         if target == t {
             return Err(Self::fail(ErrorCode::InvalidArg));
         }
-        let ready = self
-            .threads
-            .get(target.0)
-            .map(|x| x.is_ready())
-            .unwrap_or(false);
-        if !ready {
-            return Err(Self::fail(ErrorCode::WouldBlock));
-        }
-        let prio = self.threads.get(target.0).unwrap().priority;
+        // Single lookup (same audit as `sys_thread_schedule`).
+        let prio = match self.threads.get(target.0) {
+            Some(th) if th.is_ready() => th.priority,
+            _ => return Err(Self::fail(ErrorCode::WouldBlock)),
+        };
         self.ready.remove(target);
         self.ready.push_front(target, prio);
         Ok(cx.block(self, WaitReason::Donate(target)))

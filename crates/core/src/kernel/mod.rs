@@ -38,6 +38,7 @@ use crate::config::{Config, ExecModel};
 use crate::conn::Connection;
 use crate::events::{EventKind, EventQueue};
 use crate::ids::{Arena, SpaceId, ThreadId};
+use crate::kfault::Kfault;
 use crate::kprof::Kprof;
 use crate::kstat::Stats;
 use crate::object::ObjectTable;
@@ -49,6 +50,29 @@ use crate::trace::{TraceEvent, Tracer};
 
 pub use mem::SpaceMemAdapter;
 pub use run::RunExit;
+
+/// A debugger-interface memory access hit an unmapped, non-derivable
+/// address ([`Kernel::try_read_mem`] / [`Kernel::try_write_mem`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccessError {
+    /// The first offending virtual address.
+    pub addr: u32,
+    /// True for a write access, false for a read.
+    pub write: bool,
+}
+
+impl std::fmt::Display for MemAccessError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}_mem: {:#x} unmapped",
+            if self.write { "write" } else { "read" },
+            self.addr
+        )
+    }
+}
+
+impl std::error::Error for MemAccessError {}
 
 /// Outcome of one system-call handler invocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -122,6 +146,9 @@ pub struct Kernel {
     pub trace: Tracer,
     /// The `kprof` cycle-attribution profiler (inert unless `cfg.kprof`).
     pub kprof: Kprof,
+    /// The `kfault` adversarial fault-injection engine (armed by
+    /// `cfg.kfault`; `None` — and zero-cost — otherwise).
+    pub(crate) kfault: Option<Kfault>,
     /// Fault record receiving rollback attribution this dispatch.
     pub(crate) dispatch_rollback: Option<usize>,
     /// True while re-executing a restarted syscall's preamble.
@@ -145,6 +172,7 @@ impl Kernel {
         cfg.validate().expect("invalid kernel configuration");
         let trace = Tracer::new(cfg.trace.enabled, cfg.trace.ring_capacity, cfg.num_cpus);
         let cfg_kprof = cfg.kprof;
+        let cfg_kfault = cfg.kfault;
         let timeslice = cfg.timeslice;
         let cpus = (0..cfg.num_cpus)
             .map(|id| CpuSlot {
@@ -173,6 +201,7 @@ impl Kernel {
             stats: Stats::default(),
             trace,
             kprof: Kprof::new(cfg_kprof),
+            kfault: cfg_kfault.map(Kfault::new),
             dispatch_rollback: None,
             rollback_active: false,
             dispatch_suppress: false,
@@ -417,35 +446,67 @@ impl Kernel {
     }
 
     /// Debugger write to a space's memory (resolving derivable pages).
+    /// Returns the offending address on the first unmapped byte; bytes
+    /// before it are already written (the debugger has no transactions).
+    pub fn try_write_mem(
+        &mut self,
+        space: SpaceId,
+        addr: u32,
+        bytes: &[u8],
+    ) -> Result<(), MemAccessError> {
+        for (i, b) in bytes.iter().enumerate() {
+            let a = addr + i as u32;
+            let (f, off) = self.debug_translate(space, a, true).ok_or(MemAccessError {
+                addr: a,
+                write: true,
+            })?;
+            self.phys.write_u8(f, off, *b);
+        }
+        Ok(())
+    }
+
+    /// Debugger write to a space's memory (resolving derivable pages).
     ///
     /// # Panics
     ///
-    /// Panics if any byte is unmapped (a test/setup error).
+    /// Panics if any byte is unmapped (a test/setup error). Fault-tolerant
+    /// callers (sweep drivers, fuzzers) use [`Self::try_write_mem`].
     pub fn write_mem(&mut self, space: SpaceId, addr: u32, bytes: &[u8]) {
-        for (i, b) in bytes.iter().enumerate() {
-            let a = addr + i as u32;
-            let (f, off) = self
-                .debug_translate(space, a, true)
-                .unwrap_or_else(|| panic!("write_mem: {a:#x} unmapped"));
-            self.phys.write_u8(f, off, *b);
-        }
+        self.try_write_mem(space, addr, bytes)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Debugger read from a space's memory (resolving derivable pages).
+    /// Returns the offending address on the first unmapped byte.
+    pub fn try_read_mem(
+        &mut self,
+        space: SpaceId,
+        addr: u32,
+        len: u32,
+    ) -> Result<Vec<u8>, MemAccessError> {
+        (0..len)
+            .map(|i| {
+                let a = addr + i;
+                let (f, off) = self
+                    .debug_translate(space, a, false)
+                    .ok_or(MemAccessError {
+                        addr: a,
+                        write: false,
+                    })?;
+                Ok(self.phys.read_u8(f, off))
+            })
+            .collect()
     }
 
     /// Debugger read from a space's memory (resolving derivable pages).
     ///
     /// # Panics
     ///
-    /// Panics if any byte is unmapped (a test/setup error).
+    /// Panics if any byte is unmapped (a test/setup error). Fault-tolerant
+    /// callers (sweep drivers, fuzzers) use [`Self::try_read_mem`].
     pub fn read_mem(&mut self, space: SpaceId, addr: u32, len: u32) -> Vec<u8> {
-        (0..len)
-            .map(|i| {
-                let a = addr + i;
-                let (f, off) = self
-                    .debug_translate(space, a, false)
-                    .unwrap_or_else(|| panic!("read_mem: {a:#x} unmapped"));
-                self.phys.read_u8(f, off)
-            })
-            .collect()
+        self.try_read_mem(space, addr, len)
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Debugger read of a little-endian u32.

@@ -104,6 +104,12 @@ impl Kernel {
                 self.cur_cpu_mut().parked = true;
                 continue;
             };
+            // Adversarial fault injection (`kfault`): every user-mode
+            // instruction boundary is an injection site; the armed one
+            // perturbs execution here.
+            if self.kfault.is_some() && self.kfault_boundary(cur) {
+                continue;
+            }
             self.execute_current(cur, limit);
         }
     }
@@ -371,6 +377,13 @@ impl Kernel {
                 self.finish_syscall(cur, ErrorCode::InvalidEntrypoint, interrupt);
                 break;
             };
+            // Adversarial fault injection (`kfault`): a transient
+            // resource-exhaustion failure abandons this dispatch attempt;
+            // the registers still hold the complete continuation, so the
+            // retry is a plain re-decode.
+            if self.kfault.is_some() && self.kfault_transient(cur) {
+                continue;
+            }
             self.stats.syscalls += 1;
             self.stats.per_sys.bump(sys);
             // A pending thread_interrupt breaks the thread out of any

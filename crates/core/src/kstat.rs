@@ -123,6 +123,9 @@ pub struct Stats {
     pub hard_faults: u64,
     /// Fatal (unresolvable) faults.
     pub fatal_faults: u64,
+    /// `kfault` adversarial injections fired, indexed by
+    /// [`crate::kfault::KfaultKind::index`] (all zero unless armed).
+    pub faults_injected: [u64; 4],
     /// Cycles spent executing user-mode instructions.
     pub user_cycles: Cycles,
     /// Cycles spent in the kernel.
@@ -481,6 +484,13 @@ impl Kernel {
         r.counter("kernel.fault.soft", s.soft_faults);
         r.counter("kernel.fault.hard", s.hard_faults);
         r.counter("kernel.fault.fatal", s.fatal_faults);
+        r.counter("kernel.fault.injected.timer", s.faults_injected[0]);
+        r.counter(
+            "kernel.fault.injected.extract_restore",
+            s.faults_injected[1],
+        );
+        r.counter("kernel.fault.injected.page_flush", s.faults_injected[2]);
+        r.counter("kernel.fault.injected.transient", s.faults_injected[3]);
 
         r.counter("kernel.cycles.user", s.user_cycles);
         r.counter("kernel.cycles.kernel", s.kernel_cycles);

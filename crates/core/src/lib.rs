@@ -31,6 +31,7 @@ pub mod conn;
 pub mod events;
 pub mod ids;
 pub mod kernel;
+pub mod kfault;
 pub mod kprof;
 pub mod kstat;
 pub mod object;
@@ -43,7 +44,8 @@ pub mod trace;
 
 pub use config::{Config, ExecModel, Preemption, TraceConfig, PP_CHUNK_BYTES};
 pub use ids::{ConnId, ObjId, SpaceId, ThreadId};
-pub use kernel::{block_audit_hits, Kernel, RunExit};
+pub use kernel::{block_audit_hits, Kernel, MemAccessError, RunExit};
+pub use kfault::{Kfault, KfaultConfig, KfaultKind};
 pub use kprof::{Kprof, Phase};
 pub use kstat::{
     FaultKind, FaultRecord, FaultSide, KstatEntry, KstatRegistry, KstatValue, MemGauges,

@@ -173,6 +173,17 @@ pub enum TraceEvent {
         /// The logged value.
         value: u32,
     },
+    /// A `kfault` adversarial perturbation fired (never part of the
+    /// user-visible projection: injections perturb *kernel* execution;
+    /// the user-visible outcome must not change).
+    FaultInjected {
+        /// The victim thread.
+        thread: ThreadId,
+        /// Injection kind ([`crate::kfault::KfaultKind::index`]).
+        kind: u32,
+        /// The injection-site index that fired.
+        site: u64,
+    },
 }
 
 impl TraceEvent {
@@ -197,6 +208,7 @@ impl TraceEvent {
             TraceEvent::Wake { .. } => "wake",
             TraceEvent::Halt { .. } => "halt",
             TraceEvent::Mark { .. } => "mark",
+            TraceEvent::FaultInjected { .. } => "fault_injected",
         }
     }
 
@@ -220,7 +232,8 @@ impl TraceEvent {
             | TraceEvent::Block { thread }
             | TraceEvent::Wake { thread }
             | TraceEvent::Halt { thread }
-            | TraceEvent::Mark { thread, .. } => Some(thread),
+            | TraceEvent::Mark { thread, .. }
+            | TraceEvent::FaultInjected { thread, .. } => Some(thread),
         }
     }
 }

@@ -20,7 +20,7 @@ use fluke_api::abi::{ARG_COUNT, ARG_HANDLE, ARG_SBUF, ARG_VAL};
 use fluke_api::state::ThreadStateFrame;
 use fluke_api::{ErrorCode, ObjStateFrame, ObjType, Sys};
 use fluke_arch::{Assembler, Reg, UserRegs};
-use fluke_core::{Kernel, ObjId, RunExit, SpaceId};
+use fluke_core::{Kernel, MemAccessError, ObjId, RunExit, SpaceId};
 use fluke_json::Json;
 
 /// One checkpointed kernel object.
@@ -229,6 +229,8 @@ fn scratch_addr(mem_base: u32) -> u32 {
 /// `space_handle` is the manager's handle for the child's Space object;
 /// the window `[base, len)` must be identity-visible to the manager (see
 /// [`identity_window`]). `manager_mem` is a scratch page of the manager.
+/// An unmapped byte anywhere in the window or scratch area is reported as
+/// a [`MemAccessError`] (a manager setup bug, not a panic).
 pub fn checkpoint_space(
     k: &mut Kernel,
     agent: &SyscallAgent,
@@ -236,7 +238,7 @@ pub fn checkpoint_space(
     base: u32,
     len: u32,
     manager_mem: u32,
-) -> CheckpointImage {
+) -> Result<CheckpointImage, MemAccessError> {
     let scratch = scratch_addr(manager_mem);
     let mut records = Vec::new();
     let mut cursor = base;
@@ -263,7 +265,7 @@ pub fn checkpoint_space(
         regs.set(ARG_COUNT, nwords);
         let (code, _) = agent.call_checked(k, get_state_sys(ty), regs);
         assert_eq!(code, ErrorCode::Success, "get_state({ty}) failed");
-        let bytes = k.read_mem(agent.space, scratch, nwords * 4);
+        let bytes = k.try_read_mem(agent.space, scratch, nwords * 4)?;
         let words: Vec<u32> = bytes
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
@@ -271,12 +273,12 @@ pub fn checkpoint_space(
         records.push(ObjectRecord { vaddr, ty, words });
     }
     // Memory snapshot through the identity window.
-    let memory = k.read_mem(agent.space, base, len);
-    CheckpointImage {
+    let memory = k.try_read_mem(agent.space, base, len)?;
+    Ok(CheckpointImage {
         mem_base: base,
         memory,
         records,
-    }
+    })
 }
 
 /// Restore an image into a fresh child space whose window is already
@@ -293,12 +295,12 @@ pub fn restore_space(
     image: &CheckpointImage,
     new_space_handle: u32,
     manager_mem: u32,
-) {
+) -> Result<(), MemAccessError> {
     let scratch = scratch_addr(manager_mem);
     // Memory first: object creation requires writable mapped pages, and
     // the bytes do not disturb object state (objects key off physical
     // location, and these are fresh frames).
-    k.write_mem(agent.space, image.mem_base, &image.memory);
+    k.try_write_mem(agent.space, image.mem_base, &image.memory)?;
     // Creation order: ports/psets/regions before mappings/refs; threads
     // last so everything they might immediately touch exists.
     let order = |ty: ObjType| match ty {
@@ -348,7 +350,7 @@ pub fn restore_space(
             words = f.to_words().to_vec();
         }
         let bytes: Vec<u8> = words.iter().flat_map(|w| w.to_le_bytes()).collect();
-        k.write_mem(agent.space, scratch, &bytes);
+        k.try_write_mem(agent.space, scratch, &bytes)?;
         let mut regs = UserRegs::new();
         regs.set(ARG_HANDLE, rec.vaddr);
         regs.set(ARG_SBUF, scratch);
@@ -356,6 +358,7 @@ pub fn restore_space(
         let (code, _) = agent.call_checked(k, set_state_sys(rec.ty), regs);
         assert_eq!(code, ErrorCode::Success, "set_state({}) failed", rec.ty);
     }
+    Ok(())
 }
 
 /// The `*_get_state` entrypoint for a type.

@@ -65,10 +65,10 @@ pub fn migrate_space(
     mut image: CheckpointImage,
     new_space_handle: u32,
     manager_mem: u32,
-) {
+) -> Result<(), fluke_core::MemAccessError> {
     let map = ship_programs(src, dst, &image);
     rewrite_programs(&mut image, &map);
-    restore_space(dst, agent, &image, new_space_handle, manager_mem);
+    restore_space(dst, agent, &image, new_space_handle, manager_mem)
 }
 
 #[cfg(test)]

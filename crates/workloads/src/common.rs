@@ -35,13 +35,49 @@ impl RunResult {
     }
 }
 
-/// Execute a built workload to completion (or the safety budget).
-///
-/// # Panics
-///
-/// Panics if the workload fails to finish within `budget` cycles — a
-/// workload bug, not a measurement.
-pub fn run_workload(mut w: WorkloadRun, budget: Cycles) -> RunResult {
+/// Why a workload failed to complete ([`try_run_workload`]). Structured so
+/// campaign drivers (kfault sweeps, fuzzers) can report a divergence and
+/// carry on instead of tearing down the whole process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The safety budget elapsed before every main thread halted.
+    Timeout {
+        /// Workload label.
+        workload: &'static str,
+        /// The exhausted cycle budget.
+        budget: Cycles,
+    },
+    /// The kernel ran out of runnable work (halt or deadlock) with main
+    /// threads still unfinished.
+    Wedged {
+        /// Workload label.
+        workload: &'static str,
+        /// How the kernel's run loop returned.
+        exit: RunExit,
+    },
+}
+
+impl std::fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkloadError::Timeout { workload, budget } => {
+                write!(
+                    f,
+                    "workload {workload} did not finish within {budget} cycles"
+                )
+            }
+            WorkloadError::Wedged { workload, exit } => {
+                write!(f, "workload {workload} wedged (exit {exit:?})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Execute a built workload to completion, or report a structured
+/// [`WorkloadError`] if the safety budget elapses or the system wedges.
+pub fn try_run_workload(mut w: WorkloadRun, budget: Cycles) -> Result<RunResult, WorkloadError> {
     let start = w.kernel.now();
     let deadline = start + budget;
     // Run in slices: a periodic probe keeps the timer queue non-empty
@@ -54,22 +90,38 @@ pub fn run_workload(mut w: WorkloadRun, budget: Cycles) -> RunResult {
             break;
         }
         match exit {
-            RunExit::TimeLimit if w.kernel.now() >= deadline => panic!(
-                "workload {} did not finish within {} cycles",
-                w.label, budget
-            ),
+            RunExit::TimeLimit if w.kernel.now() >= deadline => {
+                return Err(WorkloadError::Timeout {
+                    workload: w.label,
+                    budget,
+                });
+            }
             RunExit::TimeLimit => {}
             RunExit::AllHalted | RunExit::Deadlock => {
-                panic!("workload {} wedged (exit {exit:?})", w.label)
+                return Err(WorkloadError::Wedged {
+                    workload: w.label,
+                    exit,
+                });
             }
         }
     }
-    RunResult {
+    Ok(RunResult {
         elapsed: w.kernel.now() - start,
         stats: w.kernel.stats.clone(),
         config: w.kernel.cfg.label,
         workload: w.label,
-    }
+    })
+}
+
+/// Execute a built workload to completion (or the safety budget).
+///
+/// # Panics
+///
+/// Panics if the workload fails to finish within `budget` cycles — a
+/// workload bug, not a measurement. Top-level benches and tests want that
+/// loud failure; campaign drivers use [`try_run_workload`].
+pub fn run_workload(w: WorkloadRun, budget: Cycles) -> RunResult {
+    try_run_workload(w, budget).unwrap_or_else(|e| panic!("{e}"))
 }
 
 /// Emit a counted loop whose counter lives in a memory cell at `cell`

@@ -25,7 +25,7 @@ pub mod gcc;
 pub mod latency;
 pub mod memtest;
 
-pub use common::{run_workload, RunResult, WorkloadRun};
+pub use common::{run_workload, try_run_workload, RunResult, WorkloadError, WorkloadRun};
 pub use flukeperf::FlukeperfParams;
 pub use gcc::GccParams;
 pub use latency::LatencyProbe;

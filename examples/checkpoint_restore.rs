@@ -80,7 +80,8 @@ fn main() {
         CHILD_BASE,
         CHILD_LEN,
         mgr_mem,
-    );
+    )
+    .expect("checkpoint window mapped");
     println!(
         "image: {} bytes of memory, {} kernel objects ({:?})",
         image.memory.len(),
@@ -91,7 +92,8 @@ fn main() {
     // Build a second, fresh child and restore into it.
     let mgr2 = 0x0060_0000;
     let (agent2, child2, child2_handle) = make_world(&mut kernel, mgr2);
-    restore_space(&mut kernel, &agent2, &image, child2_handle, mgr2);
+    restore_space(&mut kernel, &agent2, &image, child2_handle, mgr2)
+        .expect("restore window mapped");
     println!(
         "restored clone starts at counter = {}",
         kernel.read_mem_u32(child2, COUNTER)

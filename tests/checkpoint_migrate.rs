@@ -102,7 +102,8 @@ fn checkpoint_captures_objects_memory_and_thread() {
         CHILD_BASE,
         CHILD_LEN,
         MGR_MEM,
-    );
+    )
+    .expect("checkpoint window mapped");
     // Mutex, Cond, Thread objects plus the memory snapshot.
     let types: Vec<ObjType> = image.records.iter().map(|r| r.ty).collect();
     assert!(types.contains(&ObjType::Mutex));
@@ -127,7 +128,8 @@ fn restore_resumes_from_snapshot() {
         CHILD_BASE,
         CHILD_LEN,
         MGR_MEM,
-    );
+    )
+    .expect("checkpoint window mapped");
     let snap_counter = u32::from_le_bytes(image.memory[0x1000..0x1004].try_into().unwrap());
     assert!(snap_counter < 400);
     // Let the original finish.
@@ -155,7 +157,8 @@ fn restore_resumes_from_snapshot() {
     w.k.loader_space_object(manager3, space2_handle, child2);
     let agent2 = SyscallAgent::new(&mut w.k, manager3, 20);
     let _ = manager2;
-    restore_space(&mut w.k, &agent2, &image, space2_handle, mgr2_mem);
+    restore_space(&mut w.k, &agent2, &image, space2_handle, mgr2_mem)
+        .expect("restore window mapped");
 
     // The clone picks up from snap_counter and finishes the remaining
     // iterations.
@@ -223,7 +226,8 @@ fn blocked_thread_restores_as_blocked() {
     ));
 
     // Checkpoint, then destroy the whole child.
-    let image = checkpoint_space(&mut k, &agent, space_handle, CHILD_BASE, CHILD_LEN, MGR_MEM);
+    let image = checkpoint_space(&mut k, &agent, space_handle, CHILD_BASE, CHILD_LEN, MGR_MEM)
+        .expect("checkpoint window mapped");
     let mut regs = fluke_arch::UserRegs::new();
     regs.set(ARG_HANDLE, CHILD_BASE + 64);
     agent.call_checked(&mut k, Sys::ThreadDestroy, regs);
@@ -245,7 +249,7 @@ fn blocked_thread_restores_as_blocked() {
     let space2 = mgr2_mem + 0x1800;
     k.loader_space_object(manager2, space2, child2);
     let agent2 = SyscallAgent::new(&mut k, manager2, 20);
-    restore_space(&mut k, &agent2, &image, space2, mgr2_mem);
+    restore_space(&mut k, &agent2, &image, space2, mgr2_mem).expect("restore window mapped");
 
     // The restored mutex is locked and the restored thread re-blocked.
     k.run(Some(2_000_000));
@@ -275,7 +279,8 @@ fn migrate_between_kernels_and_models() {
         CHILD_BASE,
         CHILD_LEN,
         MGR_MEM,
-    );
+    )
+    .expect("checkpoint window mapped");
     let snap = u32::from_le_bytes(image.memory[0x1000..0x1004].try_into().unwrap());
     assert!(snap > 0 && snap < 300);
 
@@ -297,7 +302,8 @@ fn migrate_between_kernels_and_models() {
     dst.loader_space_object(manager, space_handle, child);
     let agent = SyscallAgent::new(&mut dst, manager, 20);
 
-    migrate_space(&w.k, &mut dst, &agent, image, space_handle, MGR_MEM);
+    migrate_space(&w.k, &mut dst, &agent, image, space_handle, MGR_MEM)
+        .expect("migrate window mapped");
 
     // The migrated worker finishes on the destination machine.
     let deadline = dst.now() + 2_000_000_000;

@@ -57,7 +57,8 @@ fn image_survives_json_round_trip_and_restores() {
         CHILD_BASE,
         CHILD_LEN,
         MGR_MEM,
-    );
+    )
+    .expect("checkpoint window mapped");
     let snap = u32::from_le_bytes(image.memory[0x1000..0x1004].try_into().unwrap());
     assert!(snap > 0 && snap < 250, "mid-run snapshot, got {snap}");
 
@@ -75,7 +76,8 @@ fn image_survives_json_round_trip_and_restores() {
     let map = fluke_user::migrate::ship_programs(&a_kernel, &mut b_kernel, &reloaded);
     let mut reloaded = reloaded;
     fluke_user::migrate::rewrite_programs(&mut reloaded, &map);
-    restore_space(&mut b_kernel, &agent2, &reloaded, handle2, MGR_MEM);
+    restore_space(&mut b_kernel, &agent2, &reloaded, handle2, MGR_MEM)
+        .expect("restore window mapped");
 
     let deadline = b_kernel.now() + 2_000_000_000;
     while b_kernel.read_mem_u32(child2, DONE) != 0xFACE {
