@@ -154,6 +154,17 @@ impl SweepWorkload {
         cfg: &Config,
         kf: Option<KfaultConfig>,
     ) -> Result<(Outcome, u64, bool), String> {
+        self.run_kernel(cfg, kf).map(|(o, s, f, _)| (o, s, f))
+    }
+
+    /// Like [`SweepWorkload::run`], but also hands back the finished
+    /// kernel so callers can inspect instrumentation state (`kspan`,
+    /// `kprof`, `kstat`) accumulated over the run.
+    pub fn run_kernel(
+        self,
+        cfg: &Config,
+        kf: Option<KfaultConfig>,
+    ) -> Result<(Outcome, u64, bool, Kernel), String> {
         match self {
             SweepWorkload::IpcEcho => run_echo(cfg, kf),
             SweepWorkload::Checkpoint => run_checkpoint(cfg, kf),
@@ -172,7 +183,10 @@ fn armed(cfg: &Config, kf: Option<KfaultConfig>) -> Config {
 /// Fixed-shape IPC echo: two request/reply exchanges over one connection,
 /// then the client checksums the final echo. Small by design — the sweep
 /// runs the whole workload once per site.
-fn run_echo(cfg: &Config, kf: Option<KfaultConfig>) -> Result<(Outcome, u64, bool), String> {
+fn run_echo(
+    cfg: &Config,
+    kf: Option<KfaultConfig>,
+) -> Result<(Outcome, u64, bool, Kernel), String> {
     const LEN: u32 = 64;
     const EXCHANGES: u32 = 2;
     let mut k = Kernel::new(armed(cfg, kf));
@@ -224,7 +238,7 @@ fn run_echo(cfg: &Config, kf: Option<KfaultConfig>) -> Result<(Outcome, u64, boo
     let regions = [(server.space, sbuf, LEN), (client.space, crbuf, LEN)];
     let out = outcome(&mut k, &[st, ct], &regions, &[])?;
     let (sites, fired) = kfault_counters(&k);
-    Ok((out, sites, fired))
+    Ok((out, sites, fired, k))
 }
 
 /// Layout of the checkpoint workload's child window (mirrors the
@@ -243,7 +257,10 @@ const DONE_FLAG: u32 = CHILD_BASE + 0x1004;
 /// blocked thread, restores the image into a fresh space, unlocks the
 /// restored mutex, and the clone finishes the work. Injections land on
 /// the workload threads *and* the manager's agent threads alike.
-fn run_checkpoint(cfg: &Config, kf: Option<KfaultConfig>) -> Result<(Outcome, u64, bool), String> {
+fn run_checkpoint(
+    cfg: &Config,
+    kf: Option<KfaultConfig>,
+) -> Result<(Outcome, u64, bool, Kernel), String> {
     let mut k = Kernel::new(armed(cfg, kf));
     let manager = k.create_space();
     k.grant_pages(manager, MGR_MEM, 0x2000, true);
@@ -337,7 +354,7 @@ fn run_checkpoint(cfg: &Config, kf: Option<KfaultConfig>) -> Result<(Outcome, u6
         image.to_json_string().as_bytes(),
     )?;
     let (sites, fired) = kfault_counters(&k);
-    Ok((out, sites, fired))
+    Ok((out, sites, fired, k))
 }
 
 /// One divergence found by a sweep: the minimal reproducer is the

@@ -91,7 +91,7 @@ pub fn run_observed(cfg: Config, scale: Scale) -> Observed {
         Scale::Paper => FlukeperfParams::paper(),
         Scale::Quick => FlukeperfParams::quick(),
     };
-    let mut run: WorkloadRun = flukeperf::build(cfg.with_kprof(), &params);
+    let mut run: WorkloadRun = flukeperf::build(cfg.with_kprof().with_kspan(), &params);
     install_probe(&mut run.kernel, PROBE_PERIOD_MS);
     let start = run.kernel.now();
     let deadline = start + RUN_BUDGET;
@@ -183,6 +183,42 @@ pub fn render_dashboard(runs: &[Observed]) -> String {
                 out.push_str(&format!("  {line}\n"));
             }
         }
+        if k.kspan.enabled {
+            out.push_str(&format!(
+                "kspan: {} requests completed, {} aborted, {} flow edges; e2e {}\n",
+                k.kspan.completed().len(),
+                k.kspan.aborted(),
+                k.kspan.flows().len(),
+                hist_line(k.kspan.e2e_histogram()),
+            ));
+            out.push_str("per-class e2e latency:\n");
+            for (class, h) in k.kspan.class_histograms() {
+                out.push_str(&format!("  {class}: {}\n", hist_line(h)));
+            }
+            let cp = critical_path_totals(k);
+            out.push_str(&format!(
+                "critical path (summed over completed requests): on_cpu={} \
+                 runnable_wait={} blocked_ipc={} lock_wait={} blocked_other={}\n",
+                cp.0, cp.1, cp.2, cp.3, cp.4,
+            ));
+            let top = k.kspan.top_contended(5);
+            if !top.is_empty() {
+                out.push_str("top contended objects:\n");
+                for (obj, c) in top {
+                    out.push_str(&format!(
+                        "  {obj}: {} wait cycles over {} waits\n",
+                        c.wait_cycles, c.waits
+                    ));
+                }
+            }
+            let flame = collapsed_spans(k);
+            if !flame.is_empty() {
+                out.push_str("request flamegraph (collapsed, top lines):\n");
+                for line in flame.iter().take(4) {
+                    out.push_str(&format!("  {line}\n"));
+                }
+            }
+        }
         out.push_str("kstat (nonzero):\n");
         for line in k.kstat().dump_text(false).lines() {
             out.push_str(&format!("  {line}\n"));
@@ -190,6 +226,36 @@ pub fn render_dashboard(runs: &[Observed]) -> String {
         out.push('\n');
     }
     out
+}
+
+/// Sum the five critical-path buckets over every completed request:
+/// (on_cpu, runnable_wait, blocked_ipc, lock_wait, blocked_other).
+pub fn critical_path_totals(k: &Kernel) -> (u64, u64, u64, u64, u64) {
+    let mut t = (0u64, 0u64, 0u64, 0u64, 0u64);
+    for r in k.kspan.completed() {
+        t.0 += r.on_cpu;
+        t.1 += r.runnable_wait;
+        t.2 += r.blocked_ipc;
+        t.3 += r.lock_wait;
+        t.4 += r.blocked_other;
+    }
+    t
+}
+
+/// Per-request-class collapsed flamegraph lines: `class;phase-path cycles`,
+/// in deterministic (class, path) order, fed by the per-span kprof phase
+/// paths folded at request close.
+pub fn collapsed_spans(k: &Kernel) -> Vec<String> {
+    let mut lines = Vec::new();
+    for (class, frames) in k.kspan.class_frames() {
+        for (&code, &cycles) in frames {
+            lines.push(format!(
+                "{class};{} {cycles}",
+                fluke_core::kspan::frame_name(code)
+            ));
+        }
+    }
+    lines
 }
 
 fn hist_json(h: &fluke_core::Histogram) -> Json {
@@ -268,6 +334,47 @@ pub fn to_json(scale: Scale, runs: &[Observed]) -> Json {
         );
         c.set("mem", mem);
         c.set("kstat", k.kstat().to_json());
+        if k.kspan.enabled {
+            let mut sp = Json::obj();
+            sp.set("requests", Json::from_u64(k.kspan.completed().len() as u64));
+            sp.set("aborted", Json::from_u64(k.kspan.aborted()));
+            sp.set("flows", Json::from_u64(k.kspan.flows().len() as u64));
+            sp.set("e2e", hist_json(k.kspan.e2e_histogram()));
+            let mut classes = Json::obj();
+            for (class, h) in k.kspan.class_histograms() {
+                classes.set(class, hist_json(h));
+            }
+            sp.set("classes", classes);
+            let cp = critical_path_totals(k);
+            let mut cpj = Json::obj();
+            cpj.set("on_cpu", Json::from_u64(cp.0));
+            cpj.set("runnable_wait", Json::from_u64(cp.1));
+            cpj.set("blocked_ipc", Json::from_u64(cp.2));
+            cpj.set("lock_wait", Json::from_u64(cp.3));
+            cpj.set("blocked_other", Json::from_u64(cp.4));
+            sp.set("critical_path", cpj);
+            sp.set(
+                "top_contended",
+                Json::Arr(
+                    k.kspan
+                        .top_contended(8)
+                        .into_iter()
+                        .map(|(obj, c)| {
+                            let mut j = Json::obj();
+                            j.set("object", Json::Str(obj.to_string()));
+                            j.set("wait_cycles", Json::from_u64(c.wait_cycles));
+                            j.set("waits", Json::from_u64(c.waits));
+                            j
+                        })
+                        .collect(),
+                ),
+            );
+            sp.set(
+                "flamegraph",
+                Json::Arr(collapsed_spans(k).into_iter().map(Json::Str).collect()),
+            );
+            c.set("kspan", sp);
+        }
         configs.push(c);
     }
     doc.set("configs", Json::Arr(configs));
@@ -310,6 +417,64 @@ pub fn check_regression(runs: &[Observed]) -> Result<(), String> {
                         "{label}: preemption-latency max {} cycles exceeds blessed bound {}",
                         h.max(),
                         bound
+                    ));
+                }
+            }
+        }
+    }
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(errors.join("\n"))
+    }
+}
+
+/// Maximum tolerated relative growth of the kspan end-to-end p99 between
+/// the committed `BENCH_observability.json` and a fresh quick-scale run.
+pub const E2E_P99_TOLERANCE: f64 = 0.10;
+
+/// Per-config `label -> kspan e2e p99` from a report document. Configs
+/// without a kspan section (older reports) are skipped.
+fn e2e_p99s(doc: &Json) -> std::collections::BTreeMap<String, u64> {
+    let mut out = std::collections::BTreeMap::new();
+    let Some(configs) = doc.get("configs").and_then(Json::items) else {
+        return out;
+    };
+    for c in configs {
+        let (Some(label), Some(p99)) = (
+            c.get("label").and_then(Json::as_str),
+            c.get("kspan")
+                .and_then(|s| s.get("e2e"))
+                .and_then(|e| e.get("p99"))
+                .and_then(Json::as_u64),
+        ) else {
+            continue;
+        };
+        out.insert(label.to_string(), p99);
+    }
+    out
+}
+
+/// Compare a freshly generated report against the committed one: any
+/// configuration whose kspan end-to-end p99 grew by more than
+/// [`E2E_P99_TOLERANCE`] is a regression. Same-scale reports only.
+pub fn check_e2e_regression(committed: &Json, fresh: &Json) -> Result<(), String> {
+    if committed.get("scale") != fresh.get("scale") {
+        // A scale change makes latencies incomparable; nothing to gate.
+        return Ok(());
+    }
+    let want = e2e_p99s(committed);
+    let got = e2e_p99s(fresh);
+    let mut errors = Vec::new();
+    for (label, old) in &want {
+        match got.get(label) {
+            None => errors.push(format!("{label}: missing from fresh report")),
+            Some(new) => {
+                if (*new as f64) > (*old as f64) * (1.0 + E2E_P99_TOLERANCE) {
+                    errors.push(format!(
+                        "{label}: kspan e2e p99 {new} cycles exceeds committed {old} \
+                         by more than {:.0}%",
+                        E2E_P99_TOLERANCE * 100.0
                     ));
                 }
             }

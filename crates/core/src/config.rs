@@ -94,6 +94,12 @@ pub struct Config {
     /// perturbs simulated quantities either way (the attribution reads
     /// the same charges the kernel makes regardless).
     pub kprof: bool,
+    /// Causal request tracing and critical-path attribution (`kspan`)
+    /// knob. Off by default: a disabled layer costs one predictable
+    /// branch per hook; enabled, it observes the same simulated clocks
+    /// and transitions the kernel performs regardless, so runs are
+    /// bit-identical either way (the golden-digest proof obligation).
+    pub kspan: bool,
     /// Use the software-TLB + page-run bulk memory fast path (host-side
     /// only: simulated cycle charges, traces and stats are bit-identical
     /// with this on or off). Off selects the uncached byte-at-a-time
@@ -122,6 +128,7 @@ impl Config {
             timeslice: ms_to_cycles(10),
             trace: TraceConfig::default(),
             kprof: false,
+            kspan: false,
             fast_mem: true,
             kfault: None,
             label: "Process NP",
@@ -157,6 +164,7 @@ impl Config {
             timeslice: ms_to_cycles(10),
             trace: TraceConfig::default(),
             kprof: false,
+            kspan: false,
             fast_mem: true,
             kfault: None,
             label: "Interrupt NP",
@@ -230,6 +238,12 @@ impl Config {
     /// Enable the `kprof` cycle-attribution profiler.
     pub fn with_kprof(mut self) -> Self {
         self.kprof = true;
+        self
+    }
+
+    /// Enable the `kspan` causal request-tracing layer.
+    pub fn with_kspan(mut self) -> Self {
+        self.kspan = true;
         self
     }
 
@@ -326,6 +340,19 @@ mod tests {
         }
         let c = Config::process_np().with_kprof();
         assert!(c.kprof);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn kspan_knob_defaults_off() {
+        for c in Config::all_five() {
+            assert!(!c.kspan, "{}", c.label);
+        }
+        let c = Config::process_np().with_kspan();
+        assert!(c.kspan);
+        c.validate().unwrap();
+        let c = Config::interrupt_pp().with_kprof().with_kspan();
+        assert!(c.kprof && c.kspan);
         c.validate().unwrap();
     }
 

@@ -761,7 +761,10 @@ impl Kernel {
             )
         };
         // Pull the target out of whatever it is doing. Its old state is
-        // discarded wholesale — the frame is the complete new truth.
+        // discarded wholesale — the frame is the complete new truth. Any
+        // open request the target carried ends here: the installed frame
+        // starts a fresh one at its next kernel entry.
+        self.kspan.on_abort(tid);
         self.unlink_waiter(tid);
         {
             let th = self

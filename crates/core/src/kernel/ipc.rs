@@ -778,7 +778,10 @@ impl Kernel {
             PumpOut::Complete => {
                 // Complete the receiver.
                 match receiver {
-                    XferEnd::User(rt) => self.complete_blocked(rt, ErrorCode::Success),
+                    XferEnd::User(rt) => {
+                        self.kspan_stitch(t, rt);
+                        self.complete_blocked(rt, ErrorCode::Success)
+                    }
                     XferEnd::KernelSink(c) => self.complete_fault(c),
                     XferEnd::KernelSrc(_) => unreachable!(),
                 }
@@ -885,6 +888,11 @@ impl Kernel {
                 // Transition Blocked(IpcSend) → Blocked(IpcReceive): the
                 // sender is now awaiting the reply; its registers fully
                 // describe that wait.
+                if self.kspan.enabled {
+                    let now = self.cur_cpu().cpu.now;
+                    self.kspan
+                        .on_block(sender, WaitReason::IpcReceive(conn), now);
+                }
                 let th = self.threads.get_mut(sender.0).expect("sender");
                 let window = th.regs.pr[PR_RECV_WINDOW];
                 th.regs.set(ARG_COUNT, window);
@@ -900,6 +908,11 @@ impl Kernel {
                 th.inflight = Sys::from_u32(th.regs.get(Reg::Eax));
             }
             AfterSend::WaitNext => {
+                if self.kspan.enabled {
+                    let now = self.cur_cpu().cpu.now;
+                    self.kspan
+                        .on_block(sender, WaitReason::IpcReceive(conn), now);
+                }
                 let th = self.threads.get_mut(sender.0).expect("sender");
                 let window = th.regs.pr[PR_RECV_WINDOW];
                 th.regs.set(ARG_COUNT, window);
@@ -999,7 +1012,10 @@ impl Kernel {
         match out {
             PumpOut::Complete => {
                 match sender {
-                    XferEnd::User(st) => self.blocked_sender_transition(st, conn),
+                    XferEnd::User(st) => {
+                        self.kspan_stitch(st, t);
+                        self.blocked_sender_transition(st, conn)
+                    }
                     XferEnd::KernelSrc(_) => {}
                     XferEnd::KernelSink(_) => unreachable!(),
                 }
@@ -1174,6 +1190,7 @@ impl Kernel {
         match out {
             PumpOut::Complete => {
                 self.stats.ipc_messages += 1;
+                self.kspan_stitch(t, rt);
                 self.complete_blocked(rt, ErrorCode::Success);
                 Ok(SysOutcome::Done(ErrorCode::Success))
             }
@@ -1264,6 +1281,7 @@ impl Kernel {
         match out {
             PumpOut::Complete => {
                 self.stats.ipc_messages += 1;
+                self.kspan_stitch(st, t);
                 self.complete_blocked(st, ErrorCode::Success);
                 Ok(SysOutcome::Done(ErrorCode::Success))
             }

@@ -40,6 +40,7 @@ use crate::events::{EventKind, EventQueue};
 use crate::ids::{Arena, SpaceId, ThreadId};
 use crate::kfault::Kfault;
 use crate::kprof::Kprof;
+use crate::kspan::Kspan;
 use crate::kstat::Stats;
 use crate::object::ObjectTable;
 use crate::phys::PhysMem;
@@ -146,6 +147,9 @@ pub struct Kernel {
     pub trace: Tracer,
     /// The `kprof` cycle-attribution profiler (inert unless `cfg.kprof`).
     pub kprof: Kprof,
+    /// The `kspan` causal request-tracing layer (inert unless
+    /// `cfg.kspan`).
+    pub kspan: Kspan,
     /// The `kfault` adversarial fault-injection engine (armed by
     /// `cfg.kfault`; `None` — and zero-cost — otherwise).
     pub(crate) kfault: Option<Kfault>,
@@ -172,6 +176,7 @@ impl Kernel {
         cfg.validate().expect("invalid kernel configuration");
         let trace = Tracer::new(cfg.trace.enabled, cfg.trace.ring_capacity, cfg.num_cpus);
         let cfg_kprof = cfg.kprof;
+        let cfg_kspan = cfg.kspan;
         let cfg_kfault = cfg.kfault;
         let timeslice = cfg.timeslice;
         let cpus = (0..cfg.num_cpus)
@@ -200,7 +205,16 @@ impl Kernel {
             events: EventQueue::new(),
             stats: Stats::default(),
             trace,
-            kprof: Kprof::new(cfg_kprof),
+            kprof: {
+                let mut kprof = Kprof::new(cfg_kprof);
+                if cfg_kspan {
+                    // kspan labels per-request charges by phase path even
+                    // when full kprof attribution is off.
+                    kprof.enable_path_tracking();
+                }
+                kprof
+            },
+            kspan: Kspan::new(cfg_kspan),
             kfault: cfg_kfault.map(Kfault::new),
             dispatch_rollback: None,
             rollback_active: false,
@@ -293,6 +307,10 @@ impl Kernel {
                 self.stats.klock_cycles += wait;
                 self.stats.kernel_cycles += wait;
                 self.kprof.attr_lock(wait);
+                if self.kspan.enabled {
+                    let cur = self.cur_cpu().current;
+                    self.kspan.on_lock_wait(cur, wait);
+                }
                 self.cur_cpu_mut().cpu.now += wait;
             }
         }
@@ -822,6 +840,12 @@ impl Kernel {
         self.stats.kernel_cycles += c;
         self.kprof
             .attr_kernel(c - lock_extra, self.rollback_active, lock_extra);
+        if self.kspan.enabled {
+            if let Some(t) = self.cur_cpu().current {
+                let path = self.kprof.current_code(self.rollback_active);
+                self.kspan.on_charge(t, path, c - lock_extra, lock_extra);
+            }
+        }
         if self.rollback_active {
             self.stats.rollback_cycles += c;
             if self.trace.enabled {
@@ -927,6 +951,7 @@ impl Kernel {
             }
             return;
         }
+        self.kspan.on_runnable(t, at);
         let th = self.threads.get_mut(t.0).expect("checked above");
         th.state = RunState::Ready;
         let prio = th.priority;
@@ -941,6 +966,7 @@ impl Kernel {
             return;
         };
         debug_assert!(th.is_blocked(), "unblock of non-blocked {t}");
+        self.kspan.on_runnable(t, now);
         th.state = RunState::Ready;
         th.woken_at = now;
         let prio = th.priority;
@@ -982,6 +1008,10 @@ impl Kernel {
     /// brought its registers to a clean restart point and enqueued it on
     /// the appropriate wait queue.
     pub(crate) fn block_current(&mut self, t: ThreadId, reason: WaitReason) -> SysOutcome {
+        if self.kspan.enabled {
+            let now = self.cur_cpu().cpu.now;
+            self.kspan.on_block(t, reason, now);
+        }
         let th = self.threads.get_mut(t.0).expect("current thread");
         th.state = RunState::Blocked(reason);
         th.inflight = Sys::from_u32(th.regs.get(fluke_arch::Reg::Eax));
@@ -1000,6 +1030,10 @@ impl Kernel {
     /// the next dispatch skips the re-entry preamble; under the interrupt
     /// model it restarts from its register continuation.
     pub(crate) fn preempt_current_in_kernel(&mut self, t: ThreadId) -> SysOutcome {
+        if self.kspan.enabled {
+            let now = self.cur_cpu().cpu.now;
+            self.kspan.on_runnable(t, now);
+        }
         let retain = self.cfg.model == ExecModel::Process;
         let th = self.threads.get_mut(t.0).expect("current thread");
         th.state = RunState::Ready;
@@ -1021,6 +1055,12 @@ impl Kernel {
     /// kernel finishes the suspended computation by mutating its explicit
     /// state without ever switching to it.
     pub(crate) fn complete_blocked(&mut self, t: ThreadId, code: ErrorCode) {
+        if self.kspan.enabled {
+            // Close the span before the wake below: the request ends
+            // here, not at the thread's next dispatch.
+            let now = self.cur_cpu().cpu.now;
+            self.kspan.on_close(t, now);
+        }
         let Some(th) = self.threads.get_mut(t.0) else {
             return;
         };
@@ -1120,6 +1160,7 @@ impl Kernel {
         if th.is_halted() {
             return;
         }
+        self.kspan.on_abort(t);
         if th.is_blocked() {
             self.unlink_waiter(t);
         }
@@ -1177,5 +1218,17 @@ impl Kernel {
     /// Destroy a thread for a fatal error.
     pub(crate) fn kill_thread(&mut self, t: ThreadId, _reason: &'static str) {
         self.halt_thread(t);
+    }
+
+    /// Record a `kspan` causal flow edge for a completed IPC message
+    /// transfer from `from`'s span to `to`'s (adopting the receiver into
+    /// the sender's request where the stitch rule allows). A single
+    /// predictable branch when `kspan` is off.
+    #[inline]
+    pub(crate) fn kspan_stitch(&mut self, from: ThreadId, to: ThreadId) {
+        if self.kspan.enabled {
+            let now = self.cur_cpu().cpu.now;
+            self.kspan.stitch(from, to, now);
+        }
     }
 }

@@ -133,6 +133,10 @@ impl Kernel {
         self.cur_cpu_mut().resched = false;
         match top {
             Some(p) if p >= cur_prio => {
+                if self.kspan.enabled {
+                    let now = self.cur_cpu().cpu.now;
+                    self.kspan.on_runnable(cur, now);
+                }
                 let th = self.threads.get_mut(cur.0).expect("current");
                 th.state = RunState::Ready;
                 self.ready.push(cur, cur_prio);
@@ -174,6 +178,12 @@ impl Kernel {
         // (serviced inside `charge`) must set a fresh pending reschedule,
         // not be wiped by it.
         self.cur_cpu_mut().resched = false;
+        if self.kspan.enabled {
+            // On-CPU starts here so the context-switch charge lands in the
+            // dispatched request's on-CPU bucket, mirroring kprof.
+            let now = self.cur_cpu().cpu.now;
+            self.kspan.on_run(t, now);
+        }
         self.kprof.enter(Phase::Sched);
         self.charge(cost);
         self.kprof.exit();
@@ -256,6 +266,7 @@ impl Kernel {
             th.user_cycles += used;
             self.stats.user_cycles += used;
             self.kprof.attr_user(used);
+            self.kspan.on_user(cur, used);
             match out {
                 StepOutcome::Trapped(t) => Some(t),
                 StepOutcome::DeadlineReached => None,
@@ -349,6 +360,14 @@ impl Kernel {
             self.stats.restarts += 1;
             self.rollback_active = true;
             self.dispatch_rollback = self.threads.get(cur.0).and_then(|t| t.open_fault);
+        }
+        if self.kspan.enabled {
+            // A restarted entrypoint continues the open request; `on_enter`
+            // only opens a span when none is active for the thread.
+            let now = self.cur_cpu().cpu.now;
+            let sys = self.threads.get(cur.0).expect("current").regs.get(Reg::Eax);
+            let class = Sys::from_u32(sys).map(|s| s.name()).unwrap_or("invalid");
+            self.kspan.on_enter(cur, class, now);
         }
         if self.trace.enabled {
             let sys = self.threads.get(cur.0).expect("current").regs.get(Reg::Eax);
@@ -464,6 +483,12 @@ impl Kernel {
         self.kprof.enter(Phase::Exit);
         self.charge(self.cost.exit_cost(interrupt_model));
         self.kprof.exit();
+        if self.kspan.enabled {
+            // The request ends after the exit-path charge so those cycles
+            // are attributed to it (matching kprof's phase accounting).
+            let now = self.cur_cpu().cpu.now;
+            self.kspan.on_close(cur, now);
+        }
         // Latched reschedules take effect on the way out; the main loop
         // performs the actual switch at the next iteration.
     }

@@ -298,6 +298,9 @@ impl Kernel {
         self.cur_cpu_mut().current = None;
         self.ready.push(victim, frame.priority);
         let now = self.now();
+        // The victim keeps its open span across the round-trip (the frame
+        // is the same request's continuation); it just waits to run again.
+        self.kspan.on_runnable(victim, now);
         self.kick_parked(now);
         self.stats.faults_injected[KfaultKind::ExtractRestore.index()] += 1;
         self.ktrace(TraceEvent::FaultInjected {

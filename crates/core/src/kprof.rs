@@ -105,7 +105,7 @@ fn unpack(code: u32) -> Vec<Phase> {
 
 /// Render a packed path as a collapsed-stack frame string
 /// (`kernel;dispatch;ipc_copy`).
-fn path_name(code: u32) -> String {
+pub fn path_name(code: u32) -> String {
     let mut s = String::from("kernel");
     for p in unpack(code) {
         s.push(';');
@@ -120,6 +120,9 @@ fn path_name(code: u32) -> String {
 pub struct Kprof {
     /// Whether attribution is active (set from `Config::kprof`).
     pub enabled: bool,
+    /// Maintain the phase stack even when attribution is off, so `kspan`
+    /// can label per-request charges by phase path without full `kprof`.
+    track_paths: bool,
     /// Current phase-stack depth.
     depth: u32,
     /// Packed current path (4 bits per level; 0 = kernel root).
@@ -147,10 +150,28 @@ impl Kprof {
         }
     }
 
+    /// Keep the phase stack maintained even with attribution disabled
+    /// (host-side only; simulated quantities are untouched either way).
+    pub(crate) fn enable_path_tracking(&mut self) {
+        self.track_paths = true;
+    }
+
+    /// The packed code of the current phase path, with the `Restart`
+    /// leaf appended while rollback re-execution is active — exactly the
+    /// path [`Kprof::attr_kernel`] would charge.
+    #[inline]
+    pub(crate) fn current_code(&self, rollback: bool) -> u32 {
+        if rollback {
+            self.code | (Phase::Restart as u32) << (4 * self.depth)
+        } else {
+            self.code
+        }
+    }
+
     /// Push a phase onto the attribution stack.
     #[inline]
     pub(crate) fn enter(&mut self, p: Phase) {
-        if !self.enabled {
+        if !(self.enabled || self.track_paths) {
             return;
         }
         debug_assert!(self.depth < MAX_DEPTH, "kprof phase stack overflow");
@@ -161,7 +182,7 @@ impl Kprof {
     /// Pop the current phase.
     #[inline]
     pub(crate) fn exit(&mut self) {
-        if !self.enabled {
+        if !(self.enabled || self.track_paths) {
             return;
         }
         debug_assert!(self.depth > 0, "kprof phase stack underflow");

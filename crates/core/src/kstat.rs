@@ -536,6 +536,44 @@ impl Kernel {
             self.kprof.preempt_latency().clone(),
         );
 
+        if self.kspan.enabled {
+            r.counter("kernel.kspan.requests", self.kspan.completed().len() as u64);
+            r.counter("kernel.kspan.aborted", self.kspan.aborted());
+            r.counter("kernel.kspan.flows", self.kspan.flows().len() as u64);
+            r.hist(
+                "kernel.kspan.e2e_cycles",
+                self.kspan.e2e_histogram().clone(),
+            );
+            // The big-lock pseudo-object is always present (zero if never
+            // contended) so the inventory has a deterministic family row.
+            let mut seen_klock = false;
+            for (obj, c) in self.kspan.contention() {
+                seen_klock |= obj == "klock";
+                r.family_counter(
+                    format!("kernel.contention.{obj}.wait_cycles"),
+                    "kernel.contention.<object>.wait_cycles",
+                    c.wait_cycles,
+                );
+                r.family_counter(
+                    format!("kernel.contention.{obj}.waits"),
+                    "kernel.contention.<object>.waits",
+                    c.waits,
+                );
+            }
+            if !seen_klock {
+                r.family_counter(
+                    "kernel.contention.klock.wait_cycles".to_string(),
+                    "kernel.contention.<object>.wait_cycles",
+                    0,
+                );
+                r.family_counter(
+                    "kernel.contention.klock.waits".to_string(),
+                    "kernel.contention.<object>.waits",
+                    0,
+                );
+            }
+        }
+
         r
     }
 }

@@ -33,6 +33,7 @@ pub mod ids;
 pub mod kernel;
 pub mod kfault;
 pub mod kprof;
+pub mod kspan;
 pub mod kstat;
 pub mod object;
 pub mod phys;
@@ -47,6 +48,7 @@ pub use ids::{ConnId, ObjId, SpaceId, ThreadId};
 pub use kernel::{block_audit_hits, Kernel, MemAccessError, RunExit};
 pub use kfault::{Kfault, KfaultConfig, KfaultKind};
 pub use kprof::{Kprof, Phase};
+pub use kspan::{FlowEdge, Kspan, ObjectContention, RequestRecord, USER_FRAME};
 pub use kstat::{
     FaultKind, FaultRecord, FaultSide, KstatEntry, KstatRegistry, KstatValue, MemGauges,
     PerSysCounts, Stats,

@@ -57,6 +57,60 @@ pub enum WaitReason {
     Donate(ThreadId),
 }
 
+/// Critical-path class of a wait: which `kspan` decomposition bucket
+/// cycles spent blocked for a [`WaitReason`] belong to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitClass {
+    /// Lock wait: mutex and condition-variable queues.
+    Lock,
+    /// Blocked on IPC: connections, ports, portsets, pager replies.
+    Ipc,
+    /// CPU donated away (`sched_donate`) — runnable-wait, not blocking.
+    CpuDonate,
+    /// Other blocking: sleep, join, space-idle.
+    Other,
+}
+
+impl WaitReason {
+    /// The `kspan` critical-path bucket for cycles spent in this wait.
+    pub fn wait_class(self) -> WaitClass {
+        match self {
+            WaitReason::Mutex(_) | WaitReason::Cond(_) => WaitClass::Lock,
+            WaitReason::PortWait(_)
+            | WaitReason::PsetWait(_)
+            | WaitReason::IpcConnect(_)
+            | WaitReason::IpcSend(_)
+            | WaitReason::IpcReceive(_)
+            | WaitReason::OnewaySend(_)
+            | WaitReason::OnewayReceive(_)
+            | WaitReason::PagerReply(_) => WaitClass::Ipc,
+            WaitReason::Donate(_) => WaitClass::CpuDonate,
+            WaitReason::Join(_) | WaitReason::Sleep | WaitReason::SpaceIdle(_) => WaitClass::Other,
+        }
+    }
+
+    /// The specific object this wait contends on, as a stable
+    /// `(kind, index)` pair for `kernel.contention.*` attribution
+    /// (`None` for plain sleeps, which wait on nothing).
+    pub fn contended_object(self) -> Option<(&'static str, u32)> {
+        match self {
+            WaitReason::Mutex(o) => Some(("mutex", o.0)),
+            WaitReason::Cond(o) => Some(("cond", o.0)),
+            WaitReason::PortWait(o)
+            | WaitReason::OnewaySend(o)
+            | WaitReason::OnewayReceive(o)
+            | WaitReason::IpcConnect(o) => Some(("port", o.0)),
+            WaitReason::PsetWait(o) => Some(("pset", o.0)),
+            WaitReason::IpcSend(c) | WaitReason::IpcReceive(c) | WaitReason::PagerReply(c) => {
+                Some(("conn", c.0))
+            }
+            WaitReason::Join(t) | WaitReason::Donate(t) => Some(("thread", t.0)),
+            WaitReason::SpaceIdle(s) => Some(("space", s.0)),
+            WaitReason::Sleep => None,
+        }
+    }
+}
+
 /// A thread's run state.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RunState {

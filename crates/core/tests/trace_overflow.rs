@@ -1,0 +1,57 @@
+//! Drop accounting regression test: overflowing a deliberately tiny
+//! trace ring must be *visible* — `Tracer::dropped_total` counts every
+//! evicted record and the `kernel.trace.dropped` kstat reports the same
+//! number. Losing records silently would invalidate every digest-based
+//! oracle built on the trace.
+
+use fluke_api::Sys;
+use fluke_arch::Assembler;
+use fluke_core::{Config, Kernel};
+use fluke_user::proc::{run_to_halt, ChildProc};
+use fluke_user::FlukeAsm;
+
+#[test]
+fn overflowing_a_tiny_ring_is_counted_in_kstat() {
+    // An 8-record ring against a workload that emits hundreds of events.
+    let mut k = Kernel::new(Config::process_np().with_tracing(8));
+    let mut p = ChildProc::new(&mut k);
+    let _ = p.alloc_obj();
+    let mut a = Assembler::new("chatty");
+    for _ in 0..100 {
+        a.sys(Sys::SysNull);
+    }
+    a.halt();
+    let t = p.start(&mut k, a.finish(), 8);
+    assert!(run_to_halt(&mut k, &[t], 1_000_000_000));
+
+    let dropped = k.trace.dropped_total();
+    assert!(
+        dropped > 100,
+        "100 syscalls through an 8-slot ring dropped only {dropped} records"
+    );
+    // Held + dropped add up: nothing vanished unaccounted.
+    let ring = k.trace.ring(0).expect("cpu 0 ring");
+    assert_eq!(ring.total_recorded(), ring.len() as u64 + ring.dropped);
+    // The kstat registry surfaces the same counter.
+    assert_eq!(
+        k.kstat().scalar("kernel.trace.dropped"),
+        Some(dropped),
+        "kernel.trace.dropped must mirror the tracer's drop count"
+    );
+}
+
+#[test]
+fn ample_ring_drops_nothing() {
+    let mut k = Kernel::new(Config::process_np().with_tracing(1 << 14));
+    let mut p = ChildProc::new(&mut k);
+    let _ = p.alloc_obj();
+    let mut a = Assembler::new("quiet");
+    for _ in 0..100 {
+        a.sys(Sys::SysNull);
+    }
+    a.halt();
+    let t = p.start(&mut k, a.finish(), 8);
+    assert!(run_to_halt(&mut k, &[t], 1_000_000_000));
+    assert_eq!(k.trace.dropped_total(), 0);
+    assert_eq!(k.kstat().scalar("kernel.trace.dropped"), Some(0));
+}

@@ -71,8 +71,7 @@ fn main() {
     // Destination machine: *interrupt-model* kernel.
     let mut dst = Kernel::new(Config::interrupt_pp());
     let (dagent, dchild, dhandle) = make_world(&mut dst);
-    migrate_space(&src, &mut dst, &dagent, image, dhandle, MGR_MEM)
-        .expect("migrate window mapped");
+    migrate_space(&src, &mut dst, &dagent, image, dhandle, MGR_MEM).expect("migrate window mapped");
     let dst_label = dst.cfg.label;
     let resumed_at = dst.read_mem_u32(dchild, COUNTER);
     println!("destination ({dst_label}): resumed at {resumed_at}");
