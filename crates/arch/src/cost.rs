@@ -86,6 +86,20 @@ pub struct CostModel {
     pub klock_acquire: Cycles,
     /// Release cost of a blocking kernel mutex.
     pub klock_release: Cycles,
+    /// Uncontended acquire cost of one fine-grained multiprocessor
+    /// object-class lock (an atomic read-modify-write on a shared line).
+    /// Charged only when `num_cpus > 1`; contention waits are charged
+    /// separately by the simulated lock table.
+    pub mp_lock_acquire: Cycles,
+    /// Release cost of a fine-grained multiprocessor lock (a store plus
+    /// fence).
+    pub mp_lock_release: Cycles,
+    /// Cost on the initiating CPU of sending one cross-CPU TLB-shootdown
+    /// IPI (per remote processor with the mutated space loaded).
+    pub tlb_shootdown_ipi: Cycles,
+    /// Cost on each remote CPU of taking the shootdown IPI and
+    /// invalidating its TLB.
+    pub tlb_shootdown_ack: Cycles,
     /// Cost of the scheduler core: pick next thread, dequeue, dispatch.
     pub schedule_op: Cycles,
     /// Kernel work to resolve a *soft* page fault: walk the memory mapping
@@ -140,6 +154,10 @@ impl CostModel {
             ipc_setup: 400,
             klock_acquire: 25,
             klock_release: 15,
+            mp_lock_acquire: 20,
+            mp_lock_release: 10,
+            tlb_shootdown_ipi: 400,
+            tlb_shootdown_ack: 200,
             schedule_op: 120,
             soft_fault_resolve: 3_780,
             server_fault_extra: 2_100,

@@ -1,64 +1,78 @@
-//! Multiprocessor scaling: compute-bound and syscall-bound workloads on
-//! 1, 2, 4 and 8 simulated processors (beyond the paper's uniprocessor
-//! measurements; the abstract's MP claim made measurable).
-use fluke_arch::{Assembler, Cond, Reg, UserRegs};
-use fluke_bench::TextTable;
-use fluke_core::{Config, Kernel};
-use fluke_user::proc::{run_to_halt, ChildProc};
-use fluke_user::FlukeAsm;
+//! The MP scaling headline: IPC-echo and flukeperf throughput on 1–64
+//! simulated processors, fine-grained locking vs the legacy big kernel
+//! lock, written to `BENCH_mp_scaling.json`.
+//!
+//! Usage: `mp_scaling [--quick] [--check] [output.json]`
+//!
+//! * Default: run the sweep at both paper and quick scale and write the
+//!   combined artifact (the committed baseline carries both, so the CI
+//!   quick smoke can gate against a same-scale reference).
+//! * `--quick` restricts the sweep to the quick scale.
+//! * `--check` gates against the *committed* `BENCH_mp_scaling.json`
+//!   instead of writing: fails if the fresh 16-CPU fine-grained ipc-echo
+//!   throughput fell more than 10% below the same-scale baseline, or if
+//!   fine-grained locking no longer beats the big lock on lock-wait
+//!   share.
 
-fn run_mix(cpus: usize, syscall_heavy: bool) -> (u64, u64) {
-    let mut k = Kernel::new(Config::process_np().with_cpus(cpus));
-    let p = ChildProc::new(&mut k);
-    let mut a = Assembler::new("worker");
-    a.movi(Reg::Ecx, 3_000);
-    a.label("top");
-    if syscall_heavy {
-        a.sys(fluke_api::Sys::SysNull);
-        a.compute(200);
-    } else {
-        a.compute(2_000);
-    }
-    a.subi(Reg::Ecx, 1);
-    a.cmpi(Reg::Ecx, 0);
-    a.jcc(Cond::Ne, "top");
-    a.halt();
-    let prog = k.register_program(a.finish());
-    let ts: Vec<_> = (0..8)
-        .map(|_| k.spawn_thread(p.space, prog, UserRegs::new(), 8))
-        .collect();
-    assert!(run_to_halt(&mut k, &ts, 200_000_000_000));
-    (k.now(), k.stats.klock_cycles)
-}
+use fluke_bench::{mp_scaling, Scale};
+use fluke_json::Json;
 
 fn main() {
-    let mut t = TextTable::new(&[
-        "CPUs",
-        "compute-bound (ms)",
-        "speedup",
-        "syscall-bound (ms)",
-        "speedup",
-        "lock wait (ms)",
-    ]);
-    let (c1, _) = run_mix(1, false);
-    let (s1, _) = run_mix(1, true);
-    for cpus in [1usize, 2, 4, 8] {
-        let (c, _) = run_mix(cpus, false);
-        let (s, lw) = run_mix(cpus, true);
-        t.row(&[
-            cpus.to_string(),
-            format!("{:.1}", c as f64 / 200_000.0),
-            format!("{:.2}x", c1 as f64 / c as f64),
-            format!("{:.1}", s as f64 / 200_000.0),
-            format!("{:.2}x", s1 as f64 / s as f64),
-            format!("{:.1}", lw as f64 / 200_000.0),
-        ]);
+    let mut quick_only = false;
+    let mut check = false;
+    let mut out = "BENCH_mp_scaling.json".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick_only = true,
+            "--check" => check = true,
+            other => out = other.to_string(),
+        }
     }
-    println!(
-        "Multiprocessor scaling, 8 worker threads (big-kernel-lock MP kernel):\n\
-         compute scales nearly linearly; syscall-heavy work serializes on\n\
-         the kernel lock — the reason Table 4's NP/PP rows are uniprocessor\n\
-         designs.\n"
+    let scales: &[Scale] = if quick_only {
+        &[Scale::Quick]
+    } else {
+        &[Scale::Paper, Scale::Quick]
+    };
+
+    let mut runs = Vec::new();
+    for &scale in scales {
+        let rows = mp_scaling::run_mp_scaling(scale);
+        println!(
+            "MP scaling ({:?}): throughput vs processors, fine-grained vs big kernel lock",
+            scale
+        );
+        println!("{}", mp_scaling::table(&rows).render());
+        runs.push((scale, rows));
+    }
+
+    if check {
+        let baseline = std::fs::read_to_string("BENCH_mp_scaling.json")
+            .expect("--check needs the committed BENCH_mp_scaling.json");
+        let baseline = Json::parse(&baseline).expect("committed baseline parses");
+        for (scale, rows) in &runs {
+            match mp_scaling::check(&baseline, *scale, rows) {
+                Ok(()) => {
+                    println!("check ({scale:?}): OK (throughput held, lock-wait share dropped)")
+                }
+                Err(e) => {
+                    eprintln!("check ({scale:?}): FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
+    let mut doc = Json::obj();
+    doc.set("bench", Json::Str("mp_scaling".to_string()));
+    doc.set(
+        "runs",
+        Json::Arr(
+            runs.iter()
+                .map(|(scale, rows)| mp_scaling::to_json(*scale, rows))
+                .collect(),
+        ),
     );
-    println!("{t}");
+    std::fs::write(&out, format!("{doc}\n")).expect("write benchmark report");
+    println!("wrote {out}");
 }

@@ -9,6 +9,7 @@
 pub mod ablation;
 pub mod kfault_sweep;
 pub mod memfast;
+pub mod mp_scaling;
 pub mod observability;
 pub mod report;
 pub mod table1;

@@ -10,6 +10,60 @@ use fluke_arch::cost::{ms_to_cycles, Cycles};
 
 use crate::kfault::KfaultConfig;
 
+/// Largest supported simulated-CPU count. The conservative discrete-event
+/// scheduler is O(`num_cpus`) per action, so the cap is a cost guard, not
+/// a correctness limit; 64 covers the MP-scaling headline experiment.
+pub const MAX_CPUS: usize = 64;
+
+/// A structured configuration-validation failure ([`Config::validate`]).
+///
+/// Carried as data (not a panic) so embedders — benches sweeping CPU
+/// counts, config fuzzers — can reject bad configurations gracefully.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// Full kernel preemption relies on preempted threads retaining
+    /// kernel stacks, which the interrupt model does not have (§5.2).
+    InterruptModelWithFullPreemption,
+    /// `num_cpus == 0`.
+    NoCpus,
+    /// `num_cpus` above [`MAX_CPUS`].
+    TooManyCpus {
+        /// The requested CPU count.
+        requested: usize,
+        /// The supported maximum ([`MAX_CPUS`]).
+        max: usize,
+    },
+    /// Process model with `kstack_bytes == 0`.
+    ProcessModelWithoutKstack,
+    /// Tracing enabled with a zero-capacity ring.
+    ZeroCapacityTraceRing,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::InterruptModelWithFullPreemption => {
+                write!(
+                    f,
+                    "full kernel preemption is incompatible with the interrupt model"
+                )
+            }
+            ConfigError::NoCpus => write!(f, "at least one CPU required"),
+            ConfigError::TooManyCpus { requested, max } => {
+                write!(f, "{requested} CPUs requested; at most {max} supported")
+            }
+            ConfigError::ProcessModelWithoutKstack => {
+                write!(f, "process model requires a per-thread kernel stack")
+            }
+            ConfigError::ZeroCapacityTraceRing => {
+                write!(f, "tracing enabled with a zero-capacity ring")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
 /// The kernel's internal execution model (paper §3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecModel {
@@ -111,6 +165,14 @@ pub struct Config {
     /// engine armed in count-only mode changes no simulated quantity
     /// either (the golden-digest proof obligation).
     pub kfault: Option<KfaultConfig>,
+    /// Serialize every kernel entry on the legacy big kernel lock and use
+    /// one global ready queue. Off by default: multiprocessor kernels use
+    /// the fine-grained per-object-class lock model with per-CPU run
+    /// queues and deterministic work stealing. Kept (like
+    /// `fast_mem(false)`) as a differential oracle and the baseline the
+    /// MP-scaling experiment is measured against. Uniprocessor behavior
+    /// is bit-identical either way.
+    pub big_lock: bool,
     /// A short human-readable label ("Process NP" etc.).
     pub label: &'static str,
 }
@@ -131,6 +193,7 @@ impl Config {
             kspan: false,
             fast_mem: true,
             kfault: None,
+            big_lock: false,
             label: "Process NP",
         }
     }
@@ -167,6 +230,7 @@ impl Config {
             kspan: false,
             fast_mem: true,
             kfault: None,
+            big_lock: false,
             label: "Interrupt NP",
         }
     }
@@ -193,22 +257,26 @@ impl Config {
 
     /// Validate the configuration. Full preemption fundamentally relies on
     /// preempted threads retaining kernel stacks, so it is incompatible
-    /// with the interrupt model (paper §5.2).
-    pub fn validate(&self) -> Result<(), &'static str> {
+    /// with the interrupt model (paper §5.2). Out-of-range values come
+    /// back as structured [`ConfigError`]s, never panics.
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.model.is_interrupt() && self.preempt == Preemption::Full {
-            return Err("full kernel preemption is incompatible with the interrupt model");
+            return Err(ConfigError::InterruptModelWithFullPreemption);
         }
         if self.num_cpus == 0 {
-            return Err("at least one CPU required");
+            return Err(ConfigError::NoCpus);
         }
-        if self.num_cpus > 16 {
-            return Err("at most 16 simulated CPUs");
+        if self.num_cpus > MAX_CPUS {
+            return Err(ConfigError::TooManyCpus {
+                requested: self.num_cpus,
+                max: MAX_CPUS,
+            });
         }
         if self.model == ExecModel::Process && self.kstack_bytes == 0 {
-            return Err("process model requires a per-thread kernel stack");
+            return Err(ConfigError::ProcessModelWithoutKstack);
         }
         if self.trace.enabled && self.trace.ring_capacity == 0 {
-            return Err("tracing enabled with a zero-capacity ring");
+            return Err(ConfigError::ZeroCapacityTraceRing);
         }
         Ok(())
     }
@@ -262,9 +330,19 @@ impl Config {
         self
     }
 
-    /// Run on `n` simulated processors. Multiprocessor kernels serialize
-    /// kernel entry on a big kernel lock (the NP/PP rows of Table 4 need
-    /// no locking only on a uniprocessor).
+    /// Select the legacy big-kernel-lock execution (see
+    /// [`Config::big_lock`]): every kernel entry serializes on one lock
+    /// and all CPUs share one global ready queue.
+    pub fn with_big_lock(mut self, big: bool) -> Self {
+        self.big_lock = big;
+        self
+    }
+
+    /// Run on `n` simulated processors (up to [`MAX_CPUS`]).
+    /// Multiprocessor kernels default to fine-grained per-object-class
+    /// locking with per-CPU run queues; `with_big_lock(true)` restores
+    /// the serialized legacy behavior (the NP/PP rows of Table 4 need no
+    /// locking only on a uniprocessor).
     pub fn with_cpus(mut self, n: usize) -> Self {
         self.num_cpus = n;
         self.label = match (self.label, n > 1) {
@@ -306,7 +384,38 @@ mod tests {
     fn zero_cpus_rejected() {
         let mut c = Config::process_np();
         c.num_cpus = 0;
-        assert!(c.validate().is_err());
+        assert_eq!(c.validate(), Err(ConfigError::NoCpus));
+    }
+
+    #[test]
+    fn cpu_cap_is_sixty_four_with_structured_error() {
+        // Regression: the cap used to be a silent 16; it is now MAX_CPUS
+        // (64) and overruns come back as structured data, not a panic.
+        assert_eq!(MAX_CPUS, 64);
+        for n in [1, 2, 16, 17, 32, 64] {
+            Config::process_pp().with_cpus(n).validate().unwrap();
+            Config::interrupt_np().with_cpus(n).validate().unwrap();
+        }
+        let err = Config::process_np().with_cpus(65).validate();
+        assert_eq!(
+            err,
+            Err(ConfigError::TooManyCpus {
+                requested: 65,
+                max: 64
+            })
+        );
+        let msg = err.unwrap_err().to_string();
+        assert!(msg.contains("65") && msg.contains("64"), "{msg}");
+    }
+
+    #[test]
+    fn big_lock_knob_defaults_off() {
+        for c in Config::all_five() {
+            assert!(!c.big_lock, "{}", c.label);
+        }
+        let c = Config::process_pp().with_cpus(4).with_big_lock(true);
+        assert!(c.big_lock);
+        c.validate().unwrap();
     }
 
     #[test]

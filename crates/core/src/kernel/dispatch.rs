@@ -449,6 +449,7 @@ impl Kernel {
                     let first = base / abi::PAGE_SIZE;
                     let last = (base.saturating_add(size.saturating_sub(1))) / abi::PAGE_SIZE;
                     s.unmap_vpn_range(first, last);
+                    self.tlb_shootdown(space);
                 }
             }
             ObjData::Space(sid) => {
@@ -772,7 +773,7 @@ impl Kernel {
                 .get_mut(tid.0)
                 .ok_or(Self::fail(ErrorCode::InvalidHandle))?;
             if th.is_ready() {
-                self.ready.remove(tid);
+                self.sched_remove(tid);
             }
         }
         let old_conn = {
@@ -811,7 +812,7 @@ impl Kernel {
             self.clear_running_cpu(tid);
         }
         if runnable {
-            self.ready.push(tid, prio);
+            self.sched_push(tid, prio);
             let now = self.now();
             self.kick_parked(now);
         }
@@ -1071,8 +1072,8 @@ impl Kernel {
         if let Some(th) = self.threads.get(target.0) {
             if th.is_ready() {
                 let prio = th.priority;
-                self.ready.remove(target);
-                self.ready.push_front(target, prio);
+                self.sched_remove(target);
+                self.sched_push_front_here(target, prio);
                 self.cur_cpu_mut().resched = true;
             }
         }
@@ -1147,8 +1148,8 @@ impl Kernel {
             Some(th) if th.is_ready() => th.priority,
             _ => return Err(Self::fail(ErrorCode::WouldBlock)),
         };
-        self.ready.remove(target);
-        self.ready.push_front(target, prio);
+        self.sched_remove(target);
+        self.sched_push_front_here(target, prio);
         Ok(cx.block(self, WaitReason::Donate(target)))
     }
 
@@ -1268,6 +1269,11 @@ impl Kernel {
             }
         }
         self.charge(self.cost.object_op * touched.max(1) / 4);
+        if !writable && touched > 0 {
+            // A permission downgrade must be visible machine-wide: remote
+            // TLBs may cache the old writable PTEs.
+            self.tlb_shootdown(owner);
+        }
         Ok(SysOutcome::Done(ErrorCode::Success))
     }
 
@@ -1297,6 +1303,8 @@ impl Kernel {
         if let Some(s) = self.spaces.get_mut(space.0) {
             s.unmap_vpn_range(first, last);
         }
+        // The flushed PTEs may be cached by remote TLBs.
+        self.tlb_shootdown(space);
         Ok(SysOutcome::Done(ErrorCode::Success))
     }
 

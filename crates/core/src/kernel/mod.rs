@@ -27,14 +27,15 @@ mod sysctx;
 pub use sysctx::block_audit_hits;
 pub(crate) use sysctx::SysCtx;
 
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 use fluke_api::state::ThreadStateFrame;
-use fluke_api::{ErrorCode, Sys};
+use fluke_api::{ErrorCode, Family, Sys};
 use fluke_arch::cost::{CostModel, Cycles};
-use fluke_arch::{Cpu, Program, ProgramId, UserRegs};
+use fluke_arch::{Cpu, Program, ProgramId, Trap, UserRegs};
 
-use crate::config::{Config, ExecModel};
+use crate::config::{Config, ConfigError, ExecModel};
 use crate::conn::Connection;
 use crate::events::{EventKind, EventQueue};
 use crate::ids::{Arena, SpaceId, ThreadId};
@@ -44,7 +45,7 @@ use crate::kspan::Kspan;
 use crate::kstat::Stats;
 use crate::object::ObjectTable;
 use crate::phys::PhysMem;
-use crate::sched::ReadyQueue;
+use crate::sched::{PerCpuQueues, ReadyQueue};
 use crate::space::Space;
 use crate::thread::{NativeBody, RunState, Thread, WaitReason};
 use crate::trace::{TraceEvent, Tracer};
@@ -97,6 +98,46 @@ pub(crate) enum SysOutcome {
 /// Shorthand for handler bodies: `?` propagates faults/blocks as outcomes.
 pub(crate) type SysResult = Result<SysOutcome, SysOutcome>;
 
+/// One fine-grained kernel lock: an object class plus, for per-object
+/// classes, the object's identity. Two CPUs contend only when they hold
+/// the *same* key at overlapping simulated times — the whole point of
+/// shattering the big lock.
+///
+/// Lock state is a per-key "busy until" timestamp in [`Kernel`]'s lock
+/// table, the same mechanism as the retired big lock: host-side, every
+/// critical section executes atomically, and CPUs act in global
+/// simulated-time order, so a free-at stamp per key is an exact model of
+/// a spinlock per key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(crate) enum LockKey {
+    /// The scheduler core: thread lifecycle, priorities, donation.
+    Sched,
+    /// One CPU's ready queue (fine-grained scheduling + work stealing).
+    RunQueue(usize),
+    /// One space's handle table (object lookup, creation, destruction).
+    Handles(u32),
+    /// One space's mapping/page-table state.
+    Space(u32),
+    /// One IPC connection (protects both ends and the transfer pump).
+    Conn(u32),
+}
+
+impl LockKey {
+    /// Object-class label for `kspan` contention accounting
+    /// (`kernel.contention.<object>.*`). Run-queue waits are excluded —
+    /// they have their own first-class counters
+    /// (`kernel.contention.runq.*`).
+    fn class(self) -> &'static str {
+        match self {
+            LockKey::Sched => "sched",
+            LockKey::RunQueue(_) => "runq",
+            LockKey::Handles(_) => "handles",
+            LockKey::Space(_) => "space",
+            LockKey::Conn(_) => "ipc",
+        }
+    }
+}
+
 /// One simulated processor.
 #[derive(Debug)]
 pub(crate) struct CpuSlot {
@@ -129,16 +170,24 @@ pub struct Kernel {
     /// order).
     pub(crate) active: usize,
     /// Big kernel lock: the simulated time until which kernel code on some
-    /// processor keeps the kernel busy (multiprocessor configurations
-    /// serialize kernel entry on it).
+    /// processor keeps the kernel busy. Only consulted under the legacy
+    /// `cfg.big_lock` oracle mode; the default fine-grained kernel uses
+    /// the per-key `locks` table instead.
     pub(crate) kernel_free_at: Cycles,
+    /// Fine-grained lock table: per-[`LockKey`] "busy until" timestamps.
+    /// Absent keys are free. Only populated when `num_cpus > 1` and
+    /// `cfg.big_lock` is off.
+    pub(crate) locks: BTreeMap<LockKey, Cycles>,
     pub(crate) threads: Arena<Thread>,
     pub(crate) spaces: Arena<Space>,
     pub(crate) objects: ObjectTable,
     pub(crate) conns: Arena<Connection>,
     pub(crate) programs: Vec<Arc<Program>>,
     pub(crate) phys: PhysMem,
+    /// Legacy global ready queue (used only under `cfg.big_lock`).
     pub(crate) ready: ReadyQueue,
+    /// Per-CPU ready queues (the default fine-grained scheduler).
+    pub(crate) runqs: PerCpuQueues,
     pub(crate) events: EventQueue,
     /// Run statistics (every table is derived from these).
     pub stats: Stats,
@@ -173,7 +222,13 @@ impl Kernel {
     /// Panics if the configuration is invalid (e.g. interrupt model with
     /// full preemption) — a build error in the original system.
     pub fn new(cfg: Config) -> Self {
-        cfg.validate().expect("invalid kernel configuration");
+        Self::try_new(cfg).expect("invalid kernel configuration")
+    }
+
+    /// Boot a kernel, reporting an invalid configuration as a structured
+    /// [`ConfigError`] instead of panicking.
+    pub fn try_new(cfg: Config) -> Result<Self, ConfigError> {
+        cfg.validate()?;
         let trace = Tracer::new(cfg.trace.enabled, cfg.trace.ring_capacity, cfg.num_cpus);
         let cfg_kprof = cfg.kprof;
         let cfg_kspan = cfg.kspan;
@@ -189,12 +244,14 @@ impl Kernel {
                 parked: false,
             })
             .collect();
-        Kernel {
+        let num_cpus = cfg.num_cpus;
+        Ok(Kernel {
             cfg,
             cost: CostModel::pentium_pro_200(),
             cpus,
             active: 0,
             kernel_free_at: 0,
+            locks: BTreeMap::new(),
             threads: Arena::new(),
             spaces: Arena::new(),
             objects: ObjectTable::new(),
@@ -202,6 +259,7 @@ impl Kernel {
             programs: Vec::new(),
             phys: PhysMem::new(),
             ready: ReadyQueue::new(),
+            runqs: PerCpuQueues::new(num_cpus),
             events: EventQueue::new(),
             stats: Stats::default(),
             trace,
@@ -220,7 +278,7 @@ impl Kernel {
             rollback_active: false,
             dispatch_suppress: false,
             audit: None,
-        }
+        })
     }
 
     /// Current simulated time in cycles.
@@ -296,20 +354,22 @@ impl Kernel {
         }
     }
 
-    /// Acquire the big kernel lock (multiprocessor configurations): spin
-    /// until no other processor is executing kernel code. Uniprocessor
-    /// kernels need no locking (Table 4), so this is free there.
+    /// Acquire the big kernel lock (legacy `cfg.big_lock` oracle mode):
+    /// spin until no other processor is executing kernel code.
+    /// Uniprocessor kernels need no locking (Table 4), so this is free
+    /// there.
     pub(crate) fn big_lock(&mut self) {
         if self.cfg.num_cpus > 1 {
             let now = self.cur_cpu().cpu.now;
             if self.kernel_free_at > now {
                 let wait = self.kernel_free_at - now;
                 self.stats.klock_cycles += wait;
+                self.stats.klock_wait_cycles += wait;
                 self.stats.kernel_cycles += wait;
                 self.kprof.attr_lock(wait);
                 if self.kspan.enabled {
                     let cur = self.cur_cpu().current;
-                    self.kspan.on_lock_wait(cur, wait);
+                    self.kspan.on_lock_wait(cur, "klock", wait);
                 }
                 self.cur_cpu_mut().cpu.now += wait;
             }
@@ -322,6 +382,270 @@ impl Kernel {
             let now = self.cur_cpu().cpu.now;
             self.kernel_free_at = self.kernel_free_at.max(now);
         }
+    }
+
+    /// Charge fixed lock-path overhead (acquire or release cost) on the
+    /// acting CPU, attributed to the `Lock` phase. Mirrors the big lock's
+    /// direct charging (no [`Kernel::charge`] — lock costs must not take
+    /// the full-preemption surcharge or fire events mid-acquire).
+    fn lock_overhead(&mut self, c: Cycles) {
+        self.stats.klock_cycles += c;
+        self.stats.kernel_cycles += c;
+        self.kprof.attr_lock(c);
+        self.cur_cpu_mut().cpu.now += c;
+    }
+
+    /// Acquire one fine-grained lock: charge the uncontended acquire cost
+    /// and, if another CPU holds the same key, wait until it is released.
+    /// Free on uniprocessors, exactly like the big lock.
+    pub(crate) fn fine_lock(&mut self, key: LockKey) {
+        if self.cfg.num_cpus <= 1 {
+            return;
+        }
+        self.lock_overhead(self.cost.mp_lock_acquire);
+        let now = self.cur_cpu().cpu.now;
+        let free_at = self.locks.get(&key).copied().unwrap_or(0);
+        if free_at > now {
+            let wait = free_at - now;
+            self.stats.klock_cycles += wait;
+            self.stats.klock_wait_cycles += wait;
+            self.stats.kernel_cycles += wait;
+            self.kprof.attr_lock(wait);
+            if let LockKey::RunQueue(_) = key {
+                self.stats.runq_wait_cycles += wait;
+                self.stats.runq_waits += 1;
+            } else if self.kspan.enabled {
+                let cur = self.cur_cpu().current;
+                self.kspan.on_lock_wait(cur, key.class(), wait);
+            }
+            self.cur_cpu_mut().cpu.now += wait;
+        }
+    }
+
+    /// Release a fine-grained lock: charge the release cost and stamp the
+    /// key busy until now — the simulated-time image of the critical
+    /// section that just executed atomically host-side.
+    pub(crate) fn fine_unlock(&mut self, key: LockKey) {
+        if self.cfg.num_cpus <= 1 {
+            return;
+        }
+        self.lock_overhead(self.cost.mp_lock_release);
+        let now = self.cur_cpu().cpu.now;
+        let e = self.locks.entry(key).or_insert(0);
+        *e = (*e).max(now);
+    }
+
+    /// Kernel-entry lock: the big lock under `cfg.big_lock`, else the
+    /// fine-grained lock for the object class the entry touches.
+    pub(crate) fn kernel_lock(&mut self, key: LockKey) {
+        if self.cfg.big_lock {
+            self.big_lock();
+        } else {
+            self.fine_lock(key);
+        }
+    }
+
+    /// Release the kernel-entry lock taken by [`Kernel::kernel_lock`].
+    pub(crate) fn kernel_unlock(&mut self, key: LockKey) {
+        if self.cfg.big_lock {
+            self.big_unlock();
+        } else {
+            self.fine_unlock(key);
+        }
+    }
+
+    /// Classify a trap by the object class its handler will mutate —
+    /// the lock a fine-grained kernel takes at entry. IPC entrypoints of
+    /// a connected thread lock the connection (so only the two endpoint
+    /// CPUs ever contend); memory entrypoints and page faults lock the
+    /// faulting space; thread/scheduler entrypoints lock the scheduler;
+    /// everything else locks the caller's handle table.
+    pub(crate) fn trap_lock_key(&self, t: ThreadId, trap: Trap) -> LockKey {
+        let Some(th) = self.threads.get(t.0) else {
+            return LockKey::Sched;
+        };
+        let space = th.space.map(|s| s.0).unwrap_or(0);
+        match trap {
+            Trap::Syscall => match Sys::from_u32(th.regs.get(fluke_arch::Reg::Eax)) {
+                Some(sys) => match sys.family() {
+                    Family::Ipc => match th.ipc.conn {
+                        Some(c) => LockKey::Conn(c.0),
+                        None => LockKey::Handles(space),
+                    },
+                    Family::Region | Family::Mapping | Family::Space => LockKey::Space(space),
+                    Family::Thread => LockKey::Sched,
+                    Family::Mutex
+                    | Family::Cond
+                    | Family::Port
+                    | Family::Pset
+                    | Family::Ref
+                    | Family::Misc => LockKey::Handles(space),
+                },
+                None => LockKey::Sched,
+            },
+            Trap::PageFault(_) => LockKey::Space(space),
+            Trap::Halt | Trap::Illegal => LockKey::Sched,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Scheduler routing: one global queue under `cfg.big_lock`, per-CPU
+    // queues with deterministic work stealing otherwise.
+    // ------------------------------------------------------------------
+
+    /// True when the fine-grained per-CPU scheduler is active.
+    #[inline]
+    fn sched_fine(&self) -> bool {
+        !self.cfg.big_lock
+    }
+
+    /// A thread's home queue, clamped to the configured CPU count.
+    fn home_of(&self, t: ThreadId) -> usize {
+        self.threads
+            .get(t.0)
+            .map(|th| th.home_cpu)
+            .unwrap_or(0)
+            .min(self.cfg.num_cpus - 1)
+    }
+
+    /// Enqueue a runnable thread on its home CPU's queue (fine mode,
+    /// taking that queue's lock) or the global queue (big-lock mode).
+    pub(crate) fn sched_push(&mut self, t: ThreadId, prio: u32) {
+        if self.sched_fine() {
+            let home = self.home_of(t);
+            self.fine_lock(LockKey::RunQueue(home));
+            self.runqs.push(home, t, prio);
+            self.fine_unlock(LockKey::RunQueue(home));
+            self.stats.sched_pushes += 1;
+        } else {
+            self.ready.push(t, prio);
+        }
+    }
+
+    /// Loader/boot-time enqueue: same routing as [`Kernel::sched_push`]
+    /// but charges no simulated time (the loader is outside time).
+    fn sched_push_boot(&mut self, t: ThreadId, prio: u32) {
+        if self.sched_fine() {
+            let home = self.home_of(t);
+            self.runqs.push(home, t, prio);
+            self.stats.sched_pushes += 1;
+        } else {
+            self.ready.push(t, prio);
+        }
+    }
+
+    /// Enqueue a preempted or yielded-to thread at the head of its level
+    /// on the *acting* CPU's queue, re-homing it there — preempted work
+    /// continues where it ran, and a directed yield hands the local CPU
+    /// over.
+    pub(crate) fn sched_push_front_here(&mut self, t: ThreadId, prio: u32) {
+        if self.sched_fine() {
+            let here = self.active;
+            if let Some(th) = self.threads.get_mut(t.0) {
+                th.home_cpu = here;
+            }
+            self.fine_lock(LockKey::RunQueue(here));
+            self.runqs.push_front(here, t, prio);
+            self.fine_unlock(LockKey::RunQueue(here));
+            self.stats.sched_pushes += 1;
+        } else {
+            self.ready.push_front(t, prio);
+        }
+    }
+
+    /// Remove a specific thread from whichever ready queue holds it
+    /// (destruction, state installation, directed scheduling).
+    pub(crate) fn sched_remove(&mut self, t: ThreadId) {
+        if self.sched_fine() {
+            if let Some(q) = self.runqs.find(t) {
+                self.fine_lock(LockKey::RunQueue(q));
+                self.runqs.remove(t);
+                self.fine_unlock(LockKey::RunQueue(q));
+            }
+        } else {
+            self.ready.remove(t);
+        }
+    }
+
+    /// Dequeue the next thread for the acting CPU: its own queue first,
+    /// then a deterministic steal sweep over the other queues in index
+    /// order starting after the thief. A stolen thread is re-homed to the
+    /// thief. Returns `None` when every queue is empty.
+    pub(crate) fn sched_next(&mut self) -> Option<ThreadId> {
+        if !self.sched_fine() {
+            return self.ready.pop();
+        }
+        let here = self.active;
+        if !self.runqs.cpu_empty(here) {
+            self.fine_lock(LockKey::RunQueue(here));
+            let t = self.runqs.pop(here);
+            self.fine_unlock(LockKey::RunQueue(here));
+            return t;
+        }
+        if self.cfg.num_cpus > 1 {
+            self.stats.sched_steal_attempts += 1;
+            if let Some(v) = self.runqs.victim(here) {
+                self.fine_lock(LockKey::RunQueue(v));
+                let t = self.runqs.pop(v);
+                self.fine_unlock(LockKey::RunQueue(v));
+                if let Some(t) = t {
+                    self.stats.sched_steals += 1;
+                    if let Some(th) = self.threads.get_mut(t.0) {
+                        th.home_cpu = here;
+                    }
+                    return Some(t);
+                }
+            }
+        }
+        None
+    }
+
+    /// Highest priority the acting CPU could run next: its own queue in
+    /// fine mode (stealable work elsewhere is picked up when the CPU goes
+    /// idle, not by preempting the current thread), the global queue in
+    /// big-lock mode.
+    pub(crate) fn sched_top_priority(&self) -> Option<u32> {
+        if self.sched_fine() {
+            self.runqs.top_priority(self.active)
+        } else {
+            self.ready.top_priority()
+        }
+    }
+
+    /// Cross-CPU TLB shootdown after a mapping revocation in `sid`:
+    /// every *other* unparked CPU whose loaded page tables belong to the
+    /// mutated space takes an invalidation IPI. The initiating CPU pays
+    /// one send per remote; each remote pays the ack/invalidate cost on
+    /// its own clock (attributed to kernel work so kprof's sum-exactness
+    /// invariant holds). Parked CPUs are skipped: they reload page tables
+    /// on dispatch anyway (lazy shootdown), and bumping a parked clock
+    /// would perturb the event-driven idling protocol.
+    pub(crate) fn tlb_shootdown(&mut self, sid: SpaceId) {
+        if self.cfg.num_cpus <= 1 {
+            return;
+        }
+        let here = self.active;
+        let ack = self.cost.tlb_shootdown_ack;
+        let mut remotes = 0u64;
+        for (i, slot) in self.cpus.iter_mut().enumerate() {
+            if i == here || slot.parked || slot.last_space != Some(sid) {
+                continue;
+            }
+            // The acting CPU always holds the minimum clock among unparked
+            // CPUs, so advancing a remote clock never reorders the past.
+            slot.cpu.now += ack;
+            remotes += 1;
+        }
+        if remotes == 0 {
+            return;
+        }
+        let acks = ack * remotes;
+        self.stats.kernel_cycles += acks;
+        self.kprof.attr_kernel(acks, false, 0);
+        self.stats.tlb_shootdown_ipis += remotes;
+        let sends = self.cost.tlb_shootdown_ipi * remotes;
+        self.stats.tlb_shootdown_cycles += sends + acks;
+        self.charge(sends);
     }
 
     // ------------------------------------------------------------------
@@ -550,11 +874,14 @@ impl Kernel {
         t.text = Some(text);
         t.regs = regs;
         t.priority = priority;
+        // Round-robin home CPU over creation order: deterministic, and
+        // spreads independent boot-time workloads across the machine.
+        t.home_cpu = self.stats.threads_created as usize % self.cfg.num_cpus;
         t.state = RunState::Ready;
         if let Some(s) = self.spaces.get_mut(space.0) {
             s.threads.push(id);
         }
-        self.ready.push(id, priority);
+        self.sched_push_boot(id, priority);
         self.kick_parked(self.now());
         self.note_wake_priority(priority);
         self.stats.threads_created += 1;
@@ -955,7 +1282,7 @@ impl Kernel {
         let th = self.threads.get_mut(t.0).expect("checked above");
         th.state = RunState::Ready;
         let prio = th.priority;
-        self.ready.push(t, prio);
+        self.sched_push(t, prio);
         self.note_wake_priority(prio);
     }
 
@@ -970,7 +1297,7 @@ impl Kernel {
         th.state = RunState::Ready;
         th.woken_at = now;
         let prio = th.priority;
-        self.ready.push(t, prio);
+        self.sched_push(t, prio);
         self.ktrace(TraceEvent::Wake { thread: t });
         self.kick_parked(now);
         self.note_wake_priority(prio);
@@ -998,6 +1325,12 @@ impl Kernel {
         if let Some((i, p)) = target {
             if prio > p {
                 self.cpus[i].resched = true;
+                if i != self.active {
+                    // A cross-CPU reschedule request is an IPI on real
+                    // hardware; counted, not separately costed (it rides
+                    // the target's next preemption point).
+                    self.stats.sched_ipis += 1;
+                }
             }
         } else {
             self.cur_cpu_mut().resched = true;
@@ -1040,7 +1373,7 @@ impl Kernel {
         th.inflight = Sys::from_u32(th.regs.get(fluke_arch::Reg::Eax));
         th.kstack_retained = retain;
         let prio = th.priority;
-        self.ready.push_front(t, prio);
+        self.sched_push_front_here(t, prio);
         self.cur_cpu_mut().current = None;
         self.cur_cpu_mut().resched = false;
         self.stats.kernel_preemptions += 1;
@@ -1166,7 +1499,7 @@ impl Kernel {
         }
         let th = self.threads.get_mut(t.0).unwrap();
         if th.is_ready() {
-            self.ready.remove(t);
+            self.sched_remove(t);
         }
         let th = self.threads.get_mut(t.0).unwrap();
         th.state = RunState::Halted;

@@ -93,10 +93,19 @@ impl Kernel {
                 }
             }
             let Some(cur) = self.cur_cpu().current else {
-                if let Some(next) = self.ready.pop() {
-                    self.big_lock();
-                    self.dispatch(next);
-                    self.big_unlock();
+                if let Some(next) = self.sched_next() {
+                    if self.cfg.big_lock {
+                        // Legacy oracle mode: even dispatch serializes on
+                        // the big kernel lock.
+                        self.big_lock();
+                        self.dispatch(next);
+                        self.big_unlock();
+                    } else {
+                        // Fine-grained mode: the run-queue lock was taken
+                        // inside `sched_next`; dispatch itself touches
+                        // only this CPU's slot and the chosen thread.
+                        self.dispatch(next);
+                    }
                     continue;
                 }
                 // Nothing to run here: park until someone kicks us.
@@ -129,7 +138,7 @@ impl Kernel {
         // Only switch if someone of equal-or-higher priority is waiting;
         // otherwise just start a fresh timeslice.
         let cur_prio = self.threads.get(cur.0).map(|t| t.priority).unwrap_or(0);
-        let top = self.ready.top_priority();
+        let top = self.sched_top_priority();
         self.cur_cpu_mut().resched = false;
         match top {
             Some(p) if p >= cur_prio => {
@@ -139,7 +148,7 @@ impl Kernel {
                 }
                 let th = self.threads.get_mut(cur.0).expect("current");
                 th.state = RunState::Ready;
-                self.ready.push(cur, cur_prio);
+                self.sched_push(cur, cur_prio);
                 self.cur_cpu_mut().current = None;
                 self.stats.user_preemptions += 1;
                 self.ktrace(TraceEvent::UserPreempt { thread: cur });
@@ -172,6 +181,9 @@ impl Kernel {
         let active = self.active;
         let th = self.threads.get_mut(t.0).expect("ready thread");
         th.state = RunState::Running(active);
+        // Affinity follows execution: future wakes enqueue where the
+        // thread last ran (its state is warm in that CPU's cache).
+        th.home_cpu = active;
         self.cur_cpu_mut().current = Some(t);
         // Consume the reschedule that caused this dispatch *before*
         // charging the switch cost: a wake that fires during the switch
@@ -273,11 +285,15 @@ impl Kernel {
             }
         };
         if let Some(trap) = trap {
-            // Kernel entry serializes on the big kernel lock under
-            // multiprocessor configurations.
-            self.big_lock();
+            // Kernel entry locks the object class the handler will touch
+            // (fine-grained mode) or the whole kernel (`cfg.big_lock`).
+            // The key is classified once at entry; a chained entrypoint
+            // stays under the original key (chains stay within a family —
+            // e.g. `send_over_receive`'s stages share the connection).
+            let key = self.trap_lock_key(cur, trap);
+            self.kernel_lock(key);
             self.handle_trap(cur, trap);
-            self.big_unlock();
+            self.kernel_unlock(key);
         }
     }
 

@@ -34,7 +34,7 @@ use fluke_arch::{ProgramId, UserRegs};
 
 use crate::ids::ThreadId;
 use crate::kernel::mem::Walk;
-use crate::kernel::Kernel;
+use crate::kernel::{Kernel, LockKey};
 use crate::thread::{Body, RunState};
 use crate::trace::TraceEvent;
 
@@ -260,7 +260,7 @@ impl Kernel {
     /// manager checkpoints both ends of a pair wholesale — `kfault` tests
     /// the thread-local claim.
     fn inject_extract_restore(&mut self, victim: ThreadId, site: u64) {
-        self.big_lock();
+        self.kernel_lock(LockKey::Sched);
         // Extraction forces the roll-back-and-restart contract: a retained
         // process-model kernel stack is discarded, so the registers are
         // the complete truth (same rule as `obj_get_state`).
@@ -296,7 +296,7 @@ impl Kernel {
             th.state = RunState::Ready;
         }
         self.cur_cpu_mut().current = None;
-        self.ready.push(victim, frame.priority);
+        self.sched_push(victim, frame.priority);
         let now = self.now();
         // The victim keeps its open span across the round-trip (the frame
         // is the same request's continuation); it just waits to run again.
@@ -308,7 +308,7 @@ impl Kernel {
             kind: KfaultKind::ExtractRestore.index() as u32,
             site,
         });
-        self.big_unlock();
+        self.kernel_unlock(LockKey::Sched);
     }
 
     /// Drop every translation of the victim's space that the mapping
@@ -317,8 +317,13 @@ impl Kernel {
     /// installed directly by `grant_pages` have no backing mapping and are
     /// left alone — flushing them would lose memory, not add latency.
     fn inject_page_flush(&mut self, victim: ThreadId, site: u64) {
-        self.big_lock();
-        if let Some(sid) = self.threads.get(victim.0).and_then(|t| t.space) {
+        let sid_opt = self.threads.get(victim.0).and_then(|t| t.space);
+        let key = match sid_opt {
+            Some(sid) => LockKey::Space(sid.0),
+            None => LockKey::Sched,
+        };
+        self.kernel_lock(key);
+        if let Some(sid) = sid_opt {
             let mut vpns: Vec<u32> = self
                 .spaces
                 .get(sid.0)
@@ -344,6 +349,8 @@ impl Kernel {
                     }
                 }
             }
+            // Remote CPUs running this space may cache the dropped PTEs.
+            self.tlb_shootdown(sid);
         }
         self.stats.faults_injected[KfaultKind::PageFlush.index()] += 1;
         self.ktrace(TraceEvent::FaultInjected {
@@ -351,7 +358,7 @@ impl Kernel {
             kind: KfaultKind::PageFlush.index() as u32,
             site,
         });
-        self.big_unlock();
+        self.kernel_unlock(key);
     }
 }
 

@@ -381,15 +381,22 @@ impl Kspan {
         }
     }
 
-    /// A big-kernel-lock wait of `cycles` finished on the acting CPU
-    /// (`t` its current thread, if any). Attributed to the `klock`
-    /// pseudo-object, and carved out of the running span's on-CPU
-    /// segment into the lock bucket.
-    pub(crate) fn on_lock_wait(&mut self, t: Option<ThreadId>, cycles: Cycles) {
+    /// A kernel-lock wait of `cycles` finished on the acting CPU (`t`
+    /// its current thread, if any). Attributed to the contended lock's
+    /// object class (`"klock"` for the legacy big lock; `"sched"`,
+    /// `"space"`, `"handles"`, `"ipc"` for fine-grained classes), and
+    /// carved out of the running span's on-CPU segment into the lock
+    /// bucket.
+    pub(crate) fn on_lock_wait(
+        &mut self,
+        t: Option<ThreadId>,
+        class: &'static str,
+        cycles: Cycles,
+    ) {
         if !self.enabled {
             return;
         }
-        let e = self.contention.entry("klock".to_string()).or_default();
+        let e = self.contention.entry(class.to_string()).or_default();
         e.wait_cycles += cycles;
         e.waits += 1;
         if let Some(t) = t {
@@ -545,7 +552,7 @@ mod tests {
     fn lock_waits_carve_out_of_on_cpu_segment() {
         let mut k = Kspan::new(true);
         k.on_enter(T0, "sys_null", 0);
-        k.on_lock_wait(Some(T0), 15); // big-lock wait inside the segment
+        k.on_lock_wait(Some(T0), "klock", 15); // big-lock wait inside the segment
         k.on_charge(T0, 0x3, 50, 10); // FP surcharge adds 10 more
         k.on_close(T0, 100);
         let r = &k.completed()[0];

@@ -136,6 +136,10 @@ pub struct Stats {
     pub rollback_cycles: Cycles,
     /// Cycles spent acquiring/releasing kernel locks (Full preemption).
     pub klock_cycles: Cycles,
+    /// The *waiting* part of [`Stats::klock_cycles`]: cycles stalled on a
+    /// lock another CPU held, excluding the fixed acquire/release costs.
+    /// Near zero under fine-grained locking; dominant under the big lock.
+    pub klock_wait_cycles: Cycles,
     /// Bytes moved by the IPC copy path.
     pub ipc_bytes: u64,
     /// IPC messages completed.
@@ -170,6 +174,26 @@ pub struct Stats {
     /// observability only; live spaces' counters are added on top by
     /// [`crate::Kernel::tlb_stats`]).
     pub tlb_retired: TlbStats,
+    /// Enqueues onto the fine-grained per-CPU ready queues (zero under
+    /// the legacy `big_lock` scheduler).
+    pub sched_pushes: u64,
+    /// Threads stolen from another CPU's ready queue.
+    pub sched_steals: u64,
+    /// Steal sweeps attempted by an idle CPU (counted even when every
+    /// other queue was empty).
+    pub sched_steal_attempts: u64,
+    /// Cross-CPU reschedule IPIs requested by priority wakeups.
+    pub sched_ipis: u64,
+    /// Cycles spent waiting on a contended per-CPU run-queue lock.
+    pub runq_wait_cycles: Cycles,
+    /// Contended run-queue lock acquisitions.
+    pub runq_waits: u64,
+    /// Cross-CPU TLB-shootdown IPIs delivered (one per remote CPU with
+    /// the mutated space loaded).
+    pub tlb_shootdown_ipis: u64,
+    /// Total cycles consumed by TLB shootdowns: IPI sends on the
+    /// initiating CPU plus ack/invalidate work on the remotes.
+    pub tlb_shootdown_cycles: Cycles,
 }
 
 impl Stats {
@@ -480,6 +504,12 @@ impl Kernel {
         r.counter("kernel.sched.user_preemptions", s.user_preemptions);
         r.counter("kernel.sched.kernel_preemptions", s.kernel_preemptions);
         r.counter("kernel.sched.preempt_points_taken", s.preempt_points_taken);
+        r.counter("kernel.sched.percpu.pushes", s.sched_pushes);
+        r.counter("kernel.sched.percpu.steals", s.sched_steals);
+        r.counter("kernel.sched.percpu.steal_attempts", s.sched_steal_attempts);
+        r.counter("kernel.sched.percpu.ipis", s.sched_ipis);
+        r.counter("kernel.contention.runq.wait_cycles", s.runq_wait_cycles);
+        r.counter("kernel.contention.runq.waits", s.runq_waits);
 
         r.counter("kernel.fault.soft", s.soft_faults);
         r.counter("kernel.fault.hard", s.hard_faults);
@@ -497,6 +527,7 @@ impl Kernel {
         r.counter("kernel.cycles.idle", s.idle_cycles);
         r.counter("kernel.cycles.rollback", s.rollback_cycles);
         r.counter("kernel.cycles.klock", s.klock_cycles);
+        r.counter("kernel.cycles.klock_wait", s.klock_wait_cycles);
 
         r.counter("kernel.ipc.bytes", s.ipc_bytes);
         r.counter("kernel.ipc.messages", s.ipc_messages);
@@ -505,6 +536,8 @@ impl Kernel {
         r.counter("kernel.tlb.hits", tlb.hits);
         r.counter("kernel.tlb.misses", tlb.misses);
         r.counter("kernel.tlb.shootdowns", tlb.shootdowns);
+        r.counter("kernel.tlb.shootdown.ipis", s.tlb_shootdown_ipis);
+        r.counter("kernel.tlb.shootdown.cycles", s.tlb_shootdown_cycles);
 
         let mem = self.mem_gauges();
         r.gauge("kernel.mem.kmem_bytes", s.thread_kmem);

@@ -73,6 +73,11 @@ impl ReadyQueue {
         false
     }
 
+    /// Whether `t` is enqueued.
+    pub fn contains(&self, t: ThreadId) -> bool {
+        self.levels.iter().any(|l| l.contains(&t))
+    }
+
     /// Whether any thread is ready.
     pub fn is_empty(&self) -> bool {
         self.bitmap == 0
@@ -87,6 +92,98 @@ impl ReadyQueue {
 impl Default for ReadyQueue {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Per-CPU ready queues for the fine-grained multiprocessor scheduler:
+/// one [`ReadyQueue`] per processor, plus the deterministic work-stealing
+/// victim scan. Pure data — all cycle charging (run-queue lock costs,
+/// steal IPIs) lives in the kernel, so this structure is reusable and
+/// unit-testable in isolation.
+///
+/// Determinism: a thread is always enqueued on its *home* CPU's queue,
+/// the victim scan starts at `(thief + 1) % n` and walks upward, and the
+/// kernel only invokes these operations from the globally time-ordered
+/// run loop — so for a fixed workload the queue contents are a pure
+/// function of simulated time.
+#[derive(Debug)]
+pub struct PerCpuQueues {
+    queues: Vec<ReadyQueue>,
+}
+
+impl PerCpuQueues {
+    /// One empty queue per processor.
+    pub fn new(cpus: usize) -> Self {
+        PerCpuQueues {
+            queues: (0..cpus.max(1)).map(|_| ReadyQueue::new()).collect(),
+        }
+    }
+
+    /// Number of per-CPU queues.
+    pub fn cpus(&self) -> usize {
+        self.queues.len()
+    }
+
+    /// Enqueue on `cpu`'s queue, at the tail of its priority level.
+    pub fn push(&mut self, cpu: usize, t: ThreadId, priority: u32) {
+        self.queues[cpu].push(t, priority);
+    }
+
+    /// Enqueue at the *head* of its level on `cpu`'s queue (preempted
+    /// threads continue first among their peers).
+    pub fn push_front(&mut self, cpu: usize, t: ThreadId, priority: u32) {
+        self.queues[cpu].push_front(t, priority);
+    }
+
+    /// Dequeue the highest-priority thread of `cpu`'s own queue.
+    pub fn pop(&mut self, cpu: usize) -> Option<ThreadId> {
+        self.queues[cpu].pop()
+    }
+
+    /// Highest priority queued on `cpu`'s own queue.
+    pub fn top_priority(&self, cpu: usize) -> Option<u32> {
+        self.queues[cpu].top_priority()
+    }
+
+    /// Whether `cpu`'s own queue is empty.
+    pub fn cpu_empty(&self, cpu: usize) -> bool {
+        self.queues[cpu].is_empty()
+    }
+
+    /// The queue currently holding `t`, if it is enqueued anywhere.
+    pub fn find(&self, t: ThreadId) -> Option<usize> {
+        self.queues.iter().position(|q| q.contains(t))
+    }
+
+    /// Remove `t` from whichever queue holds it. Returns the queue index
+    /// if it was enqueued.
+    pub fn remove(&mut self, t: ThreadId) -> Option<usize> {
+        for (i, q) in self.queues.iter_mut().enumerate() {
+            if q.remove(t) {
+                return Some(i);
+            }
+        }
+        None
+    }
+
+    /// Deterministic steal-victim scan: the first CPU with queued work,
+    /// scanning `(thief + 1) % n`, `(thief + 2) % n`, … Returns `None`
+    /// when every other queue is empty.
+    pub fn victim(&self, thief: usize) -> Option<usize> {
+        let n = self.queues.len();
+        (1..n)
+            .map(|off| (thief + off) % n)
+            .find(|&v| !self.queues[v].is_empty())
+    }
+
+    /// Total ready threads across every queue.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// Whether every queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.is_empty())
     }
 }
 
@@ -142,5 +239,43 @@ mod tests {
         q.push(ThreadId(1), 1);
         q.push(ThreadId(2), 30);
         assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn percpu_push_pop_are_per_queue() {
+        let mut q = PerCpuQueues::new(3);
+        q.push(0, ThreadId(1), 5);
+        q.push(1, ThreadId(2), 9);
+        assert_eq!(q.pop(0), Some(ThreadId(1)));
+        assert_eq!(q.pop(0), None);
+        assert_eq!(q.pop(2), None);
+        assert_eq!(q.pop(1), Some(ThreadId(2)));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn percpu_victim_scan_starts_after_thief_and_wraps() {
+        let mut q = PerCpuQueues::new(4);
+        q.push(1, ThreadId(7), 5);
+        q.push(3, ThreadId(8), 5);
+        // Thief 2 scans 3, 0, 1 — finds 3 first.
+        assert_eq!(q.victim(2), Some(3));
+        // Thief 3 scans 0, 1, 2 — finds 1 first.
+        assert_eq!(q.victim(3), Some(1));
+        // A thief never picks its own queue.
+        assert_eq!(q.pop(3), Some(ThreadId(8)));
+        assert_eq!(q.victim(1), None);
+        assert_eq!(q.victim(0), Some(1));
+    }
+
+    #[test]
+    fn percpu_remove_and_find_scan_every_queue() {
+        let mut q = PerCpuQueues::new(2);
+        q.push(1, ThreadId(4), 3);
+        assert_eq!(q.find(ThreadId(4)), Some(1));
+        assert_eq!(q.find(ThreadId(5)), None);
+        assert_eq!(q.remove(ThreadId(4)), Some(1));
+        assert_eq!(q.remove(ThreadId(4)), None);
+        assert_eq!(q.len(), 0);
     }
 }

@@ -208,6 +208,12 @@ pub struct Thread {
     pub regs: UserRegs,
     /// Scheduling priority (higher runs first).
     pub priority: u32,
+    /// Home processor for the fine-grained multiprocessor scheduler:
+    /// the CPU whose ready queue this thread is enqueued on. Assigned
+    /// round-robin at creation, re-pinned to the CPU the thread last ran
+    /// on at every dispatch (and to the thief on a successful steal).
+    /// Always 0 on a uniprocessor.
+    pub home_cpu: usize,
     /// Run state.
     pub state: RunState,
     /// User or native body.
@@ -260,6 +266,7 @@ impl Thread {
             text: None,
             regs: UserRegs::new(),
             priority: DEFAULT_PRIORITY,
+            home_cpu: 0,
             state: RunState::Stopped,
             body: Body::User,
             ipc: IpcEnd::default(),

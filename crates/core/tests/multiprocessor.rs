@@ -140,12 +140,14 @@ fn get_state_of_thread_running_on_other_cpu() {
     assert!(run_to_halt(&mut k, &[victim], 200_000_000_000));
 }
 
-/// Kernel entries serialize on the big lock: with heavy concurrent syscall
-/// traffic on two CPUs, lock waiting shows up in the stats.
-#[test]
-fn big_kernel_lock_serializes_kernel_entries() {
-    let mut k = Kernel::new(Config::process_np().with_cpus(2));
-    let p = ChildProc::new(&mut k);
+/// Drive two CPUs of concurrent syscall traffic and return the finished
+/// kernel (used to compare big-lock vs fine-grained locking).
+fn syscall_storm(cfg: Config) -> Kernel {
+    let mut k = Kernel::new(cfg);
+    // Two *separate* processes: unrelated workloads should not contend
+    // on any fine-grained lock (same-object traffic still serializes).
+    let p1 = ChildProc::with_mem(&mut k, 0x0010_0000, 0x4000);
+    let p2 = ChildProc::with_mem(&mut k, 0x0030_0000, 0x4000);
     let mut a = Assembler::new("syscaller");
     a.movi(Reg::Ecx, 2_000);
     a.label("top");
@@ -155,12 +157,35 @@ fn big_kernel_lock_serializes_kernel_entries() {
     a.jcc(Cond::Ne, "top");
     a.halt();
     let prog = k.register_program(a.finish());
-    let t1 = k.spawn_thread(p.space, prog, fluke_arch::UserRegs::new(), 8);
-    let t2 = k.spawn_thread(p.space, prog, fluke_arch::UserRegs::new(), 8);
+    let t1 = k.spawn_thread(p1.space, prog, fluke_arch::UserRegs::new(), 8);
+    let t2 = k.spawn_thread(p2.space, prog, fluke_arch::UserRegs::new(), 8);
     assert!(run_to_halt(&mut k, &[t1, t2], 10_000_000_000));
+    k
+}
+
+/// Kernel entries serialize on the big lock (legacy oracle mode): with
+/// heavy concurrent syscall traffic on two CPUs, lock waiting shows up in
+/// the stats.
+#[test]
+fn big_kernel_lock_serializes_kernel_entries() {
+    let k = syscall_storm(Config::process_np().with_cpus(2).with_big_lock(true));
     assert!(
         k.stats.klock_cycles > 0,
         "concurrent kernel entries must contend on the big lock"
+    );
+}
+
+/// The same storm under fine-grained locking finishes sooner: kernel
+/// entries of unrelated threads no longer serialize machine-wide.
+#[test]
+fn fine_grained_locking_outpaces_the_big_lock() {
+    let big = syscall_storm(Config::process_np().with_cpus(2).with_big_lock(true));
+    let fine = syscall_storm(Config::process_np().with_cpus(2));
+    assert!(
+        fine.total_cpu_cycles() < big.total_cpu_cycles(),
+        "fine {} !< big {}",
+        fine.total_cpu_cycles(),
+        big.total_cpu_cycles()
     );
 }
 

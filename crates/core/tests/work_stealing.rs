@@ -1,0 +1,157 @@
+//! Fine-grained scheduler edge cases: deterministic work stealing across
+//! per-CPU ready queues, wakes landing at parked CPUs, cross-CPU priority
+//! preemption, and destruction of a victim queued on a remote CPU.
+
+use fluke_arch::{Assembler, Cond, Reg};
+use fluke_core::{Config, Kernel, RunState};
+use fluke_user::proc::{run_to_halt, ChildProc};
+use fluke_user::FlukeAsm;
+
+/// A compute-bound program of `quanta` × 1000 cycles.
+fn burner(quanta: u32) -> fluke_arch::Program {
+    let mut a = Assembler::new("burner");
+    a.movi(Reg::Ecx, quanta);
+    a.label("top");
+    a.compute(1_000);
+    a.subi(Reg::Ecx, 1);
+    a.cmpi(Reg::Ecx, 0);
+    a.jcc(Cond::Ne, "top");
+    a.halt();
+    a.finish()
+}
+
+/// A lone thread on a two-CPU machine: the idle CPU's steal sweep finds
+/// every other queue empty — attempts are counted, no steal happens, and
+/// the sweep charges nothing (the CPU parks cleanly).
+#[test]
+fn steal_sweep_over_empty_queues_is_free() {
+    let mut k = Kernel::new(Config::process_np().with_cpus(2));
+    let p = ChildProc::new(&mut k);
+    let prog = k.register_program(burner(1_000));
+    let t = k.spawn_thread(p.space, prog, fluke_arch::UserRegs::new(), 8);
+    assert!(run_to_halt(&mut k, &[t], 1_000_000_000));
+    assert!(
+        k.stats.sched_steal_attempts >= 1,
+        "the idle CPU must have swept for work"
+    );
+    assert_eq!(k.stats.sched_steals, 0, "nothing to steal");
+    assert_eq!(
+        k.stats.runq_wait_cycles, 0,
+        "an empty sweep must not contend on any run-queue lock"
+    );
+}
+
+/// Imbalanced homes: CPU 0 owns two threads (a long burner plus a queued
+/// one), CPU 1's own thread finishes quickly — the idle CPU 1 must steal
+/// the queued thread off CPU 0's queue instead of sitting parked.
+#[test]
+fn idle_cpu_steals_from_a_loaded_queue() {
+    let mut k = Kernel::new(Config::process_np().with_cpus(2));
+    let p = ChildProc::new(&mut k);
+    let long = k.register_program(burner(20_000));
+    let short = k.register_program(burner(100));
+    let mid = k.register_program(burner(2_000));
+    // Round-robin homes: a→0, b→1, c→0.
+    let a = k.spawn_thread(p.space, long, fluke_arch::UserRegs::new(), 8);
+    let b = k.spawn_thread(p.space, short, fluke_arch::UserRegs::new(), 8);
+    let c = k.spawn_thread(p.space, mid, fluke_arch::UserRegs::new(), 8);
+    assert!(run_to_halt(&mut k, &[a, b, c], 100_000_000_000));
+    assert!(
+        k.stats.sched_steals >= 1,
+        "CPU 1 had to steal the thread queued behind the long burner"
+    );
+    // The steal bought real parallelism: the stolen ~2M-cycle thread ran
+    // while the ~20M-cycle burner kept its own CPU, so the wall clock is
+    // bounded by the burner alone (serial on CPU 0 would be ~22M+).
+    assert!(
+        k.now() < 21_000_000,
+        "no overlap achieved: finished at {}",
+        k.now()
+    );
+}
+
+/// A wake whose target CPU has parked (the simulated analogue of an IPI
+/// arriving at a halted processor): the kick must unpark it at the waking
+/// instant and the woken thread must run to completion there.
+#[test]
+fn wake_reaches_a_parked_cpu() {
+    let mut k = Kernel::new(Config::process_np().with_cpus(2));
+    let p = ChildProc::new(&mut k);
+    let long = k.register_program(burner(10_000));
+    let a = k.spawn_thread(p.space, long, fluke_arch::UserRegs::new(), 8);
+    // Sleeper: blocks immediately; its CPU parks with nothing else to do.
+    let mut asm = Assembler::new("sleeper");
+    asm.sys(fluke_api::Sys::ThreadSleep);
+    asm.compute(500);
+    asm.halt();
+    let s = p.start(&mut k, asm.finish(), 8);
+    // Wake it mid-burn, long after the sleeper's CPU parked.
+    k.wake_at(s, 2_000_000);
+    assert!(run_to_halt(&mut k, &[a, s], 100_000_000_000));
+    assert!(k.thread_halted(s));
+    assert!(
+        k.stats.idle_cycles > 0,
+        "the sleeper's CPU must have parked while waiting"
+    );
+}
+
+/// A high-priority wake while every CPU runs low-priority work must
+/// preempt somewhere promptly — the cross-CPU reschedule path (counted as
+/// an IPI when the target is not the acting CPU). The run is repeated to
+/// pin determinism of the whole interleaving.
+#[test]
+fn priority_wake_preempts_busy_cpus_deterministically() {
+    fn once() -> (u64, u64, u64) {
+        let mut k = Kernel::new(Config::process_np().with_cpus(2));
+        let p = ChildProc::new(&mut k);
+        let long = k.register_program(burner(10_000));
+        let a = k.spawn_thread(p.space, long, fluke_arch::UserRegs::new(), 5);
+        let b = k.spawn_thread(p.space, long, fluke_arch::UserRegs::new(), 4);
+        let mut asm = Assembler::new("urgent");
+        asm.sys(fluke_api::Sys::ThreadSleep);
+        asm.compute(500);
+        asm.halt();
+        let u = p.start(&mut k, asm.finish(), 9);
+        k.wake_at(u, 3_000_000);
+        assert!(run_to_halt(&mut k, &[a, b, u], 100_000_000_000));
+        // The urgent thread finished long before the burners could have
+        // (each burner alone is ~20M+ cycles of user work).
+        (k.now(), k.stats.sched_ipis, k.stats.sched_pushes)
+    }
+    let (now1, ipis1, pushes1) = once();
+    let (now2, ipis2, pushes2) = once();
+    assert_eq!(now1, now2, "64-bit clock must replay exactly");
+    assert_eq!(ipis1, ipis2);
+    assert_eq!(pushes1, pushes2);
+}
+
+/// Destruction of a thread queued on a *remote* CPU's ready queue (the
+/// "victim destroyed mid-steal" hazard): the destroyer must pull it out
+/// of the other queue under that queue's lock, and no CPU may later
+/// dispatch the corpse.
+#[test]
+fn queued_victim_destroyed_from_another_cpu() {
+    let mut k = Kernel::new(Config::process_np().with_cpus(2));
+    let mut p = ChildProc::new(&mut k);
+    let h_victim = p.alloc_obj();
+    let long = k.register_program(burner(20_000));
+    // Homes: long burner→0, destroyer→1, victim→0 (queued behind the
+    // burner, never dispatched before the destroyer reaches it).
+    let a = k.spawn_thread(p.space, long, fluke_arch::UserRegs::new(), 8);
+    let mut asm = Assembler::new("destroyer");
+    asm.compute(2_000);
+    asm.sys_h(fluke_api::Sys::ThreadDestroy, h_victim);
+    asm.halt();
+    let d = p.start(&mut k, asm.finish(), 8);
+    let victim = k.spawn_thread(p.space, long, fluke_arch::UserRegs::new(), 8);
+    k.loader_thread_object(p.space, h_victim, victim);
+    assert!(run_to_halt(&mut k, &[a, d], 100_000_000_000));
+    assert_eq!(k.thread_run_state(victim), RunState::Halted);
+    // The victim never ran: the whole machine finished in roughly the one
+    // burner's time, not two burners' worth.
+    assert!(
+        k.now() < 45_000_000,
+        "victim must not have been dispatched: finished at {}",
+        k.now()
+    );
+}
