@@ -71,6 +71,39 @@ pub const EXC_ACCESS_WRITE: u32 = 1;
 /// The page size of the simulated MMU, in bytes.
 pub const PAGE_SIZE: u32 = 4096;
 
+// ---------------------------------------------------------------------
+// Batched IPC submission (`ipc_submit`).
+//
+// `esi` points at a ring of descriptors, `ecx` holds the op count, and
+// `edx` holds the number of ops already completed — the restart cursor,
+// advanced only at descriptor boundaries so an interrupted batch resumes
+// at the first unfinished op. Each descriptor is four 32-bit words:
+//
+//   word 0: opflags — bit 0 selects receive (set) or send (clear), bit 1
+//           requests non-blocking; the kernel writes the op's result code
+//           shifted into the upper bits with SUBMIT_DONE set.
+//   word 1: port handle (a virtual address, like every handle).
+//   word 2: buffer pointer (send source or receive destination).
+//   word 3: byte count in; for receives the kernel writes back the
+//           delivered length.
+// ---------------------------------------------------------------------
+
+/// Words per `ipc_submit` descriptor.
+pub const SUBMIT_DESC_WORDS: u32 = 4;
+/// `opflags` bit 0: this descriptor is a receive (otherwise a send).
+pub const SUBMIT_OP_RECV: u32 = 1 << 0;
+/// `opflags` bit 1: fail with `WouldBlock` instead of sleeping.
+pub const SUBMIT_OP_NOWAIT: u32 = 1 << 1;
+/// Set in `opflags` when the kernel has written the op's result code.
+pub const SUBMIT_DONE: u32 = 1 << 31;
+/// Shift of the result code within a completed descriptor's `opflags`.
+pub const SUBMIT_RESULT_SHIFT: u32 = 16;
+/// Maximum kernel-buffered messages per port for submitted sends.
+pub const PORT_BUF_MSGS: usize = 16;
+/// Maximum bytes per submitted send (bounds kernel buffering; larger
+/// messages must use the plain rendezvous entrypoints).
+pub const SUBMIT_MAX_MSG: u32 = 2048;
+
 /// Round an address down to its page base.
 #[inline]
 pub fn page_base(addr: u32) -> u32 {

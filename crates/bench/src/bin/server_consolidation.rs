@@ -1,0 +1,82 @@
+//! The server-consolidation headline: up to 10240 concurrent connections
+//! multiplexed onto portset frontends routed to sharded worker pools,
+//! plus the `ipc_submit` batching echo tier, written to
+//! `BENCH_server.json`.
+//!
+//! Usage: `server_consolidation [--quick] [--check] [output.json]`
+//!
+//! * Default: run the sweep at both paper and quick scale and write the
+//!   combined artifact (the committed baseline carries both, so the CI
+//!   quick smoke can gate against a same-scale reference).
+//! * `--quick` restricts the sweep to the quick scale.
+//! * `--check` gates against the *committed* `BENCH_server.json`
+//!   instead of writing: fails on >10% p99 or throughput regression in
+//!   any row, or if batching no longer cuts kernel entries per message
+//!   by at least 4x on the echo tier.
+
+use fluke_bench::{server_consolidation, Scale};
+use fluke_json::Json;
+
+fn main() {
+    let mut quick_only = false;
+    let mut check = false;
+    let mut out = "BENCH_server.json".to_string();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--quick" => quick_only = true,
+            "--check" => check = true,
+            other => out = other.to_string(),
+        }
+    }
+    let scales: &[Scale] = if quick_only {
+        &[Scale::Quick]
+    } else {
+        &[Scale::Paper, Scale::Quick]
+    };
+
+    let mut runs = Vec::new();
+    for &scale in scales {
+        let rows = server_consolidation::run_server_consolidation(scale);
+        println!(
+            "Server consolidation ({:?}): connection scale, worker pools, batched submission",
+            scale
+        );
+        println!("{}", server_consolidation::table(&rows).render());
+        println!(
+            "echo-tier kernel-entry reduction: {:.1}x",
+            server_consolidation::echo_entry_reduction(&rows)
+        );
+        runs.push((scale, rows));
+    }
+
+    if check {
+        let baseline = std::fs::read_to_string("BENCH_server.json")
+            .expect("--check needs the committed BENCH_server.json");
+        let baseline = Json::parse(&baseline).expect("committed baseline parses");
+        for (scale, rows) in &runs {
+            match server_consolidation::check(&baseline, *scale, rows) {
+                Ok(()) => {
+                    println!("check ({scale:?}): OK (tails and throughput held, ≥4x batching)")
+                }
+                Err(e) => {
+                    eprintln!("check ({scale:?}): FAILED: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        return;
+    }
+
+    let mut doc = Json::obj();
+    doc.set("bench", Json::Str("server_consolidation".to_string()));
+    doc.set(
+        "runs",
+        Json::Arr(
+            runs.iter()
+                .map(|(scale, rows)| server_consolidation::to_json(*scale, rows))
+                .collect(),
+        ),
+    );
+    std::fs::write(&out, format!("{doc}\n")).expect("write benchmark report");
+    println!("wrote {out}");
+}

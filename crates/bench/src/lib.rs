@@ -12,6 +12,7 @@ pub mod memfast;
 pub mod mp_scaling;
 pub mod observability;
 pub mod report;
+pub mod server_consolidation;
 pub mod table1;
 pub mod table3;
 pub mod table5;

@@ -173,6 +173,13 @@ pub struct Config {
     /// MP-scaling experiment is measured against. Uniprocessor behavior
     /// is bit-identical either way.
     pub big_lock: bool,
+    /// Use the O(1) generation-tagged port-namespace index: wait-queue
+    /// cancels tombstone instead of linearly sweeping, and connection
+    /// unlinks from port connect queues are hash-indexed (host-side only:
+    /// simulated cycle charges, traces and stats are bit-identical with
+    /// this on or off). Off selects the linear eager-removal reference
+    /// path, kept as a differential-testing oracle and benchmark baseline.
+    pub port_index: bool,
     /// A short human-readable label ("Process NP" etc.).
     pub label: &'static str,
 }
@@ -194,6 +201,7 @@ impl Config {
             fast_mem: true,
             kfault: None,
             big_lock: false,
+            port_index: true,
             label: "Process NP",
         }
     }
@@ -231,6 +239,7 @@ impl Config {
             fast_mem: true,
             kfault: None,
             big_lock: false,
+            port_index: true,
             label: "Interrupt NP",
         }
     }
@@ -330,6 +339,14 @@ impl Config {
         self
     }
 
+    /// Select or deselect the O(1) port-namespace index (see
+    /// [`Config::port_index`]). `false` runs the linear eager-removal
+    /// reference path as a differential oracle.
+    pub fn with_port_index(mut self, indexed: bool) -> Self {
+        self.port_index = indexed;
+        self
+    }
+
     /// Select the legacy big-kernel-lock execution (see
     /// [`Config::big_lock`]): every kernel entry serializes on one lock
     /// and all CPUs share one global ready queue.
@@ -415,6 +432,16 @@ mod tests {
         }
         let c = Config::process_pp().with_cpus(4).with_big_lock(true);
         assert!(c.big_lock);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn port_index_knob_defaults_on() {
+        for c in Config::all_five() {
+            assert!(c.port_index, "{}", c.label);
+        }
+        let c = Config::process_pp().with_port_index(false);
+        assert!(!c.port_index);
         c.validate().unwrap();
     }
 

@@ -144,6 +144,7 @@ handlers! {
     fn h_ipc_send_oneway(k, cx) { k.sys_ipc_send_oneway(cx) }
     fn h_ipc_wait_receive_oneway(k, cx) { k.sys_ipc_receive_oneway(cx, true) }
     fn h_ipc_receive_oneway(k, cx) { k.sys_ipc_receive_oneway(cx, false) }
+    fn h_ipc_submit(k, cx) { k.sys_ipc_submit(cx) }
 }
 
 /// Map a table row to its handler. Evaluated at compile time to build
@@ -205,6 +206,7 @@ const fn handler_for(sys: Sys) -> Handler {
         IpcSendOneway | IpcSendOnewayMore => h_ipc_send_oneway,
         IpcWaitReceiveOneway => h_ipc_wait_receive_oneway,
         IpcReceiveOneway => h_ipc_receive_oneway,
+        IpcSubmit => h_ipc_submit,
         _ => h_obj_common,
     }
 }
@@ -390,28 +392,29 @@ impl Kernel {
             return;
         };
         match obj.data {
-            ObjData::Mutex { waiters, .. } | ObjData::Cond { waiters } => {
+            ObjData::Mutex { mut waiters, .. } | ObjData::Cond { mut waiters } => {
                 // Waiters restart their (rewritten) calls and observe the
                 // object's absence — no special-case teardown state.
-                for w in waiters {
+                for w in waiters.drain(&mut self.stats.waitq) {
                     self.unblock(w);
                 }
             }
             ObjData::Port {
                 pset,
-                connect_q,
-                server_q,
-                oneway_senders,
-                oneway_receivers,
+                mut connect_q,
+                mut server_q,
+                mut oneway_senders,
+                mut oneway_receivers,
                 ..
             } => {
-                for c in connect_q {
+                for c in connect_q.drain(&mut self.stats.waitq) {
                     self.disconnect(c, ErrorCode::PeerDisconnected);
                 }
                 for w in server_q
+                    .drain(&mut self.stats.waitq)
                     .into_iter()
-                    .chain(oneway_senders)
-                    .chain(oneway_receivers)
+                    .chain(oneway_senders.drain(&mut self.stats.waitq))
+                    .chain(oneway_receivers.drain(&mut self.stats.waitq))
                 {
                     self.unblock(w);
                 }
@@ -423,8 +426,11 @@ impl Kernel {
                     }
                 }
             }
-            ObjData::Pset { members, server_q } => {
-                for w in server_q {
+            ObjData::Pset {
+                members,
+                mut server_q,
+            } => {
+                for w in server_q.drain(&mut self.stats.waitq) {
                     self.unblock(w);
                 }
                 for m in members {
@@ -618,7 +624,7 @@ impl Kernel {
                     };
                     *locked = f.locked != 0;
                     if !*locked {
-                        waiters.pop_front()
+                        waiters.pop(&mut self.stats.waitq)
                     } else {
                         None
                     }
@@ -899,7 +905,7 @@ impl Kernel {
             *locked = true;
             Ok(SysOutcome::Done(ErrorCode::Success))
         } else {
-            waiters.push_back(t);
+            waiters.enqueue(t, &mut self.stats.waitq);
             Ok(cx.block(self, WaitReason::Mutex(m)))
         }
     }
@@ -935,7 +941,7 @@ impl Kernel {
             return Err(Self::fail(ErrorCode::InvalidHandle));
         };
         *locked = false;
-        let next = waiters.pop_front();
+        let next = waiters.pop(&mut self.stats.waitq);
         if let Some(w) = next {
             // The waiter re-executes `mutex_lock` from its register
             // continuation and re-contends.
@@ -966,7 +972,7 @@ impl Kernel {
                 return Err(Self::fail(ErrorCode::InvalidHandle));
             };
             *locked = false;
-            waiters.pop_front()
+            waiters.pop(&mut self.stats.waitq)
         };
         if let Some(w) = woken {
             self.unblock(w);
@@ -979,7 +985,7 @@ impl Kernel {
         let Some(ObjData::Cond { waiters }) = self.objects.get_mut(c).map(|o| &mut o.data) else {
             return Err(Self::fail(ErrorCode::InvalidHandle));
         };
-        waiters.push_back(t);
+        waiters.enqueue(t, &mut self.stats.waitq);
         Ok(cx.block(self, WaitReason::Cond(c)))
     }
 
@@ -995,7 +1001,7 @@ impl Kernel {
             else {
                 return Err(Self::fail(ErrorCode::InvalidHandle));
             };
-            waiters.pop_front()
+            waiters.pop(&mut self.stats.waitq)
         };
         if let Some(w) = woken {
             // The waiter's registers already say `mutex_lock(mutex)`.
@@ -1016,7 +1022,7 @@ impl Kernel {
             else {
                 return Err(Self::fail(ErrorCode::InvalidHandle));
             };
-            waiters.drain(..).collect()
+            waiters.drain(&mut self.stats.waitq)
         };
         for w in woken {
             self.unblock(w);
@@ -1099,7 +1105,7 @@ impl Kernel {
         if th.is_halted() {
             return Ok(SysOutcome::Done(ErrorCode::Success));
         }
-        th.joiners.push(t);
+        th.joiners.enqueue(t, &mut self.stats.waitq);
         Ok(cx.block(self, WaitReason::Join(target)))
     }
 
@@ -1129,6 +1135,11 @@ impl Kernel {
         if !any_live {
             return Ok(SysOutcome::Done(ErrorCode::Success));
         }
+        // Register on the space's wait queue so the halt path wakes us
+        // without scanning the thread arena.
+        if let Some(sp) = self.spaces.get_mut(sid.0) {
+            sp.idle_waiters.enqueue(t, &mut self.stats.waitq);
+        }
         Ok(cx.block(self, WaitReason::SpaceIdle(sid)))
     }
 
@@ -1150,6 +1161,11 @@ impl Kernel {
         };
         self.sched_remove(target);
         self.sched_push_front_here(target, prio);
+        // Register on the donee's wait queue so its halt path wakes us
+        // without scanning the thread arena.
+        if let Some(th) = self.threads.get_mut(target.0) {
+            th.donors.enqueue(t, &mut self.stats.waitq);
+        }
         Ok(cx.block(self, WaitReason::Donate(target)))
     }
 
@@ -1470,7 +1486,7 @@ impl Kernel {
     fn sys_port_wait(&mut self, cx: &mut SysCtx) -> SysResult {
         let t = cx.t;
         let h = cx.arg(self, ARG_HANDLE);
-        let p = self.lookup_typed(t, h, ObjType::Port)?;
+        let p = self.port_handle(t, h)?;
         self.klock_section();
         self.charge(self.cost.object_op);
         self.progress();
@@ -1481,7 +1497,7 @@ impl Kernel {
         else {
             return Err(Self::fail(ErrorCode::InvalidHandle));
         };
-        server_q.push_back(t);
+        server_q.enqueue(t, &mut self.stats.waitq);
         Ok(cx.block(self, WaitReason::PortWait(p)))
     }
 
@@ -1506,7 +1522,7 @@ impl Kernel {
         else {
             return Err(Self::fail(ErrorCode::InvalidHandle));
         };
-        server_q.push_back(t);
+        server_q.enqueue(t, &mut self.stats.waitq);
         Ok(cx.block(self, WaitReason::PsetWait(ps)))
     }
 }

@@ -121,17 +121,24 @@ impl Kernel {
     // Connection plumbing.
     // ------------------------------------------------------------------
 
-    /// Resolve a port handle (Port or Reference to a Port).
-    fn port_handle(&mut self, t: ThreadId, vaddr: u32) -> Result<ObjId, SysOutcome> {
+    /// Resolve a port handle (Port or Reference to a Port) through the
+    /// port-namespace index: one handle translation, one `Ref` chase at
+    /// most, counted under `kernel.port.index.*`. Every IPC handler that
+    /// names a port resolves it here (the single-lookup rule).
+    pub(crate) fn port_handle(&mut self, t: ThreadId, vaddr: u32) -> Result<ObjId, SysOutcome> {
         let id = self.lookup_handle(t, vaddr)?;
+        self.stats.port_lookups += 1;
         match self.objects.get(id).map(|o| &o.data) {
             Some(ObjData::Port { .. }) => Ok(id),
             Some(ObjData::Ref {
                 target: Some(tg), ..
-            }) => match self.objects.get(*tg).map(|o| &o.data) {
-                Some(ObjData::Port { .. }) => Ok(*tg),
-                _ => Err(Self::fail(ErrorCode::WrongType)),
-            },
+            }) => {
+                self.stats.port_ref_chases += 1;
+                match self.objects.get(*tg).map(|o| &o.data) {
+                    Some(ObjData::Port { .. }) => Ok(*tg),
+                    _ => Err(Self::fail(ErrorCode::WrongType)),
+                }
+            }
             _ => Err(Self::fail(ErrorCode::WrongType)),
         }
     }
@@ -140,7 +147,9 @@ impl Kernel {
     /// accept a newly queued connection.
     pub(crate) fn wake_port_server(&mut self, port: ObjId) {
         let (direct, pset) = match self.objects.get_mut(port).map(|o| &mut o.data) {
-            Some(ObjData::Port { server_q, pset, .. }) => (server_q.pop_front(), *pset),
+            Some(ObjData::Port { server_q, pset, .. }) => {
+                (server_q.pop(&mut self.stats.waitq), *pset)
+            }
             _ => (None, None),
         };
         if let Some(s) = direct {
@@ -149,7 +158,7 @@ impl Kernel {
         }
         if let Some(ps) = pset {
             let w = match self.objects.get_mut(ps).map(|o| &mut o.data) {
-                Some(ObjData::Pset { server_q, .. }) => server_q.pop_front(),
+                Some(ObjData::Pset { server_q, .. }) => server_q.pop(&mut self.stats.waitq),
                 _ => None,
             };
             if let Some(s) = w {
@@ -169,7 +178,7 @@ impl Kernel {
             return Err(Self::fail(ErrorCode::AlreadyConnected));
         }
         let conn = match self.objects.get_mut(port).map(|o| &mut o.data) {
-            Some(ObjData::Port { connect_q, .. }) => connect_q.pop_front(),
+            Some(ObjData::Port { connect_q, .. }) => connect_q.pop(&mut self.stats.waitq),
             _ => return Err(Self::fail(ErrorCode::InvalidHandle)),
         };
         let Some(conn) = conn else {
@@ -236,7 +245,7 @@ impl Kernel {
         if let Some(ObjData::Port { connect_q, .. }) =
             self.objects.get_mut(port).map(|o| &mut o.data)
         {
-            connect_q.push_back(conn);
+            connect_q.enqueue(conn, &mut self.stats.waitq);
         }
         {
             let th = self.threads.get_mut(t.0).expect("current");
@@ -267,11 +276,20 @@ impl Kernel {
         let Some(c) = self.conns.remove(conn.0) else {
             return;
         };
-        // Drop from the port's pending queue if never accepted.
+        // Drop from the port's pending queue if never accepted. With the
+        // port-namespace index this is an O(1) tombstone instead of the
+        // linear sweep the reference path performs — the scan that made
+        // connection churn O(pending²) at server scale.
         if let Some(ObjData::Port { connect_q, .. }) =
             self.objects.get_mut(c.port).map(|o| &mut o.data)
         {
-            connect_q.retain(|&q| q != conn);
+            if connect_q.cancel(conn, self.cfg.port_index, &mut self.stats.waitq) {
+                if self.cfg.port_index {
+                    self.stats.conn_unlinks_fast += 1;
+                } else {
+                    self.stats.conn_unlinks_linear += 1;
+                }
+            }
         }
         let mut ends = Vec::new();
         if let ClientEnd::Thread(t) = c.client {
@@ -1064,7 +1082,7 @@ impl Kernel {
                 else {
                     return Err(Self::fail(ErrorCode::InvalidHandle));
                 };
-                server_q.push_back(t);
+                server_q.enqueue(t, &mut self.stats.waitq);
                 Ok(cx.block(self, WaitReason::PortWait(id)))
             }
             Some(ObjType::Portset) => {
@@ -1083,7 +1101,7 @@ impl Kernel {
                 else {
                     return Err(Self::fail(ErrorCode::InvalidHandle));
                 };
-                server_q.push_back(t);
+                server_q.enqueue(t, &mut self.stats.waitq);
                 Ok(cx.block(self, WaitReason::PsetWait(id)))
             }
             _ => Err(Self::fail(ErrorCode::WrongType)),
@@ -1162,10 +1180,18 @@ impl Kernel {
         let port = self.port_handle(t, h)?;
         self.charge(self.cost.ipc_setup / 2);
         self.progress();
+        // Kernel-buffered messages precede this send. Normally the buffer
+        // and the receiver queue are never simultaneously non-empty (every
+        // buffering site flushes, every receiver-enqueue site drains the
+        // buffer first), so this flush is a no-op; it keeps port FIFO
+        // robust rather than implicit.
+        if self.port_has_buffered(port) {
+            self.flush_buffered(t, port);
+        }
         let receiver = match self.objects.get_mut(port).map(|o| &mut o.data) {
             Some(ObjData::Port {
                 oneway_receivers, ..
-            }) => oneway_receivers.pop_front(),
+            }) => oneway_receivers.pop(&mut self.stats.waitq),
             _ => return Err(Self::fail(ErrorCode::InvalidHandle)),
         };
         let Some(rt) = receiver else {
@@ -1174,7 +1200,7 @@ impl Kernel {
             else {
                 return Err(Self::fail(ErrorCode::InvalidHandle));
             };
-            oneway_senders.push_back(t);
+            oneway_senders.enqueue(t, &mut self.stats.waitq);
             cx.set_reg_committed(self, Reg::Eax, Sys::IpcSendOnewayMore.num());
             return Ok(cx.block(self, WaitReason::OnewaySend(port)));
         };
@@ -1206,7 +1232,7 @@ impl Kernel {
                     oneway_receivers, ..
                 }) = self.objects.get_mut(port).map(|o| &mut o.data)
                 {
-                    oneway_receivers.push_front(rt);
+                    oneway_receivers.requeue_front(rt, &mut self.stats.waitq);
                 }
                 Ok(SysOutcome::Block)
             }
@@ -1215,7 +1241,7 @@ impl Kernel {
                     oneway_receivers, ..
                 }) = self.objects.get_mut(port).map(|o| &mut o.data)
                 {
-                    oneway_receivers.push_front(rt);
+                    oneway_receivers.requeue_front(rt, &mut self.stats.waitq);
                 }
                 cx.set_reg(self, Reg::Eax, Sys::IpcSendOnewayMore.num());
                 Ok(SysOutcome::Chain)
@@ -1226,7 +1252,7 @@ impl Kernel {
                 else {
                     return Err(Self::fail(ErrorCode::InvalidHandle));
                 };
-                oneway_senders.push_back(t);
+                oneway_senders.enqueue(t, &mut self.stats.waitq);
                 cx.set_reg_committed(self, Reg::Eax, Sys::IpcSendOnewayMore.num());
                 Ok(cx.block(self, WaitReason::OnewaySend(port)))
             }
@@ -1235,7 +1261,7 @@ impl Kernel {
                     oneway_receivers, ..
                 }) = self.objects.get_mut(port).map(|o| &mut o.data)
                 {
-                    oneway_receivers.push_front(rt);
+                    oneway_receivers.requeue_front(rt, &mut self.stats.waitq);
                 }
                 Ok(SysOutcome::Preempted)
             }
@@ -1251,8 +1277,15 @@ impl Kernel {
         let port = self.port_handle(t, h)?;
         self.charge(self.cost.ipc_setup / 2);
         self.progress();
+        // Kernel-buffered messages (queued by the batched-submission path)
+        // deliver before any rendezvous sender: they were sent first. The
+        // check is free when the buffer is empty, which it always is for
+        // programs that never call `ipc_submit`.
+        if self.port_has_buffered(port) {
+            return self.receive_buffered(cx, port);
+        }
         let sender = match self.objects.get_mut(port).map(|o| &mut o.data) {
-            Some(ObjData::Port { oneway_senders, .. }) => oneway_senders.pop_front(),
+            Some(ObjData::Port { oneway_senders, .. }) => oneway_senders.pop(&mut self.stats.waitq),
             _ => return Err(Self::fail(ErrorCode::InvalidHandle)),
         };
         let Some(st) = sender else {
@@ -1265,7 +1298,7 @@ impl Kernel {
             else {
                 return Err(Self::fail(ErrorCode::InvalidHandle));
             };
-            oneway_receivers.push_back(t);
+            oneway_receivers.enqueue(t, &mut self.stats.waitq);
             cx.set_reg_committed(self, Reg::Eax, Sys::IpcWaitReceiveOneway.num());
             return Ok(cx.block(self, WaitReason::OnewayReceive(port)));
         };
@@ -1293,7 +1326,7 @@ impl Kernel {
                 if let Some(ObjData::Port { oneway_senders, .. }) =
                     self.objects.get_mut(port).map(|o| &mut o.data)
                 {
-                    oneway_senders.push_front(st);
+                    oneway_senders.requeue_front(st, &mut self.stats.waitq);
                 }
                 Ok(SysOutcome::Block)
             }
@@ -1301,7 +1334,7 @@ impl Kernel {
                 if let Some(ObjData::Port { oneway_senders, .. }) =
                     self.objects.get_mut(port).map(|o| &mut o.data)
                 {
-                    oneway_senders.push_front(st);
+                    oneway_senders.requeue_front(st, &mut self.stats.waitq);
                 }
                 cx.set_reg(self, Reg::Eax, Sys::IpcWaitReceiveOneway.num());
                 Ok(SysOutcome::Chain)
@@ -1313,7 +1346,7 @@ impl Kernel {
                 else {
                     return Err(Self::fail(ErrorCode::InvalidHandle));
                 };
-                oneway_receivers.push_back(t);
+                oneway_receivers.enqueue(t, &mut self.stats.waitq);
                 cx.set_reg_committed(self, Reg::Eax, Sys::IpcWaitReceiveOneway.num());
                 Ok(cx.block(self, WaitReason::OnewayReceive(port)))
             }
@@ -1321,12 +1354,147 @@ impl Kernel {
                 if let Some(ObjData::Port { oneway_senders, .. }) =
                     self.objects.get_mut(port).map(|o| &mut o.data)
                 {
-                    oneway_senders.push_front(st);
+                    oneway_senders.requeue_front(st, &mut self.stats.waitq);
                 }
                 Ok(SysOutcome::Preempted)
             }
             PumpOut::FatalCurrent => Ok(SysOutcome::Kill("fatal IPC fault")),
             PumpOut::FatalPeer => Err(Self::fail(ErrorCode::PeerDisconnected)),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel-buffered one-way messages (batched submission).
+    // ------------------------------------------------------------------
+
+    /// Does the port hold kernel-buffered messages from `ipc_submit`?
+    pub(crate) fn port_has_buffered(&self, port: ObjId) -> bool {
+        matches!(
+            self.objects.get(port).map(|o| &o.data),
+            Some(ObjData::Port { buffered, .. }) if !buffered.is_empty()
+        )
+    }
+
+    /// Deliver the head buffered message into the current thread's receive
+    /// window. A single-ended version of the pump: the sender already
+    /// completed at submit time, so only the receiver can fault, restart,
+    /// or get preempted. Partial progress lives in the message's `pos`,
+    /// which survives a receiver fault so the restart resumes mid-message.
+    pub(crate) fn receive_buffered(&mut self, cx: &mut SysCtx, port: ObjId) -> SysResult {
+        let t = cx.t;
+        let (bytes, mut pos) = {
+            let Some(ObjData::Port { buffered, .. }) =
+                self.objects.get_mut(port).map(|o| &mut o.data)
+            else {
+                return Err(Self::fail(ErrorCode::InvalidHandle));
+            };
+            let msg = buffered.front().expect("caller checked non-empty");
+            (msg.bytes.clone(), msg.pos)
+        };
+        // Writes the in-flight position back to the queued message before
+        // any exit that leaves it at the head.
+        macro_rules! park_msg {
+            () => {
+                if let Some(ObjData::Port { buffered, .. }) =
+                    self.objects.get_mut(port).map(|o| &mut o.data)
+                {
+                    if let Some(m) = buffered.front_mut() {
+                        m.pos = pos;
+                    }
+                }
+            };
+        }
+        let mut since_check: u32 = 0;
+        while pos < bytes.len() {
+            let r = &self.threads.get(t.0).expect("receiver").regs;
+            let window = r.get(ARG_COUNT);
+            let r_ptr = r.get(ARG_RBUF);
+            if window == 0 {
+                // One-way: excess bytes are dropped; the receiver learns it.
+                self.pop_buffered(port);
+                return Ok(SysOutcome::Done(ErrorCode::Truncated));
+            }
+            let mut chunk = (bytes.len() - pos) as u32;
+            chunk = chunk.min(window);
+            chunk = chunk.min(PAGE_SIZE - r_ptr % PAGE_SIZE);
+            match self.cfg.preempt {
+                Preemption::Partial => {
+                    chunk = chunk.min(PP_CHUNK_BYTES - since_check % PP_CHUNK_BYTES)
+                }
+                Preemption::Full => {
+                    chunk = chunk.min(FP_CHUNK_BYTES - since_check % FP_CHUNK_BYTES)
+                }
+                Preemption::None => {}
+            }
+            let space = match self.threads.get(t.0).and_then(|x| x.space) {
+                Some(s) => s,
+                None => {
+                    self.pop_buffered(port);
+                    return match self.pump_fatal(t, t) {
+                        PumpOut::FatalCurrent => Ok(SysOutcome::Kill("fatal IPC fault")),
+                        _ => unreachable!("victim is current"),
+                    };
+                }
+            };
+            let (rf, ro) = match self.pump_translate(t, space, r_ptr, true, FaultSide::Client) {
+                Ok(loc) => loc,
+                Err(f) => {
+                    park_msg!();
+                    return match self.pump_fault(f, t, t, Sys::IpcWaitReceiveOneway) {
+                        PumpOut::BlockedCurrent => Ok(SysOutcome::Block),
+                        PumpOut::RestartCurrent => {
+                            cx.set_reg(self, Reg::Eax, Sys::IpcWaitReceiveOneway.num());
+                            Ok(SysOutcome::Chain)
+                        }
+                        PumpOut::FatalCurrent => Ok(SysOutcome::Kill("fatal IPC fault")),
+                        _ => unreachable!("faulter is current"),
+                    };
+                }
+            };
+            self.phys
+                .write_slice(rf, ro, &bytes[pos..pos + chunk as usize]);
+            self.progress();
+            self.kprof.enter(crate::kprof::Phase::IpcCopy);
+            self.charge(self.cost.copy_byte_per * chunk as u64);
+            self.kprof.exit();
+            self.end_advance(XferEnd::User(t), false, chunk);
+            pos += chunk as usize;
+            self.audit_commit(t);
+            self.stats.ipc_bytes += chunk as u64;
+            self.ktrace(TraceEvent::IpcTransfer {
+                thread: t,
+                bytes: chunk,
+            });
+            since_check += chunk;
+            let check = match self.cfg.preempt {
+                Preemption::Partial => since_check >= PP_CHUNK_BYTES,
+                Preemption::Full => since_check >= FP_CHUNK_BYTES,
+                Preemption::None => false,
+            };
+            if check {
+                since_check = 0;
+                self.charge(self.cost.preempt_check);
+                if self.cur_cpu_mut().resched {
+                    self.stats.preempt_points_taken += 1;
+                    park_msg!();
+                    self.set_reg_committed(t, Reg::Eax, Sys::IpcWaitReceiveOneway.num());
+                    self.preempt_current_in_kernel(t);
+                    return Ok(SysOutcome::Preempted);
+                }
+            }
+        }
+        self.pop_buffered(port);
+        self.stats.ipc_messages += 1;
+        self.ktrace(TraceEvent::IpcMessage { thread: t });
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    /// Drop the delivered (or truncated) head message.
+    pub(crate) fn pop_buffered(&mut self, port: ObjId) {
+        if let Some(ObjData::Port { buffered, .. }) =
+            self.objects.get_mut(port).map(|o| &mut o.data)
+        {
+            buffered.pop_front();
         }
     }
 }

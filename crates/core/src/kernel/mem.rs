@@ -288,7 +288,7 @@ impl Kernel {
         if let Some(ObjData::Port { connect_q, .. }) =
             self.objects.get_mut(keeper).map(|o| &mut o.data)
         {
-            connect_q.push_back(conn);
+            connect_q.enqueue(conn, &mut self.stats.waitq);
         }
         self.wake_port_server(keeper);
         // Block the faulter at its (by construction clean) restart point.

@@ -22,6 +22,7 @@ mod dispatch;
 mod ipc;
 pub(crate) mod mem;
 mod run;
+mod submit;
 mod sysctx;
 
 pub use sysctx::block_audit_hits;
@@ -1422,40 +1423,41 @@ impl Kernel {
         let RunState::Blocked(reason) = th.state else {
             return;
         };
+        let indexed = self.cfg.port_index;
         match reason {
             WaitReason::Mutex(o) => {
                 if let Some(crate::object::ObjData::Mutex { waiters, .. }) =
                     self.objects.get_mut(o).map(|ob| &mut ob.data)
                 {
-                    waiters.retain(|&w| w != t);
+                    waiters.cancel(t, indexed, &mut self.stats.waitq);
                 }
             }
             WaitReason::Cond(o) => {
                 if let Some(crate::object::ObjData::Cond { waiters }) =
                     self.objects.get_mut(o).map(|ob| &mut ob.data)
                 {
-                    waiters.retain(|&w| w != t);
+                    waiters.cancel(t, indexed, &mut self.stats.waitq);
                 }
             }
             WaitReason::PortWait(o) => {
                 if let Some(crate::object::ObjData::Port { server_q, .. }) =
                     self.objects.get_mut(o).map(|ob| &mut ob.data)
                 {
-                    server_q.retain(|&w| w != t);
+                    server_q.cancel(t, indexed, &mut self.stats.waitq);
                 }
             }
             WaitReason::PsetWait(o) => {
                 if let Some(crate::object::ObjData::Pset { server_q, .. }) =
                     self.objects.get_mut(o).map(|ob| &mut ob.data)
                 {
-                    server_q.retain(|&w| w != t);
+                    server_q.cancel(t, indexed, &mut self.stats.waitq);
                 }
             }
             WaitReason::OnewaySend(o) => {
                 if let Some(crate::object::ObjData::Port { oneway_senders, .. }) =
                     self.objects.get_mut(o).map(|ob| &mut ob.data)
                 {
-                    oneway_senders.retain(|&w| w != t);
+                    oneway_senders.cancel(t, indexed, &mut self.stats.waitq);
                 }
             }
             WaitReason::OnewayReceive(o) => {
@@ -1463,7 +1465,7 @@ impl Kernel {
                     oneway_receivers, ..
                 }) = self.objects.get_mut(o).map(|ob| &mut ob.data)
                 {
-                    oneway_receivers.retain(|&w| w != t);
+                    oneway_receivers.cancel(t, indexed, &mut self.stats.waitq);
                 }
             }
             WaitReason::IpcConnect(_)
@@ -1477,10 +1479,20 @@ impl Kernel {
             }
             WaitReason::Join(target) => {
                 if let Some(tt) = self.threads.get_mut(target.0) {
-                    tt.joiners.retain(|&w| w != t);
+                    tt.joiners.cancel(t, indexed, &mut self.stats.waitq);
                 }
             }
-            WaitReason::Sleep | WaitReason::SpaceIdle(_) | WaitReason::Donate(_) => {}
+            WaitReason::SpaceIdle(sid) => {
+                if let Some(sp) = self.spaces.get_mut(sid.0) {
+                    sp.idle_waiters.cancel(t, indexed, &mut self.stats.waitq);
+                }
+            }
+            WaitReason::Donate(d) => {
+                if let Some(tt) = self.threads.get_mut(d.0) {
+                    tt.donors.cancel(t, indexed, &mut self.stats.waitq);
+                }
+            }
+            WaitReason::Sleep => {}
         }
     }
 
@@ -1503,14 +1515,15 @@ impl Kernel {
         }
         let th = self.threads.get_mut(t.0).unwrap();
         th.state = RunState::Halted;
-        let joiners = std::mem::take(&mut th.joiners);
+        let mut joiners = std::mem::take(&mut th.joiners);
+        let mut donor_q = std::mem::take(&mut th.donors);
         let conn = th.ipc.conn.take();
         th.ipc.role = None;
         let space = th.space;
         self.clear_running_cpu(t);
         self.ktrace(TraceEvent::Halt { thread: t });
         self.stats.kmem_delta(-(self.cfg.per_thread_kmem() as i64));
-        for j in joiners {
+        for j in joiners.drain(&mut self.stats.waitq) {
             self.complete_blocked(j, ErrorCode::Success);
         }
         if let Some(c) = conn {
@@ -1518,31 +1531,28 @@ impl Kernel {
         }
         // Wake `space_wait_threads` waiters if this was the space's last
         // live thread, and `sched_donate` donors waiting on this thread.
+        // Both sets live on wait queues now; the liveness predicate still
+        // scans the arena because `space.threads` can go stale across
+        // thread-state migration. Wakes are ordered by thread id to match
+        // the arena-scan order this replaced.
         if let Some(sid) = space {
             let any_live = self
                 .threads
                 .iter()
                 .any(|(_, x)| x.space == Some(sid) && !x.is_halted());
             if !any_live {
-                let waiters: Vec<ThreadId> = self
-                    .threads
-                    .iter()
-                    .filter(|(_, x)| {
-                        matches!(x.state, RunState::Blocked(WaitReason::SpaceIdle(s)) if s == sid)
-                    })
-                    .map(|(i, _)| ThreadId(i))
-                    .collect();
+                let mut waiters: Vec<ThreadId> = match self.spaces.get_mut(sid.0) {
+                    Some(sp) => sp.idle_waiters.drain(&mut self.stats.waitq),
+                    None => Vec::new(),
+                };
+                waiters.sort_by_key(|w| w.0);
                 for w in waiters {
                     self.complete_blocked(w, ErrorCode::Success);
                 }
             }
         }
-        let donors: Vec<ThreadId> = self
-            .threads
-            .iter()
-            .filter(|(_, x)| matches!(x.state, RunState::Blocked(WaitReason::Donate(d)) if d == t))
-            .map(|(i, _)| ThreadId(i))
-            .collect();
+        let mut donors = donor_q.drain(&mut self.stats.waitq);
+        donors.sort_by_key(|d| d.0);
         for d in donors {
             self.complete_blocked(d, ErrorCode::Success);
         }

@@ -1,0 +1,398 @@
+//! `ipc_submit`: batched one-way IPC submission.
+//!
+//! A batch is a user-memory ring of four-word descriptors (see
+//! [`fluke_api::abi`], `SUBMIT_*`). One kernel entry processes as many
+//! descriptors as it can, paying the entry/exit cost once instead of per
+//! message. Progress is the `edx` done-count, committed only at
+//! descriptor boundaries, so the atomic-API contract holds: a fault or
+//! preemption mid-batch leaves `{esi=ring, ecx=count, edx=done}` as a
+//! complete continuation and the call restarts at the first unfinished
+//! descriptor. Per-descriptor work is idempotent up to its commit
+//! (result word written before kernel state changes), so replays after
+//! a descriptor-page fault are safe.
+//!
+//! Submitted sends always *buffer*: the message bytes are copied into a
+//! bounded kernel queue on the port ([`PORT_BUF_MSGS`] messages of up to
+//! [`SUBMIT_MAX_MSG`] bytes) and the send completes without rendezvous.
+//! After each buffered send the submitter flushes the queue into any
+//! blocked plain receivers, in its own context — the batched analogue of
+//! the pump running in the sender. A descriptor that cannot make
+//! progress without sleeping (receive on an empty port, send to a full
+//! buffer) is *spilled*: the registers are rewritten to the equivalent
+//! plain entrypoint and the dispatch chains to it, exactly the
+//! `cond_wait` → `mutex_lock` continuation rewrite — so the blocked
+//! thread is indistinguishable from one that called the plain op, and
+//! every wait queue holds only plain-shaped continuations. The spilled
+//! op's completion is reported through `eax` like any plain call; `edx`
+//! still says how many earlier descriptors committed.
+//!
+//! Ordering: plain receives drain the buffer before rendezvousing with
+//! senders, and plain sends flush (or join) the buffer before
+//! rendezvousing, so buffered messages never get overtaken on a port.
+
+use fluke_api::abi::{
+    ARG_COUNT, ARG_HANDLE, ARG_RBUF, ARG_SBUF, ARG_VAL, PORT_BUF_MSGS, SUBMIT_DESC_WORDS,
+    SUBMIT_DONE, SUBMIT_MAX_MSG, SUBMIT_OP_NOWAIT, SUBMIT_OP_RECV, SUBMIT_RESULT_SHIFT,
+};
+use fluke_api::{ErrorCode, Sys};
+use fluke_arch::Reg;
+
+use crate::ids::{ObjId, ThreadId};
+use crate::kstat::FaultSide;
+use crate::object::{BufferedMsg, ObjData};
+use crate::trace::TraceEvent;
+
+use super::mem::PumpFault;
+use super::{Kernel, SysCtx, SysOutcome, SysResult};
+
+impl Kernel {
+    /// `ipc_submit(esi=ring, ecx=count, edx=done)`.
+    pub(crate) fn sys_ipc_submit(&mut self, cx: &mut SysCtx) -> SysResult {
+        let t = cx.t;
+        let ring = cx.arg(self, ARG_SBUF);
+        let count = cx.arg(self, ARG_COUNT);
+        let mut done = cx.arg(self, ARG_VAL);
+        self.charge(self.cost.ipc_setup / 2);
+        self.progress();
+        self.stats.ipc_submit_batches += 1;
+        while done < count {
+            let base = ring.wrapping_add(done.wrapping_mul(SUBMIT_DESC_WORDS * 4));
+            // Descriptor reads can fault; nothing is committed yet, so the
+            // restart replays this descriptor from the top.
+            let opflags = self.read_user_u32(t, base)?;
+            let port_h = self.read_user_u32(t, base + 4)?;
+            let buf = self.read_user_u32(t, base + 8)?;
+            let len = self.read_user_u32(t, base + 12)?;
+            self.charge(self.cost.ipc_setup / 2);
+            self.progress();
+            self.stats.ipc_submit_ops += 1;
+            if opflags & SUBMIT_OP_RECV != 0 {
+                self.submit_recv(cx, opflags, port_h, base, buf, len)?;
+            } else {
+                self.submit_send(cx, opflags, port_h, base, buf, len)?;
+            }
+            // Descriptor boundary: commit the advanced cursor. This is
+            // also the batch's explicit preemption point — the registers
+            // are a clean `ipc_submit` continuation right here.
+            done += 1;
+            cx.set_reg(self, ARG_VAL, done);
+            cx.commit(self);
+            if done < count {
+                self.charge(self.cost.preempt_check);
+                if self.cur_cpu_mut().resched {
+                    self.stats.preempt_points_taken += 1;
+                    return Ok(cx.preempt(self));
+                }
+            }
+        }
+        Ok(SysOutcome::Done(ErrorCode::Success))
+    }
+
+    /// Resolve a per-descriptor port handle. Lookup failures complete the
+    /// descriptor with the error code (the batch carries on); page faults
+    /// propagate and replay the descriptor.
+    fn submit_port(
+        &mut self,
+        t: ThreadId,
+        port_h: u32,
+        opflags: u32,
+        base: u32,
+    ) -> Result<Option<ObjId>, SysOutcome> {
+        match self.port_handle(t, port_h) {
+            Ok(p) => Ok(Some(p)),
+            Err(SysOutcome::Done(code)) => {
+                self.submit_write_result(t, base, opflags, code)?;
+                Ok(None)
+            }
+            Err(other) => Err(other),
+        }
+    }
+
+    /// Complete a descriptor: result code and done-bit into word 0.
+    fn submit_write_result(
+        &mut self,
+        t: ThreadId,
+        base: u32,
+        opflags: u32,
+        code: ErrorCode,
+    ) -> Result<(), SysOutcome> {
+        let word = (opflags & 0xffff) | ((code as u32) << SUBMIT_RESULT_SHIFT) | SUBMIT_DONE;
+        self.write_user_u32(t, base, word)
+    }
+
+    /// One submitted send: copy the message into the port's kernel buffer
+    /// and flush to blocked receivers. Never rendezvouses directly.
+    fn submit_send(
+        &mut self,
+        cx: &mut SysCtx,
+        opflags: u32,
+        port_h: u32,
+        base: u32,
+        buf: u32,
+        len: u32,
+    ) -> Result<(), SysOutcome> {
+        let t = cx.t;
+        let Some(port) = self.submit_port(t, port_h, opflags, base)? else {
+            return Ok(());
+        };
+        if len > SUBMIT_MAX_MSG {
+            return self.submit_write_result(t, base, opflags, ErrorCode::InvalidArg);
+        }
+        // A plain sender already blocked on the port was sent earlier;
+        // buffering now would let this message overtake it (receivers
+        // drain the buffer before rendezvousing). Spill behind it instead.
+        let senders_queued = matches!(
+            self.objects.get(port).map(|o| &o.data),
+            Some(ObjData::Port { oneway_senders, .. }) if !oneway_senders.is_empty()
+        );
+        if senders_queued || self.buffered_len(port) >= PORT_BUF_MSGS {
+            if opflags & SUBMIT_OP_NOWAIT != 0 {
+                return self.submit_write_result(t, base, opflags, ErrorCode::WouldBlock);
+            }
+            // Spill: continue as a plain rendezvous send. The blocked
+            // thread is then plain-send-shaped; receivers drain the
+            // buffer before rendezvousing, so FIFO holds.
+            cx.set_reg(self, ARG_HANDLE, port_h);
+            cx.set_reg(self, ARG_SBUF, buf);
+            cx.set_reg(self, ARG_COUNT, len);
+            cx.set_reg(self, Reg::Eax, Sys::IpcSendOneway.num());
+            cx.commit(self);
+            return Err(SysOutcome::Chain);
+        }
+        // Copy user→kernel in the submitter's context (faults replay the
+        // descriptor; nothing below has happened yet).
+        let mut bytes = vec![0u8; len as usize];
+        for (i, b) in bytes.iter_mut().enumerate() {
+            let (f, off) = self.user_translate(t, buf.wrapping_add(i as u32), false)?;
+            *b = self.phys.read_u8(f, off);
+        }
+        self.kprof.enter(crate::kprof::Phase::IpcCopy);
+        self.charge(self.cost.copy_byte_per * len as u64);
+        self.kprof.exit();
+        // Commit order: result word (replay-idempotent), then the
+        // irreversible kernel-state change, then the caller's cursor.
+        self.submit_write_result(t, base, opflags, ErrorCode::Success)?;
+        let Some(ObjData::Port { buffered, .. }) = self.objects.get_mut(port).map(|o| &mut o.data)
+        else {
+            return Ok(()); // port died after the result was written
+        };
+        buffered.push_back(BufferedMsg { bytes, pos: 0 });
+        self.stats.ipc_submit_buffered += 1;
+        self.flush_buffered(t, port);
+        Ok(())
+    }
+
+    /// One submitted receive: drain the port's kernel buffer if it has a
+    /// message; otherwise spill to the plain receive entrypoint (which
+    /// rendezvouses or sleeps) or complete with `WouldBlock`.
+    fn submit_recv(
+        &mut self,
+        cx: &mut SysCtx,
+        opflags: u32,
+        port_h: u32,
+        base: u32,
+        buf: u32,
+        len: u32,
+    ) -> Result<(), SysOutcome> {
+        let t = cx.t;
+        let Some(port) = self.submit_port(t, port_h, opflags, base)? else {
+            return Ok(());
+        };
+        if self.port_has_buffered(port) {
+            // Deliver the head message's tail into this descriptor's
+            // buffer. `pos` is only advanced at completion: a fault
+            // mid-copy replays the whole descriptor, rewriting the same
+            // bytes — idempotent, and immune to cursor drift.
+            let (bytes, pos) = {
+                let Some(ObjData::Port { buffered, .. }) =
+                    self.objects.get_mut(port).map(|o| &mut o.data)
+                else {
+                    return self.submit_write_result(t, base, opflags, ErrorCode::InvalidHandle);
+                };
+                let m = buffered.front().expect("checked non-empty");
+                (m.bytes.clone(), m.pos)
+            };
+            let avail = (bytes.len() - pos) as u32;
+            let deliver = avail.min(len);
+            for i in 0..deliver {
+                let (f, off) = self.user_translate(t, buf.wrapping_add(i), true)?;
+                self.phys.write_u8(f, off, bytes[pos + i as usize]);
+            }
+            self.kprof.enter(crate::kprof::Phase::IpcCopy);
+            self.charge(self.cost.copy_byte_per * deliver as u64);
+            self.kprof.exit();
+            let code = if deliver < avail {
+                ErrorCode::Truncated // excess dropped, as in plain one-way
+            } else {
+                ErrorCode::Success
+            };
+            self.write_user_u32(t, base + 12, deliver)?;
+            self.submit_write_result(t, base, opflags, code)?;
+            self.pop_buffered(port);
+            self.stats.ipc_bytes += deliver as u64;
+            self.stats.ipc_messages += 1;
+            self.ktrace(TraceEvent::IpcMessage { thread: t });
+            return Ok(());
+        }
+        let has_sender = matches!(
+            self.objects.get(port).map(|o| &o.data),
+            Some(ObjData::Port { oneway_senders, .. }) if !oneway_senders.is_empty()
+        );
+        if !has_sender && opflags & SUBMIT_OP_NOWAIT != 0 {
+            return self.submit_write_result(t, base, opflags, ErrorCode::WouldBlock);
+        }
+        // Spill: rendezvous (or sleep) as the plain receive entrypoint.
+        cx.set_reg(self, ARG_HANDLE, port_h);
+        cx.set_reg(self, ARG_RBUF, buf);
+        cx.set_reg(self, ARG_COUNT, len);
+        let entry = if opflags & SUBMIT_OP_NOWAIT != 0 {
+            Sys::IpcReceiveOneway
+        } else {
+            Sys::IpcWaitReceiveOneway
+        };
+        cx.set_reg(self, Reg::Eax, entry.num());
+        cx.commit(self);
+        Err(SysOutcome::Chain)
+    }
+
+    /// Number of kernel-buffered messages on a port.
+    pub(crate) fn buffered_len(&self, port: ObjId) -> usize {
+        match self.objects.get(port).map(|o| &o.data) {
+            Some(ObjData::Port { buffered, .. }) => buffered.len(),
+            _ => 0,
+        }
+    }
+
+    /// Flush the port's kernel buffer into blocked plain receivers, in
+    /// the current thread's context (the batched analogue of the pump
+    /// running in the sender). Bounded by the buffer cap. A receiver
+    /// that hard-faults goes to its pager with the message's `pos`
+    /// preserved; the head message then continues into the next receiver
+    /// — the same split-delivery semantics a faulted rendezvous has.
+    pub(crate) fn flush_buffered(&mut self, current: ThreadId, port: ObjId) {
+        loop {
+            let (bytes, mut pos) = {
+                let Some(ObjData::Port { buffered, .. }) =
+                    self.objects.get_mut(port).map(|o| &mut o.data)
+                else {
+                    return;
+                };
+                match buffered.front() {
+                    Some(m) => (m.bytes.clone(), m.pos),
+                    None => return,
+                }
+            };
+            let rt = {
+                let Some(ObjData::Port {
+                    oneway_receivers, ..
+                }) = self.objects.get_mut(port).map(|o| &mut o.data)
+                else {
+                    return;
+                };
+                match oneway_receivers.pop(&mut self.stats.waitq) {
+                    Some(rt) => rt,
+                    None => return,
+                }
+            };
+            let mut receiver_parked = false;
+            while pos < bytes.len() {
+                let r = &self.threads.get(rt.0).expect("receiver").regs;
+                let window = r.get(ARG_COUNT);
+                let r_ptr = r.get(ARG_RBUF);
+                if window == 0 {
+                    // Excess dropped; the receiver learns it (plain
+                    // one-way truncation semantics).
+                    self.pop_buffered(port);
+                    self.complete_blocked(rt, ErrorCode::Truncated);
+                    receiver_parked = true;
+                    break;
+                }
+                let chunk = ((bytes.len() - pos) as u32)
+                    .min(window)
+                    .min(fluke_api::abi::PAGE_SIZE - r_ptr % fluke_api::abi::PAGE_SIZE);
+                let space = match self.threads.get(rt.0).and_then(|x| x.space) {
+                    Some(s) => s,
+                    None => {
+                        // Receiver died: the message (and any undelivered
+                        // tail) goes to the next receiver instead.
+                        self.stats.fatal_faults += 1;
+                        self.kill_thread(rt, "fatal fault during IPC");
+                        receiver_parked = true;
+                        break;
+                    }
+                };
+                match self.pump_translate(current, space, r_ptr, true, FaultSide::Client) {
+                    Ok((rf, ro)) => {
+                        self.phys
+                            .write_slice(rf, ro, &bytes[pos..pos + chunk as usize]);
+                        self.progress();
+                        self.kprof.enter(crate::kprof::Phase::IpcCopy);
+                        self.charge(self.cost.copy_byte_per * chunk as u64);
+                        self.kprof.exit();
+                        self.end_advance_user_recv(rt, chunk);
+                        pos += chunk as usize;
+                        self.park_buffered_pos(port, pos);
+                        self.stats.ipc_bytes += chunk as u64;
+                        self.ktrace(TraceEvent::IpcTransfer {
+                            thread: current,
+                            bytes: chunk,
+                        });
+                    }
+                    Err(PumpFault::SoftCross) => {
+                        // Resolved inline; retry the chunk (the page is
+                        // mapped now, so this terminates).
+                        continue;
+                    }
+                    Err(PumpFault::Hard {
+                        region,
+                        offset,
+                        keeper,
+                        write,
+                        side,
+                    }) => {
+                        self.set_reg_committed(rt, Reg::Eax, Sys::IpcWaitReceiveOneway.num());
+                        self.raise_hard_fault(rt, region, offset, write, keeper, side, true, true);
+                        receiver_parked = true;
+                        break;
+                    }
+                    Err(PumpFault::Fatal) => {
+                        self.stats.fatal_faults += 1;
+                        self.kill_thread(rt, "fatal fault during IPC");
+                        receiver_parked = true;
+                        break;
+                    }
+                }
+            }
+            if receiver_parked {
+                continue;
+            }
+            // Message fully delivered.
+            self.pop_buffered(port);
+            self.stats.ipc_messages += 1;
+            self.ktrace(TraceEvent::IpcMessage { thread: current });
+            self.kspan_stitch(current, rt);
+            self.complete_blocked(rt, ErrorCode::Success);
+        }
+    }
+
+    /// Record partial delivery progress on the head buffered message.
+    fn park_buffered_pos(&mut self, port: ObjId, pos: usize) {
+        if let Some(ObjData::Port { buffered, .. }) =
+            self.objects.get_mut(port).map(|o| &mut o.data)
+        {
+            if let Some(m) = buffered.front_mut() {
+                m.pos = pos;
+            }
+        }
+    }
+
+    /// Advance a blocked receiver's window registers after a delivery
+    /// chunk (the flush-side twin of the pump's `end_advance`).
+    fn end_advance_user_recv(&mut self, rt: ThreadId, n: u32) {
+        let r = &mut self.threads.get_mut(rt.0).expect("receiver").regs;
+        let p = r.get(ARG_RBUF);
+        r.set(ARG_RBUF, p.wrapping_add(n));
+        let c = r.get(ARG_COUNT);
+        r.set(ARG_COUNT, c - n);
+    }
+}

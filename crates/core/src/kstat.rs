@@ -194,6 +194,31 @@ pub struct Stats {
     /// Total cycles consumed by TLB shootdowns: IPI sends on the
     /// initiating CPU plus ack/invalidate work on the remotes.
     pub tlb_shootdown_cycles: Cycles,
+    /// Unified wait-queue operation counters (`kernel.waitq.*`), aggregated
+    /// across every queue in the kernel. Host-side observability only.
+    pub waitq: crate::waitq::WaitqStats,
+    /// Port-handle resolutions through the shared port-namespace lookup
+    /// (`kernel.port.index.lookups`).
+    pub port_lookups: u64,
+    /// Port lookups that chased a cross-space `Ref` indirection
+    /// (`kernel.port.index.ref_chases`).
+    pub port_ref_chases: u64,
+    /// Connection unlinks from a port's connect queue that took the O(1)
+    /// indexed path (`kernel.port.index.unlinks_fast`).
+    pub conn_unlinks_fast: u64,
+    /// Connection unlinks that took the linear reference path — the
+    /// `port_index = false` differential oracle
+    /// (`kernel.port.index.unlinks_linear`).
+    pub conn_unlinks_linear: u64,
+    /// One-way messages buffered in the kernel by the batched-submission
+    /// path (`kernel.ipc.submit.buffered`).
+    pub ipc_submit_buffered: u64,
+    /// Descriptor operations completed by `ipc_submit`
+    /// (`kernel.ipc.submit.ops`).
+    pub ipc_submit_ops: u64,
+    /// `ipc_submit` batches fully completed in one return
+    /// (`kernel.ipc.submit.batches`).
+    pub ipc_submit_batches: u64,
 }
 
 impl Stats {
@@ -531,6 +556,26 @@ impl Kernel {
 
         r.counter("kernel.ipc.bytes", s.ipc_bytes);
         r.counter("kernel.ipc.messages", s.ipc_messages);
+        r.counter("kernel.ipc.submit.buffered", s.ipc_submit_buffered);
+        r.counter("kernel.ipc.submit.ops", s.ipc_submit_ops);
+        r.counter("kernel.ipc.submit.batches", s.ipc_submit_batches);
+
+        r.counter("kernel.waitq.enqueues", s.waitq.enqueues);
+        r.counter("kernel.waitq.requeues", s.waitq.requeues);
+        r.counter("kernel.waitq.wakes", s.waitq.wakes);
+        r.counter("kernel.waitq.wake_alls", s.waitq.wake_alls);
+        r.counter("kernel.waitq.cancels", s.waitq.cancels);
+        r.counter("kernel.waitq.cancels_linear", s.waitq.cancels_linear);
+        r.counter(
+            "kernel.waitq.tombstones_skipped",
+            s.waitq.tombstones_skipped,
+        );
+        r.counter("kernel.waitq.compactions", s.waitq.compactions);
+
+        r.counter("kernel.port.index.lookups", s.port_lookups);
+        r.counter("kernel.port.index.ref_chases", s.port_ref_chases);
+        r.counter("kernel.port.index.unlinks_fast", s.conn_unlinks_fast);
+        r.counter("kernel.port.index.unlinks_linear", s.conn_unlinks_linear);
 
         let tlb = self.tlb_stats();
         r.counter("kernel.tlb.hits", tlb.hits);

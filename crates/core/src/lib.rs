@@ -42,6 +42,7 @@ pub mod space;
 pub mod thread;
 pub mod tlb;
 pub mod trace;
+pub mod waitq;
 
 pub use config::{Config, ExecModel, Preemption, TraceConfig, PP_CHUNK_BYTES};
 pub use ids::{ConnId, ObjId, SpaceId, ThreadId};
@@ -56,3 +57,4 @@ pub use kstat::{
 pub use thread::{NativeAction, NativeBody, RunState, WaitReason};
 pub use tlb::TlbStats;
 pub use trace::{Histogram, TraceEvent, TraceRecord, TraceRing, Tracer, UserVisible};
+pub use waitq::{WaitQueue, WaitqStats};

@@ -13,9 +13,28 @@ use fluke_api::ObjType;
 
 use crate::ids::{ConnId, ObjId, SpaceId, ThreadId};
 use crate::phys::FrameId;
+use crate::waitq::WaitQueue;
+
+/// A one-way message buffered in the kernel on a port, queued by the
+/// batched-submission path (`ipc_submit`; bounded — see
+/// [`fluke_api::abi::PORT_BUF_MSGS`]). `pos` tracks delivery progress into
+/// a receiver so a fault mid-delivery resumes where it left off.
+#[derive(Debug)]
+pub struct BufferedMsg {
+    /// The message payload, captured at submit time.
+    pub bytes: Vec<u8>,
+    /// Bytes already delivered to the receiving thread.
+    pub pos: usize,
+}
 
 /// Type-specific object payload.
+///
+/// The `Port` variant dominates the size (wait queues plus the buffered
+/// submission queue); objects are stored behind the table's own
+/// indirection, so boxing the large variant would only add a pointer
+/// chase on the hottest IPC paths.
 #[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
 pub enum ObjData {
     /// Mutex: lock flag plus the queue of blocked lockers. The queue is
     /// kernel bookkeeping, not exportable state: each waiter's registers
@@ -24,12 +43,12 @@ pub enum ObjData {
         /// Whether the mutex is held.
         locked: bool,
         /// Blocked lockers, FIFO.
-        waiters: VecDeque<ThreadId>,
+        waiters: WaitQueue<ThreadId>,
     },
     /// Condition variable: the queue of waiters.
     Cond {
         /// Blocked waiters, FIFO.
-        waiters: VecDeque<ThreadId>,
+        waiters: WaitQueue<ThreadId>,
     },
     /// Mapping: imports `size` bytes of `region` (at `offset`) into `space`
     /// at `base`.
@@ -74,20 +93,24 @@ pub enum ObjData {
         /// The pset handle as named when joined (for state export).
         pset_token: u32,
         /// Connections awaiting a server.
-        connect_q: VecDeque<ConnId>,
+        connect_q: WaitQueue<ConnId>,
         /// Threads blocked in `port_wait`-style calls on this port.
-        server_q: VecDeque<ThreadId>,
+        server_q: WaitQueue<ThreadId>,
         /// Pending one-way senders blocked on this port.
-        oneway_senders: VecDeque<ThreadId>,
+        oneway_senders: WaitQueue<ThreadId>,
         /// Threads blocked waiting for a one-way message on this port.
-        oneway_receivers: VecDeque<ThreadId>,
+        oneway_receivers: WaitQueue<ThreadId>,
+        /// Bounded ring of kernel-buffered one-way messages queued by the
+        /// batched-submission path. Always empty unless `ipc_submit` is
+        /// used, so pre-existing programs never observe it.
+        buffered: VecDeque<BufferedMsg>,
     },
     /// Portset: a group of ports a server waits on together.
     Pset {
         /// Member ports.
         members: Vec<ObjId>,
         /// Threads blocked in `pset_wait`-style calls.
-        server_q: VecDeque<ThreadId>,
+        server_q: WaitQueue<ThreadId>,
     },
     /// Space object (payload lives in the space arena).
     Space(SpaceId),
@@ -110,22 +133,23 @@ impl ObjData {
         Some(match ty {
             ObjType::Mutex => ObjData::Mutex {
                 locked: false,
-                waiters: VecDeque::new(),
+                waiters: WaitQueue::new(),
             },
             ObjType::Cond => ObjData::Cond {
-                waiters: VecDeque::new(),
+                waiters: WaitQueue::new(),
             },
             ObjType::Port => ObjData::Port {
                 pset: None,
                 pset_token: 0,
-                connect_q: VecDeque::new(),
-                server_q: VecDeque::new(),
-                oneway_senders: VecDeque::new(),
-                oneway_receivers: VecDeque::new(),
+                connect_q: WaitQueue::new(),
+                server_q: WaitQueue::new(),
+                oneway_senders: WaitQueue::new(),
+                oneway_receivers: WaitQueue::new(),
+                buffered: VecDeque::new(),
             },
             ObjType::Portset => ObjData::Pset {
                 members: Vec::new(),
-                server_q: VecDeque::new(),
+                server_q: WaitQueue::new(),
             },
             ObjType::Reference => ObjData::Ref {
                 target: None,

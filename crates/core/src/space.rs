@@ -23,6 +23,7 @@ use fluke_api::abi::PAGE_SIZE;
 use crate::ids::{ObjId, SpaceId, ThreadId};
 use crate::phys::FrameId;
 use crate::tlb::{Tlb, TlbStats};
+use crate::waitq::WaitQueue;
 
 /// A page-table entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +133,9 @@ pub struct Space {
     pub regions: Vec<ObjId>,
     /// Threads running in this space.
     pub threads: Vec<ThreadId>,
+    /// Threads blocked in `space_wait_threads` on this space. Explicit
+    /// bookkeeping so the halt path never scans the thread arena.
+    pub idle_waiters: WaitQueue<ThreadId>,
     /// Whether this space aliases the kernel's own address space (used to
     /// run process-model legacy code in user mode, paper §5.6).
     pub kernel_alias: bool,
@@ -149,6 +153,7 @@ impl Space {
             map_index: MapIndex::default(),
             regions: Vec::new(),
             threads: Vec::new(),
+            idle_waiters: WaitQueue::new(),
             kernel_alias: false,
         }
     }

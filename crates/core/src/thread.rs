@@ -16,6 +16,7 @@ use fluke_arch::{Program, ProgramId, UserRegs};
 
 use crate::ids::{ConnId, ObjId, SpaceId, ThreadId};
 use crate::kstat::Stats;
+use crate::waitq::WaitQueue;
 
 /// Default scheduling priority for ordinary threads.
 pub const DEFAULT_PRIORITY: u32 = 8;
@@ -251,7 +252,11 @@ pub struct Thread {
     /// Accumulated user-mode cycles (per-thread accounting).
     pub user_cycles: Cycles,
     /// Threads blocked in `thread_wait` on this thread.
-    pub joiners: Vec<ThreadId>,
+    pub joiners: WaitQueue<ThreadId>,
+    /// Threads blocked in `sched_donate` with this thread as donee (they
+    /// wake when it halts). Explicit bookkeeping so the halt path never
+    /// scans the thread arena.
+    pub donors: WaitQueue<ThreadId>,
 }
 
 impl Thread {
@@ -279,7 +284,8 @@ impl Thread {
             wake_pending: 0,
             open_fault: None,
             user_cycles: 0,
-            joiners: Vec::new(),
+            joiners: WaitQueue::new(),
+            donors: WaitQueue::new(),
         }
     }
 

