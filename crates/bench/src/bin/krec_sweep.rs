@@ -1,0 +1,103 @@
+//! `krec_sweep`: record, restore, and re-execute whole-kernel snapshots
+//! across every workload × configuration combination, proving zero
+//! recording perturbation and bit-identical replay everywhere, and write
+//! `BENCH_snapshot.json`.
+//!
+//! Usage: `krec_sweep [--check] [--out FILE]`.
+//!
+//! * `FLUKE_KREC_STRIDE=N` snapshots every Nth dispatch-boundary site
+//!   (default 5; smaller = denser sweep).
+//! * `FLUKE_KREC_WORKLOADS=ipc-echo,checkpoint,submit-ring` filters the
+//!   workload set (default: all three).
+//! * `--check` exits non-zero on any replay divergence and, when a
+//!   committed report exists at the output path, on snapshot-size
+//!   blowups or lost replay coverage against it.
+
+use fluke_bench::krec_sweep::{self, KrecWorkload, ALL_WORKLOADS};
+use fluke_json::Json;
+
+fn main() {
+    let mut check = false;
+    let mut out = "BENCH_snapshot.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--out" => out = args.next().expect("--out needs a file name"),
+            other => {
+                eprintln!("usage: krec_sweep [--check] [--out FILE] (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+    let stride = std::env::var("FLUKE_KREC_STRIDE")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(5);
+    let workloads: Vec<KrecWorkload> = match std::env::var("FLUKE_KREC_WORKLOADS") {
+        Ok(s) => s
+            .split(',')
+            .map(str::trim)
+            .filter(|w| !w.is_empty())
+            .map(|w| {
+                KrecWorkload::parse(w).unwrap_or_else(|| {
+                    eprintln!("unknown workload {w:?} (want ipc-echo, checkpoint, submit-ring)");
+                    std::process::exit(2);
+                })
+            })
+            .collect(),
+        Err(_) => ALL_WORKLOADS.to_vec(),
+    };
+
+    // Read the committed report *before* overwriting it: `--check` diffs
+    // the fresh run against it below.
+    let committed = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|s| Json::parse(&s).ok());
+
+    println!("=== krec_sweep: snapshot / replay fidelity (stride {stride}) ===\n");
+    let reports = match krec_sweep::sweep_all(&workloads, stride) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("sweep failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for r in &reports {
+        println!("{}", r.summary());
+        for line in r.reproducers() {
+            eprintln!("  {line}");
+        }
+    }
+    let total_div: usize = reports.iter().map(|r| r.divergences.len()).sum();
+    let total_snaps: u64 = reports.iter().map(|r| r.snapshots).sum();
+    let total_windows: u64 = reports.iter().map(|r| r.windows_verified).sum();
+    println!(
+        "\n{} sweeps, {total_snaps} snapshots replayed, {total_windows} windows verified, \
+         {total_div} divergences",
+        reports.len()
+    );
+
+    let doc = krec_sweep::to_json(&reports);
+    std::fs::write(&out, format!("{doc}\n")).expect("write snapshot report");
+    println!("wrote {out}");
+
+    if check {
+        let baseline = committed.unwrap_or_else(|| {
+            // First run ever: gate divergences only, against the fresh doc.
+            doc.clone()
+        });
+        let errs = krec_sweep::check(&baseline, &reports);
+        if errs.is_empty() {
+            println!("krec replay fidelity vs committed report: OK");
+        } else {
+            for e in &errs {
+                eprintln!("krec regression: {e}");
+            }
+            std::process::exit(1);
+        }
+    } else if total_div > 0 {
+        std::process::exit(1);
+    }
+}

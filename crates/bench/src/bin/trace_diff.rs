@@ -2,23 +2,33 @@
 //! execution models with `ktrace` enabled and verify the user-visible
 //! event sequences are identical.
 //!
-//! Usage: `trace_diff [--chrome PREFIX]`
+//! Usage: `trace_diff [--chrome PREFIX] [--since-cycle N] [--until-cycle N]`
 //!
 //! `--chrome PREFIX` additionally writes `PREFIX-process.json` and
 //! `PREFIX-interrupt.json` Chrome trace-event files (open in
-//! `chrome://tracing` or Perfetto). `FLUKE_BENCH_SCALE=quick` selects the
-//! scaled-down workload.
+//! `chrome://tracing` or Perfetto). `--since-cycle`/`--until-cycle`
+//! restrict the text summaries and Chrome exports to an inclusive
+//! simulated-cycle window (the user-visible diff always covers the whole
+//! run). `FLUKE_BENCH_SCALE=quick` selects the scaled-down workload.
 //!
 //! Exits non-zero if the models diverge.
 
-use fluke_bench::trace_export::{chrome_trace, text_summary};
+use fluke_bench::trace_export::{chrome_trace, cycle_window, text_summary_window};
 use fluke_bench::tracediff::{diff_user_visible, run_traced_flukeperf};
 use fluke_bench::Scale;
 use fluke_core::Config;
 
 fn main() {
     let mut chrome_prefix: Option<String> = None;
+    let mut since: Option<u64> = None;
+    let mut until: Option<u64> = None;
     let mut args = std::env::args().skip(1);
+    let cycle_arg = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("{flag} requires a cycle count");
+            std::process::exit(2);
+        })
+    };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--chrome" => {
@@ -27,6 +37,8 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--since-cycle" => since = Some(cycle_arg(&mut args, "--since-cycle")),
+            "--until-cycle" => until = Some(cycle_arg(&mut args, "--until-cycle")),
             other => {
                 eprintln!("unknown argument: {other}");
                 std::process::exit(2);
@@ -40,13 +52,20 @@ fn main() {
     println!("running flukeperf under Interrupt NP (traced)…");
     let interrupt = run_traced_flukeperf(Config::interrupt_np(), scale);
 
-    println!("\n== Process NP ==\n{}", text_summary(&process.trace));
-    println!("== Interrupt NP ==\n{}", text_summary(&interrupt.trace));
+    println!(
+        "\n== Process NP ==\n{}",
+        text_summary_window(&process.trace, since, until)
+    );
+    println!(
+        "== Interrupt NP ==\n{}",
+        text_summary_window(&interrupt.trace, since, until)
+    );
 
     if let Some(prefix) = chrome_prefix {
         for (kernel, model) in [(&process, "process"), (&interrupt, "interrupt")] {
             let path = format!("{prefix}-{model}.json");
-            std::fs::write(&path, chrome_trace(&kernel.trace.merged()))
+            let windowed = cycle_window(&kernel.trace.merged(), since, until);
+            std::fs::write(&path, chrome_trace(&windowed))
                 .unwrap_or_else(|e| panic!("writing {path}: {e}"));
             println!("wrote {path}");
         }

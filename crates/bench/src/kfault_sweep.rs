@@ -65,7 +65,7 @@ fn emit_checksum(a: &mut Assembler, base: u32, words: u32, label: &str) {
 
 /// Project the outcome of a finished run: user-visible trace, main-thread
 /// registers, and a digest over `regions`.
-fn outcome(
+pub(crate) fn outcome(
     k: &mut Kernel,
     mains: &[ThreadId],
     regions: &[(SpaceId, u32, u32)],
@@ -421,7 +421,7 @@ impl SweepReport {
 }
 
 /// Describe the first component in which `got` differs from `want`.
-fn diff_outcomes(want: &Outcome, got: &Outcome) -> String {
+pub(crate) fn diff_outcomes(want: &Outcome, got: &Outcome) -> String {
     if want.mem != got.mem {
         return format!(
             "memory digest {:#018x} != golden {:#018x}",

@@ -278,7 +278,7 @@ pub fn run_echo(batched: bool, msgs: u64) -> Kernel {
 /// a descriptor spilled to its plain equivalent (the syscall returned
 /// with `edx < 16`, the spilled slot completed through the plain path),
 /// advance the cursor past it and resubmit the rest.
-fn submit_loop(name: &str, ring: u32, batches: u32) -> Assembler {
+pub(crate) fn submit_loop(name: &str, ring: u32, batches: u32) -> Assembler {
     let n = PORT_BUF_MSGS as u32;
     let mut a = Assembler::new(name);
     a.movi(Reg::Esp, batches);

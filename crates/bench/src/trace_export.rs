@@ -113,15 +113,46 @@ pub fn chrome_trace_with_flows(records: &[TraceRecord], flows: &[FlowEdge]) -> S
     root.to_string()
 }
 
+/// Restrict records to a simulated-cycle window: `since ≤ at ≤ until`
+/// (both inclusive; `None` leaves that edge open). Exporters and the
+/// replay debugger use this to zoom a recording in on the cycles under
+/// investigation.
+pub fn cycle_window(
+    records: &[TraceRecord],
+    since: Option<u64>,
+    until: Option<u64>,
+) -> Vec<TraceRecord> {
+    records
+        .iter()
+        .filter(|r| since.is_none_or(|s| r.at >= s) && until.is_none_or(|u| r.at <= u))
+        .cloned()
+        .collect()
+}
+
 /// A plain-text per-event-type summary of everything a tracer holds,
 /// including drop accounting.
 pub fn text_summary(tracer: &Tracer) -> String {
-    let merged = tracer.merged();
+    summarize(&tracer.merged(), tracer.dropped_total(), None, None)
+}
+
+/// Like [`text_summary`], but restricted to a [`cycle_window`]. Drop
+/// accounting still covers the whole recording (drops have no timestamp).
+pub fn text_summary_window(tracer: &Tracer, since: Option<u64>, until: Option<u64>) -> String {
+    let w = cycle_window(&tracer.merged(), since, until);
+    summarize(&w, tracer.dropped_total(), since, until)
+}
+
+fn summarize(
+    merged: &[TraceRecord],
+    dropped: u64,
+    since: Option<u64>,
+    until: Option<u64>,
+) -> String {
     // Count by event name, in first-seen deterministic order.
     let mut order: Vec<&'static str> = Vec::new();
     let mut counts: std::collections::BTreeMap<&'static str, u64> =
         std::collections::BTreeMap::new();
-    for rec in &merged {
+    for rec in merged {
         let name = rec.event.name();
         if !counts.contains_key(name) {
             order.push(name);
@@ -137,10 +168,17 @@ pub fn text_summary(tracer: &Tracer) -> String {
         (Some(a), Some(b)) => cycles_to_us(b.at.saturating_sub(a.at)),
         _ => 0.0,
     };
+    let window = match (since, until) {
+        (None, None) => String::new(),
+        (s, u) => format!(
+            " (window {}..{})",
+            s.map_or("start".to_string(), |c| c.to_string()),
+            u.map_or("end".to_string(), |c| c.to_string())
+        ),
+    };
     format!(
-        "ktrace summary: {} events held, {} dropped, {:.1}µs span\n\n{}",
+        "ktrace summary{window}: {} events held, {dropped} dropped, {:.1}µs span\n\n{}",
         merged.len(),
-        tracer.dropped_total(),
         span,
         t.render()
     )

@@ -182,6 +182,14 @@ pub struct Config {
     pub port_index: bool,
     /// A short human-readable label ("Process NP" etc.).
     pub label: &'static str,
+    /// Deterministic whole-kernel snapshot recording (`krec`) arming.
+    /// `None` by default: an unarmed kernel's `run` is byte-for-byte the
+    /// pre-krec code path. Armed, the recorder serializes kernel state at
+    /// dispatch boundaries into a bounded host-side ring and logs every
+    /// `run` call as a digest-bracketed window — all outside the simulated
+    /// machine, so runs are bit-identical either way (the golden-digest
+    /// proof obligation, pinned by `krec_zero_perturbation.rs`).
+    pub krec: Option<crate::krec::KrecConfig>,
 }
 
 impl Config {
@@ -203,6 +211,7 @@ impl Config {
             big_lock: false,
             port_index: true,
             label: "Process NP",
+            krec: None,
         }
     }
 
@@ -241,6 +250,7 @@ impl Config {
             big_lock: false,
             port_index: true,
             label: "Interrupt NP",
+            krec: None,
         }
     }
 
@@ -327,6 +337,12 @@ impl Config {
     /// Arm the `kfault` deterministic fault-injection engine.
     pub fn with_kfault(mut self, kf: KfaultConfig) -> Self {
         self.kfault = Some(kf);
+        self
+    }
+
+    /// Arm the `krec` deterministic snapshot recorder (see [`Config::krec`]).
+    pub fn with_krec(mut self, kr: crate::krec::KrecConfig) -> Self {
+        self.krec = Some(kr);
         self
     }
 

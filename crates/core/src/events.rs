@@ -102,6 +102,91 @@ impl EventQueue {
     }
 }
 
+// --- krec snapshot support ------------------------------------------------
+
+use crate::krec::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for EventKind {
+    fn snap(&self, w: &mut SnapWriter) {
+        match *self {
+            EventKind::Wake(t) => {
+                w.u8(0);
+                t.snap(w);
+            }
+            EventKind::Periodic { thread, interval } => {
+                w.u8(1);
+                thread.snap(w);
+                w.u64(interval);
+            }
+            EventKind::TimesliceEnd { cpu, generation } => {
+                w.u8(2);
+                w.usize(cpu);
+                w.u64(generation);
+            }
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(match r.u8()? {
+            0 => EventKind::Wake(Snap::restore(r)?),
+            1 => EventKind::Periodic {
+                thread: Snap::restore(r)?,
+                interval: r.u64()?,
+            },
+            2 => EventKind::TimesliceEnd {
+                cpu: r.usize()?,
+                generation: r.u64()?,
+            },
+            t => {
+                return Err(SnapError::BadTag {
+                    what: "eventkind",
+                    tag: t as u32,
+                })
+            }
+        })
+    }
+}
+
+impl Snap for Event {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.at);
+        w.u64(self.seq);
+        self.kind.snap(w);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Event {
+            at: r.u64()?,
+            seq: r.u64()?,
+            kind: Snap::restore(r)?,
+        })
+    }
+}
+
+// The heap is serialized in canonical (at, seq) order — heap-internal layout
+// is host state. (at, seq) totally orders events (seq is unique), so the
+// encoding is canonical and the rebuilt heap behaves identically.
+impl Snap for EventQueue {
+    fn snap(&self, w: &mut SnapWriter) {
+        let mut events: Vec<&Event> = self.heap.iter().map(|Reverse(e)| e).collect();
+        events.sort();
+        w.usize(events.len());
+        for e in events {
+            e.snap(w);
+        }
+        w.u64(self.next_seq);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.usize()?;
+        let mut heap = BinaryHeap::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            heap.push(Reverse(Event::restore(r)?));
+        }
+        Ok(EventQueue {
+            heap,
+            next_seq: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

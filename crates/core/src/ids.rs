@@ -138,3 +138,38 @@ mod tests {
         assert_eq!(ObjId(7).index(), 7);
     }
 }
+
+// --- krec snapshot support ------------------------------------------------
+
+use crate::krec::{Snap, SnapError, SnapReader, SnapWriter};
+
+macro_rules! id_snap {
+    ($name:ident) => {
+        impl Snap for $name {
+            fn snap(&self, w: &mut SnapWriter) {
+                w.u32(self.0);
+            }
+            fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+                Ok($name(r.u32()?))
+            }
+        }
+    };
+}
+
+id_snap!(ThreadId);
+id_snap!(SpaceId);
+id_snap!(ObjId);
+id_snap!(ConnId);
+
+// Arenas serialize their full slot vector, tombstones included: indices are
+// identities, so destroyed-handle holes must survive the round trip.
+impl<T: Snap> Snap for Arena<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.slots.snap(w);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Arena {
+            slots: Snap::restore(r)?,
+        })
+    }
+}

@@ -22,6 +22,8 @@ mod dispatch;
 mod ipc;
 pub(crate) mod mem;
 mod run;
+mod snapshot;
+pub use snapshot::MemRun;
 mod submit;
 mod sysctx;
 
@@ -213,6 +215,9 @@ pub struct Kernel {
     /// Committed-register snapshot for the dispatch in flight (the
     /// atomicity auditor's state; `None` outside a dispatch).
     pub(crate) audit: Option<sysctx::AuditState>,
+    /// The `krec` snapshot recorder (armed by `cfg.krec`; `None` — and
+    /// zero-cost — otherwise). Host-side state, never part of a snapshot.
+    pub(crate) krec: Option<crate::krec::Krec>,
 }
 
 impl Kernel {
@@ -234,6 +239,7 @@ impl Kernel {
         let cfg_kprof = cfg.kprof;
         let cfg_kspan = cfg.kspan;
         let cfg_kfault = cfg.kfault;
+        let cfg_krec = cfg.krec;
         let timeslice = cfg.timeslice;
         let cpus = (0..cfg.num_cpus)
             .map(|id| CpuSlot {
@@ -279,6 +285,7 @@ impl Kernel {
             rollback_active: false,
             dispatch_suppress: false,
             audit: None,
+            krec: cfg_krec.map(crate::krec::Krec::new),
         })
     }
 

@@ -38,12 +38,50 @@ pub enum RunExit {
 impl Kernel {
     /// Run until completion, deadlock, or `limit` cycles.
     ///
+    /// `limit` is an *absolute* cycle deadline, and the loop's stop
+    /// condition is a pure function of kernel state and that deadline — so
+    /// re-issuing a recorded limit from any intermediate state inside the
+    /// window lands on the same end state (what `krec` replay relies on).
+    ///
+    /// With `krec` armed, each call is logged as a [`crate::krec::RunWindow`]
+    /// bracketed by start/end state digests; the recorder reads but never
+    /// mutates simulated state, so armed and unarmed runs are bit-identical.
+    pub fn run(&mut self, limit: Option<Cycles>) -> RunExit {
+        if self.krec.is_none() {
+            return self.run_inner(limit);
+        }
+        let Ok(start_digest) = self.state_digest() else {
+            // Outside the snapshot contract (native-bodied thread): run
+            // unrecorded rather than perturb or fail the run.
+            return self.run_inner(limit);
+        };
+        let start_cycle = self.now();
+        let exit = self.run_inner(limit);
+        let end_cycle = self.now();
+        let Ok(end_digest) = self.state_digest() else {
+            return exit;
+        };
+        if let Some(kr) = self.krec.as_mut() {
+            kr.windows.push(crate::krec::RunWindow {
+                limit,
+                start_cycle,
+                end_cycle,
+                start_digest,
+                end_digest,
+                exit,
+            });
+        }
+        exit
+    }
+
+    /// The run loop proper.
+    ///
     /// Multiprocessor scheduling is conservative discrete-event: the
     /// processor with the smallest clock always acts next, so all kernel
     /// actions occur in global simulated-time order. Idle processors park
     /// (drop out of selection) until a wake kicks them, which keeps runs
     /// deterministic for any CPU count.
-    pub fn run(&mut self, limit: Option<Cycles>) -> RunExit {
+    fn run_inner(&mut self, limit: Option<Cycles>) -> RunExit {
         loop {
             // Choose the acting processor: smallest clock among unparked.
             let Some(active) = self.pick_cpu() else {
@@ -118,6 +156,11 @@ impl Kernel {
             // perturbs execution here.
             if self.kfault.is_some() && self.kfault_boundary(cur) {
                 continue;
+            }
+            // Snapshot recorder (`krec`): the same boundary is a snapshot
+            // site. Reads state, mutates nothing simulated.
+            if self.krec.is_some() {
+                self.krec_tick(cur);
             }
             self.execute_current(cur, limit);
         }

@@ -362,6 +362,25 @@ impl Kernel {
     }
 }
 
+// --- krec snapshot support ------------------------------------------------
+
+use crate::krec::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Kfault {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.cfg.snap(w);
+        w.u64(self.sites_seen);
+        w.bool(self.fired);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Kfault {
+            cfg: Snap::restore(r)?,
+            sites_seen: r.u64()?,
+            fired: r.bool()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

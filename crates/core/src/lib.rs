@@ -33,6 +33,7 @@ pub mod ids;
 pub mod kernel;
 pub mod kfault;
 pub mod kprof;
+pub mod krec;
 pub mod kspan;
 pub mod kstat;
 pub mod object;
@@ -46,9 +47,13 @@ pub mod waitq;
 
 pub use config::{Config, ExecModel, Preemption, TraceConfig, PP_CHUNK_BYTES};
 pub use ids::{ConnId, ObjId, SpaceId, ThreadId};
-pub use kernel::{block_audit_hits, Kernel, MemAccessError, RunExit};
+pub use kernel::{block_audit_hits, Kernel, MemAccessError, MemRun, RunExit};
 pub use kfault::{Kfault, KfaultConfig, KfaultKind};
 pub use kprof::{Kprof, Phase};
+pub use krec::{
+    trace_suffix_digest, Divergence, Krec, KrecConfig, Recording, ReplayError, Replayer, RunWindow,
+    Snap, SnapError, SnapReader, SnapWriter, Snapshot,
+};
 pub use kspan::{FlowEdge, Kspan, ObjectContention, RequestRecord, USER_FRAME};
 pub use kstat::{
     FaultKind, FaultRecord, FaultSide, KstatEntry, KstatRegistry, KstatValue, MemGauges,

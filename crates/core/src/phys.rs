@@ -112,6 +112,30 @@ impl PhysMem {
     }
 }
 
+// --- krec snapshot support ------------------------------------------------
+
+use crate::krec::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for PhysMem {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.usize(self.frames.len());
+        for f in &self.frames {
+            w.raw(&f[..]);
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let n = r.usize()?;
+        let mut frames = Vec::with_capacity(n.min(1 << 16));
+        for _ in 0..n {
+            let bytes = r.take(PAGE_SIZE as usize)?;
+            let mut f = Box::new([0u8; PAGE_SIZE as usize]);
+            f.copy_from_slice(bytes);
+            frames.push(f);
+        }
+        Ok(PhysMem { frames })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

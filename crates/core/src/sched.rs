@@ -187,6 +187,43 @@ impl PerCpuQueues {
     }
 }
 
+// --- krec snapshot support ------------------------------------------------
+
+use crate::krec::{Snap, SnapError, SnapReader, SnapWriter};
+
+// The bitmap is derived from level occupancy and rebuilt on restore.
+impl Snap for ReadyQueue {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.levels.snap(w);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let levels: Vec<VecDeque<ThreadId>> = Snap::restore(r)?;
+        if levels.len() != PRIORITY_LEVELS as usize {
+            return Err(SnapError::Invalid("ready-queue level count"));
+        }
+        let mut bitmap = 0u32;
+        for (p, l) in levels.iter().enumerate() {
+            if !l.is_empty() {
+                bitmap |= 1 << p;
+            }
+        }
+        Ok(ReadyQueue { levels, bitmap })
+    }
+}
+
+impl Snap for PerCpuQueues {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.queues.snap(w);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let queues: Vec<ReadyQueue> = Snap::restore(r)?;
+        if queues.is_empty() {
+            return Err(SnapError::Invalid("per-cpu queue count"));
+        }
+        Ok(PerCpuQueues { queues })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -294,6 +294,69 @@ impl Space {
     }
 }
 
+// --- krec snapshot support ------------------------------------------------
+
+use crate::krec::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for Pte {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u32(self.frame);
+        w.bool(self.writable);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Pte {
+            frame: r.u32()?,
+            writable: r.bool()?,
+        })
+    }
+}
+
+// The prefix-max vector is derived and rebuilt on restore, not stored.
+impl Snap for MapIndex {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.entries.snap(w);
+        w.u64(self.next_seq);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let mut idx = MapIndex {
+            entries: Snap::restore(r)?,
+            prefix_max_end: Vec::new(),
+            next_seq: r.u64()?,
+        };
+        idx.rebuild_prefix();
+        Ok(idx)
+    }
+}
+
+impl Snap for Space {
+    fn snap(&self, w: &mut SnapWriter) {
+        self.id.snap(w);
+        self.obj.snap(w);
+        self.pages.snap(w);
+        self.tlb.snap(w);
+        self.mappings.snap(w);
+        self.map_index.snap(w);
+        self.regions.snap(w);
+        self.threads.snap(w);
+        self.idle_waiters.snap(w);
+        w.bool(self.kernel_alias);
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(Space {
+            id: Snap::restore(r)?,
+            obj: Snap::restore(r)?,
+            pages: Snap::restore(r)?,
+            tlb: Snap::restore(r)?,
+            mappings: Snap::restore(r)?,
+            map_index: Snap::restore(r)?,
+            regions: Snap::restore(r)?,
+            threads: Snap::restore(r)?,
+            idle_waiters: Snap::restore(r)?,
+            kernel_alias: r.bool()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -228,6 +228,74 @@ impl<T: Copy + Eq + Hash> WaitQueue<T> {
     }
 }
 
+// --- krec snapshot support ------------------------------------------------
+
+use crate::krec::{Snap, SnapError, SnapReader, SnapWriter};
+
+impl Snap for WaitqStats {
+    fn snap(&self, w: &mut SnapWriter) {
+        for v in [
+            self.enqueues,
+            self.requeues,
+            self.wakes,
+            self.wake_alls,
+            self.cancels,
+            self.cancels_linear,
+            self.tombstones_skipped,
+            self.compactions,
+        ] {
+            w.u64(v);
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        Ok(WaitqStats {
+            enqueues: r.u64()?,
+            requeues: r.u64()?,
+            wakes: r.u64()?,
+            wake_alls: r.u64()?,
+            cancels: r.u64()?,
+            cancels_linear: r.u64()?,
+            tombstones_skipped: r.u64()?,
+            compactions: r.u64()?,
+        })
+    }
+}
+
+// The ring is serialized verbatim (tombstones included) with a per-entry
+// liveness flag; the live index is rebuilt from flagged entries. `live ⊆
+// ring` is a structural invariant, so the flags carry the whole index — no
+// `Ord` bound on `T` needed for canonical ordering.
+impl<T: Snap + Copy + Eq + Hash> Snap for WaitQueue<T> {
+    fn snap(&self, w: &mut SnapWriter) {
+        w.u64(self.next_gen);
+        w.usize(self.ring.len());
+        for &(x, gen) in &self.ring {
+            x.snap(w);
+            w.u64(gen);
+            w.bool(self.live.get(&x) == Some(&gen));
+        }
+    }
+    fn restore(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        let next_gen = r.u64()?;
+        let n = r.usize()?;
+        let mut ring = VecDeque::with_capacity(n.min(1 << 20));
+        let mut live = HashMap::new();
+        for _ in 0..n {
+            let x = T::restore(r)?;
+            let gen = r.u64()?;
+            if r.bool()? && live.insert(x, gen).is_some() {
+                return Err(SnapError::Invalid("waitqueue member live twice"));
+            }
+            ring.push_back((x, gen));
+        }
+        Ok(WaitQueue {
+            ring,
+            live,
+            next_gen,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -23,6 +23,53 @@ use fluke_arch::{Assembler, Reg, UserRegs};
 use fluke_core::{Kernel, MemAccessError, ObjId, RunExit, SpaceId};
 use fluke_json::Json;
 
+/// A structured checkpoint/restore/migrate failure. Everything a manager
+/// can hit through the API surfaces here instead of panicking: window
+/// faults, unexpected syscall results, and malformed state frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// A window or scratch access faulted (a manager setup bug).
+    Mem(MemAccessError),
+    /// A syscall the flow depends on returned an unexpected code.
+    Syscall {
+        /// The entrypoint that failed.
+        sys: Sys,
+        /// The code it returned.
+        code: ErrorCode,
+    },
+    /// An object record's state frame failed to decode.
+    BadFrame(ObjType),
+    /// `region_search` reported an object of an unknown type.
+    BadType(u32),
+    /// A thread frame references a program id the source kernel has not
+    /// registered (migration shipped an incomplete image).
+    UnknownProgram(fluke_arch::ProgramId),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Mem(e) => write!(f, "checkpoint window fault: {e}"),
+            CheckpointError::Syscall { sys, code } => {
+                write!(f, "{} returned {code:?}", sys.name())
+            }
+            CheckpointError::BadFrame(ty) => write!(f, "malformed {ty} state frame"),
+            CheckpointError::BadType(t) => write!(f, "unknown object type {t} in image"),
+            CheckpointError::UnknownProgram(p) => {
+                write!(f, "thread frame references unregistered program {}", p.0)
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<MemAccessError> for CheckpointError {
+    fn from(e: MemAccessError) -> Self {
+        CheckpointError::Mem(e)
+    }
+}
+
 /// One checkpointed kernel object.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ObjectRecord {
@@ -229,8 +276,9 @@ fn scratch_addr(mem_base: u32) -> u32 {
 /// `space_handle` is the manager's handle for the child's Space object;
 /// the window `[base, len)` must be identity-visible to the manager (see
 /// [`identity_window`]). `manager_mem` is a scratch page of the manager.
-/// An unmapped byte anywhere in the window or scratch area is reported as
-/// a [`MemAccessError`] (a manager setup bug, not a panic).
+/// Any failure — an unmapped byte in the window or scratch area, a
+/// syscall refusal, a malformed frame — is reported as a structured
+/// [`CheckpointError`], never a panic.
 pub fn checkpoint_space(
     k: &mut Kernel,
     agent: &SyscallAgent,
@@ -238,7 +286,7 @@ pub fn checkpoint_space(
     base: u32,
     len: u32,
     manager_mem: u32,
-) -> Result<CheckpointImage, MemAccessError> {
+) -> Result<CheckpointImage, CheckpointError> {
     let scratch = scratch_addr(manager_mem);
     let mut records = Vec::new();
     let mut cursor = base;
@@ -253,9 +301,15 @@ pub fn checkpoint_space(
         if code == ErrorCode::NotFound {
             break;
         }
-        assert_eq!(code, ErrorCode::Success, "region_search failed");
+        if code != ErrorCode::Success {
+            return Err(CheckpointError::Syscall {
+                sys: Sys::RegionSearch,
+                code,
+            });
+        }
         let vaddr = out.get(fluke_api::abi::ARG_SBUF);
-        let ty = ObjType::from_u32(out.get(fluke_api::abi::ARG_RBUF)).expect("valid type");
+        let raw_ty = out.get(fluke_api::abi::ARG_RBUF);
+        let ty = ObjType::from_u32(raw_ty).ok_or(CheckpointError::BadType(raw_ty))?;
         cursor = out.get(ARG_VAL);
         // <type>_get_state(vaddr, scratch, max_words)
         let nwords = ObjStateFrame::words_for(ty) as u32;
@@ -264,7 +318,12 @@ pub fn checkpoint_space(
         regs.set(ARG_SBUF, scratch);
         regs.set(ARG_COUNT, nwords);
         let (code, _) = agent.call_checked(k, get_state_sys(ty), regs);
-        assert_eq!(code, ErrorCode::Success, "get_state({ty}) failed");
+        if code != ErrorCode::Success {
+            return Err(CheckpointError::Syscall {
+                sys: get_state_sys(ty),
+                code,
+            });
+        }
         let bytes = k.try_read_mem(agent.space, scratch, nwords * 4)?;
         let words: Vec<u32> = bytes
             .chunks_exact(4)
@@ -295,7 +354,7 @@ pub fn restore_space(
     image: &CheckpointImage,
     new_space_handle: u32,
     manager_mem: u32,
-) -> Result<(), MemAccessError> {
+) -> Result<(), CheckpointError> {
     let scratch = scratch_addr(manager_mem);
     // Memory first: object creation requires writable mapped pages, and
     // the bytes do not disturb object state (objects key off physical
@@ -337,15 +396,17 @@ pub fn restore_space(
             _ => {}
         }
         let (code, _) = agent.call_checked(k, create_sys(rec.ty), regs);
-        assert!(
-            code == ErrorCode::Success || code == ErrorCode::AlreadyExists,
-            "create({}) failed: {code:?}",
-            rec.ty
-        );
+        if code != ErrorCode::Success && code != ErrorCode::AlreadyExists {
+            return Err(CheckpointError::Syscall {
+                sys: create_sys(rec.ty),
+                code,
+            });
+        }
         // <type>_set_state(vaddr, scratch, words)
         let mut words = rec.words.clone();
         if rec.ty == ObjType::Thread {
-            let mut f = ThreadStateFrame::from_words(&words).expect("thread frame");
+            let mut f = ThreadStateFrame::from_words(&words)
+                .map_err(|_| CheckpointError::BadFrame(ObjType::Thread))?;
             f.space_token = new_space_handle;
             words = f.to_words().to_vec();
         }
@@ -356,7 +417,12 @@ pub fn restore_space(
         regs.set(ARG_SBUF, scratch);
         regs.set(ARG_COUNT, words.len() as u32);
         let (code, _) = agent.call_checked(k, set_state_sys(rec.ty), regs);
-        assert_eq!(code, ErrorCode::Success, "set_state({}) failed", rec.ty);
+        if code != ErrorCode::Success {
+            return Err(CheckpointError::Syscall {
+                sys: set_state_sys(rec.ty),
+                code,
+            });
+        }
     }
     Ok(())
 }

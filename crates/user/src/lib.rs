@@ -25,7 +25,9 @@ pub mod pager;
 pub mod proc;
 
 pub use asm_ext::FlukeAsm;
-pub use checkpoint::{checkpoint_space, restore_space, CheckpointImage, ObjectRecord};
+pub use checkpoint::{
+    checkpoint_space, restore_space, CheckpointError, CheckpointImage, ObjectRecord,
+};
 pub use migrate::migrate_space;
 pub use pager::PagerSetup;
 pub use proc::ChildProc;

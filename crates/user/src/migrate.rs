@@ -14,44 +14,53 @@ use fluke_api::ObjType;
 use fluke_arch::ProgramId;
 use fluke_core::Kernel;
 
-use crate::checkpoint::{restore_space, CheckpointImage, SyscallAgent};
+use crate::checkpoint::{restore_space, CheckpointError, CheckpointImage, SyscallAgent};
 
 /// Rewrite the program ids inside an image's thread frames using `map`
-/// (source-kernel id → destination-kernel id).
-pub fn rewrite_programs(image: &mut CheckpointImage, map: &HashMap<ProgramId, ProgramId>) {
+/// (source-kernel id → destination-kernel id). A thread record whose
+/// frame fails to decode is a structured error, not a panic.
+pub fn rewrite_programs(
+    image: &mut CheckpointImage,
+    map: &HashMap<ProgramId, ProgramId>,
+) -> Result<(), CheckpointError> {
     for rec in &mut image.records {
         if rec.ty == ObjType::Thread {
-            let mut f = ThreadStateFrame::from_words(&rec.words).expect("thread frame");
+            let mut f = ThreadStateFrame::from_words(&rec.words)
+                .map_err(|_| CheckpointError::BadFrame(ObjType::Thread))?;
             if let Some(new) = map.get(&f.program) {
                 f.program = *new;
                 rec.words = f.to_words().to_vec();
             }
         }
     }
+    Ok(())
 }
 
 /// Ship the program texts referenced by `image` from `src` to `dst`,
-/// returning the id translation map.
+/// returning the id translation map. An image whose thread frames name a
+/// program `src` has not registered (or fail to decode) is a structured
+/// error, not a panic.
 pub fn ship_programs(
     src: &Kernel,
     dst: &mut Kernel,
     image: &CheckpointImage,
-) -> HashMap<ProgramId, ProgramId> {
+) -> Result<HashMap<ProgramId, ProgramId>, CheckpointError> {
     let mut map = HashMap::new();
     for rec in &image.records {
         if rec.ty == ObjType::Thread {
-            let f = ThreadStateFrame::from_words(&rec.words).expect("thread frame");
+            let f = ThreadStateFrame::from_words(&rec.words)
+                .map_err(|_| CheckpointError::BadFrame(ObjType::Thread))?;
             if f.program.0 == u64::MAX || map.contains_key(&f.program) {
                 continue;
             }
             let text = src
                 .program(f.program)
-                .expect("image references a registered program");
+                .ok_or(CheckpointError::UnknownProgram(f.program))?;
             let new = dst.register_program((*text).clone());
             map.insert(f.program, new);
         }
     }
-    map
+    Ok(map)
 }
 
 /// Migrate a checkpointed space into a destination kernel: ship program
@@ -65,9 +74,9 @@ pub fn migrate_space(
     mut image: CheckpointImage,
     new_space_handle: u32,
     manager_mem: u32,
-) -> Result<(), fluke_core::MemAccessError> {
-    let map = ship_programs(src, dst, &image);
-    rewrite_programs(&mut image, &map);
+) -> Result<(), CheckpointError> {
+    let map = ship_programs(src, dst, &image)?;
+    rewrite_programs(&mut image, &map)?;
     restore_space(dst, agent, &image, new_space_handle, manager_mem)
 }
 
@@ -102,7 +111,7 @@ mod tests {
         };
         let mut map = HashMap::new();
         map.insert(ProgramId(3), ProgramId(7));
-        rewrite_programs(&mut image, &map);
+        rewrite_programs(&mut image, &map).unwrap();
         let f = ThreadStateFrame::from_words(&image.records[0].words).unwrap();
         assert_eq!(f.program, ProgramId(7));
     }
@@ -114,7 +123,7 @@ mod tests {
             memory: vec![],
             records: vec![thread_record(5)],
         };
-        rewrite_programs(&mut image, &HashMap::new());
+        rewrite_programs(&mut image, &HashMap::new()).unwrap();
         let f = ThreadStateFrame::from_words(&image.records[0].words).unwrap();
         assert_eq!(f.program, ProgramId(5));
     }

@@ -1,0 +1,134 @@
+//! Regression pin: the checkpoint / restore / migrate user-level flows
+//! report every failure as a structured [`CheckpointError`], never a
+//! panic. Each test drives a failure mode that used to `assert!` or
+//! `.expect()` inside the library and checks that the caller gets a
+//! matching `Err` variant back instead.
+
+use fluke_api::state::ThreadStateFrame;
+use fluke_api::ObjType;
+use fluke_arch::{ProgramId, UserRegs};
+use fluke_core::{Config, Kernel, SpaceId};
+use fluke_user::checkpoint::{checkpoint_space, restore_space, SyscallAgent};
+use fluke_user::migrate::{migrate_space, rewrite_programs, ship_programs};
+use fluke_user::{CheckpointError, CheckpointImage, ObjectRecord};
+
+const CHILD_BASE: u32 = 0x0040_0000;
+const CHILD_LEN: u32 = 0x4000;
+const MGR_MEM: u32 = 0x0010_0000;
+
+/// A manager + child pair WITHOUT the identity window, so every window
+/// access the checkpoint flows attempt faults in the manager's space.
+fn windowless_world(kernel: &mut Kernel) -> (SyscallAgent, SpaceId, u32) {
+    let manager = kernel.create_space();
+    kernel.grant_pages(manager, MGR_MEM, 0x2000, true);
+    let child = kernel.create_space();
+    kernel.grant_pages(child, CHILD_BASE, CHILD_LEN, true);
+    let handle = MGR_MEM + 0x1800;
+    kernel.loader_space_object(manager, handle, child);
+    (SyscallAgent::new(kernel, manager, 20), child, handle)
+}
+
+fn thread_record(prog: u64) -> ObjectRecord {
+    let f = ThreadStateFrame {
+        regs: UserRegs::new(),
+        program: ProgramId(prog),
+        space_token: 0,
+        priority: 8,
+        runnable: 1,
+        ipc_phase: 0,
+    };
+    ObjectRecord {
+        vaddr: 0x1000,
+        ty: ObjType::Thread,
+        words: f.to_words().to_vec(),
+    }
+}
+
+fn image_with(records: Vec<ObjectRecord>) -> CheckpointImage {
+    CheckpointImage {
+        mem_base: CHILD_BASE,
+        memory: vec![0; 16],
+        records,
+    }
+}
+
+#[test]
+fn checkpoint_without_window_is_a_structured_error() {
+    let mut k = Kernel::new(Config::process_np());
+    let (agent, _child, handle) = windowless_world(&mut k);
+    let err = checkpoint_space(&mut k, &agent, handle, CHILD_BASE, CHILD_LEN, MGR_MEM)
+        .expect_err("unmapped window must fail, not panic");
+    assert!(
+        matches!(err, CheckpointError::Mem(_)),
+        "expected a window fault, got {err}"
+    );
+}
+
+#[test]
+fn restore_without_window_is_a_structured_error() {
+    let mut k = Kernel::new(Config::process_np());
+    let (agent, _child, handle) = windowless_world(&mut k);
+    let err = restore_space(&mut k, &agent, &image_with(vec![]), handle, MGR_MEM)
+        .expect_err("unmapped window must fail, not panic");
+    assert!(
+        matches!(err, CheckpointError::Mem(_)),
+        "expected a window fault, got {err}"
+    );
+}
+
+#[test]
+fn ship_programs_flags_unregistered_program() {
+    let src = Kernel::new(Config::process_np());
+    let mut dst = Kernel::new(Config::process_np());
+    let image = image_with(vec![thread_record(42)]);
+    let err = ship_programs(&src, &mut dst, &image).expect_err("unknown program must fail");
+    assert!(
+        matches!(err, CheckpointError::UnknownProgram(ProgramId(42))),
+        "expected UnknownProgram(42), got {err}"
+    );
+}
+
+#[test]
+fn corrupt_thread_frame_is_a_structured_error() {
+    let mut image = image_with(vec![ObjectRecord {
+        vaddr: 0x1000,
+        ty: ObjType::Thread,
+        words: vec![1, 2], // far too short to decode
+    }]);
+    let err = rewrite_programs(&mut image, &Default::default())
+        .expect_err("truncated frame must fail, not panic");
+    assert!(
+        matches!(err, CheckpointError::BadFrame(ObjType::Thread)),
+        "expected BadFrame(Thread), got {err}"
+    );
+}
+
+#[test]
+fn migrate_space_propagates_ship_errors() {
+    let src = Kernel::new(Config::process_np());
+    let mut dst = Kernel::new(Config::process_np());
+    let (agent, _child, handle) = windowless_world(&mut dst);
+    let err = migrate_space(
+        &src,
+        &mut dst,
+        &agent,
+        image_with(vec![thread_record(7)]),
+        handle,
+        MGR_MEM,
+    )
+    .expect_err("migration of an unshippable image must fail");
+    assert!(
+        matches!(err, CheckpointError::UnknownProgram(ProgramId(7))),
+        "expected UnknownProgram(7), got {err}"
+    );
+}
+
+#[test]
+fn checkpoint_errors_render_for_operators() {
+    // Display strings are part of the debugging contract: kfault_sweep
+    // and the examples surface them verbatim.
+    let e = CheckpointError::BadFrame(ObjType::Thread);
+    assert!(e.to_string().contains("state frame"));
+    let e = CheckpointError::UnknownProgram(ProgramId(9));
+    assert!(e.to_string().contains('9'));
+}

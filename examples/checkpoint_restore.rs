@@ -59,7 +59,7 @@ fn make_world(kernel: &mut Kernel, mgr_mem: u32) -> (SyscallAgent, fluke_core::S
     (SyscallAgent::new(kernel, manager, 20), child, handle)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut kernel = Kernel::new(Config::process_np());
     let mgr_mem = 0x0010_0000;
     let (agent, child, child_handle) = make_world(&mut kernel, mgr_mem);
@@ -80,8 +80,7 @@ fn main() {
         CHILD_BASE,
         CHILD_LEN,
         mgr_mem,
-    )
-    .expect("checkpoint window mapped");
+    )?;
     println!(
         "image: {} bytes of memory, {} kernel objects ({:?})",
         image.memory.len(),
@@ -92,8 +91,7 @@ fn main() {
     // Build a second, fresh child and restore into it.
     let mgr2 = 0x0060_0000;
     let (agent2, child2, child2_handle) = make_world(&mut kernel, mgr2);
-    restore_space(&mut kernel, &agent2, &image, child2_handle, mgr2)
-        .expect("restore window mapped");
+    restore_space(&mut kernel, &agent2, &image, child2_handle, mgr2)?;
     println!(
         "restored clone starts at counter = {}",
         kernel.read_mem_u32(child2, COUNTER)
@@ -115,4 +113,5 @@ fn main() {
     assert_eq!(kernel.read_mem_u32(child, COUNTER), TARGET);
     assert_eq!(kernel.read_mem_u32(child2, COUNTER), TARGET);
     println!("both reached {TARGET}: the clone resumed exactly where the snapshot froze it");
+    Ok(())
 }

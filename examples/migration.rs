@@ -51,7 +51,7 @@ fn make_world(kernel: &mut Kernel) -> (SyscallAgent, fluke_core::SpaceId, u32) {
     (SyscallAgent::new(kernel, manager, 20), child, handle)
 }
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Source machine: process-model kernel.
     let mut src = Kernel::new(Config::process_np());
     let (agent, child, handle) = make_world(&mut src);
@@ -65,13 +65,12 @@ fn main() {
         "source ({}): froze the worker at {mid}/{TARGET}",
         src.cfg.label
     );
-    let image = checkpoint_space(&mut src, &agent, handle, CHILD_BASE, CHILD_LEN, MGR_MEM)
-        .expect("checkpoint window mapped");
+    let image = checkpoint_space(&mut src, &agent, handle, CHILD_BASE, CHILD_LEN, MGR_MEM)?;
 
     // Destination machine: *interrupt-model* kernel.
     let mut dst = Kernel::new(Config::interrupt_pp());
     let (dagent, dchild, dhandle) = make_world(&mut dst);
-    migrate_space(&src, &mut dst, &dagent, image, dhandle, MGR_MEM).expect("migrate window mapped");
+    migrate_space(&src, &mut dst, &dagent, image, dhandle, MGR_MEM)?;
     let dst_label = dst.cfg.label;
     let resumed_at = dst.read_mem_u32(dchild, COUNTER);
     println!("destination ({dst_label}): resumed at {resumed_at}");
@@ -89,4 +88,5 @@ fn main() {
     assert_eq!(dst.read_mem_u32(dchild, COUNTER), TARGET);
     // The source's copy never finished (we froze and shipped it mid-run).
     assert!(src.read_mem_u32(child, COUNTER) >= mid);
+    Ok(())
 }

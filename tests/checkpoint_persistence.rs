@@ -73,9 +73,10 @@ fn image_survives_json_round_trip_and_restores() {
     // checkpointer would ship the executable); re-register and rewrite.
     let mut b_kernel = Kernel::new(Config::interrupt_np());
     let (agent2, child2, handle2) = make_world(&mut b_kernel, MGR_MEM);
-    let map = fluke_user::migrate::ship_programs(&a_kernel, &mut b_kernel, &reloaded);
+    let map = fluke_user::migrate::ship_programs(&a_kernel, &mut b_kernel, &reloaded)
+        .expect("every referenced program is registered on kernel A");
     let mut reloaded = reloaded;
-    fluke_user::migrate::rewrite_programs(&mut reloaded, &map);
+    fluke_user::migrate::rewrite_programs(&mut reloaded, &map).expect("thread frames decode");
     restore_space(&mut b_kernel, &agent2, &reloaded, handle2, MGR_MEM)
         .expect("restore window mapped");
 
