@@ -17,12 +17,14 @@
 
 pub mod abi;
 pub mod error;
+pub mod flow;
 pub mod objtype;
 pub mod state;
 pub mod sysnum;
 
 pub use abi::*;
 pub use error::ErrorCode;
+pub use flow::{flow_op, restart_closure, val_role, FlowGraph, FlowOp, SysSet, ValRole};
 pub use objtype::ObjType;
 pub use state::{
     CondStateFrame, MappingStateFrame, MutexStateFrame, ObjStateFrame, PortStateFrame,

@@ -1,0 +1,272 @@
+//! The `kfuzz` campaign driver: coverage-guided differential fuzzing
+//! versus the fixed-seed baseline, under identical budgets.
+//!
+//! One [`FuzzReport`] pits two [`fluke_core::kfuzz::campaign`] runs
+//! against each other per tier — same seed, same case budget, same
+//! kernel — differing only in feedback: the baseline synthesizes every
+//! program fresh from the seed stream (exactly the discipline of the
+//! fixed-seed `diff_fuzz` suite), while the guided run mutates and
+//! splices its corpus of minimized signature-earning programs. The
+//! committed `corpus/` seeds the guided run, so CI replays are
+//! deterministic.
+//!
+//! The [`check`] gate enforces the two hard claims of the kfuzz PR:
+//! the guided run must reach **strictly more** coverage signatures than
+//! the baseline under the same budget, and **no findings** may survive
+//! — every divergence, panic, hang, or flow violation a campaign can
+//! reach is supposed to be fixed and pinned as a regression test, so a
+//! finding here is a new kernel bug with a minimized reproducer
+//! attached.
+
+use fluke_core::kfuzz::{campaign, corpus_to_text, Campaign, FuzzProgram, Tier};
+use fluke_json::Json;
+
+/// Both fuzzing tiers, in report order.
+pub const ALL_TIERS: [Tier; 2] = [Tier::Differential, Tier::Robustness];
+
+/// Stable report label for a tier.
+pub fn tier_label(tier: Tier) -> &'static str {
+    match tier {
+        Tier::Differential => "differential",
+        Tier::Robustness => "robustness",
+    }
+}
+
+/// One tier's baseline-versus-guided comparison.
+#[derive(Debug)]
+pub struct FuzzReport {
+    /// Tier label (`differential` / `robustness`).
+    pub tier: &'static str,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Case budget given to *each* campaign.
+    pub cases: u64,
+    /// Corpus entries used to seed the guided run.
+    pub seeded: u64,
+    /// The fixed-seed baseline campaign (no feedback).
+    pub baseline: Campaign,
+    /// The coverage-guided campaign.
+    pub guided: Campaign,
+}
+
+impl FuzzReport {
+    /// One-line summary for logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "{:<13} seed={:<3} cases={:<5} seeded={:<3} baseline={:<5} guided={:<5} \
+             corpus={:<3} findings={}",
+            self.tier,
+            self.seed,
+            self.cases,
+            self.seeded,
+            self.baseline.sigs.len(),
+            self.guided.sigs.len(),
+            self.guided.corpus.len(),
+            self.baseline.findings.len() + self.guided.findings.len(),
+        )
+    }
+
+    /// Deterministic reproducer blocks for every finding, minimized
+    /// program included.
+    pub fn reproducers(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        for (mode, c) in [("baseline", &self.baseline), ("guided", &self.guided)] {
+            for f in &c.findings {
+                out.push(format!(
+                    "kfuzz repro: tier={} mode={mode} seed={} class={:?}\n{}",
+                    self.tier,
+                    self.seed,
+                    f.class(),
+                    fluke_core::kfuzz::program_to_text(&f.program)
+                ));
+            }
+        }
+        out
+    }
+}
+
+/// Run the baseline and guided campaigns for one tier under identical
+/// budgets. `initial` seeds only the guided corpus (the baseline is by
+/// definition corpus-free).
+pub fn compare(tier: Tier, seed: u64, cases: u64, initial: &[FuzzProgram]) -> FuzzReport {
+    let baseline = campaign(seed, cases, false, tier, &[]);
+    let guided = campaign(seed, cases, true, tier, initial);
+    FuzzReport {
+        tier: tier_label(tier),
+        seed,
+        cases,
+        seeded: initial.len() as u64,
+        baseline,
+        guided,
+    }
+}
+
+/// Downsample a coverage-growth curve to at most `max` points (always
+/// keeping the last), so committed reports stay small while preserving
+/// the curve's shape.
+pub fn sample_curve(curve: &[(u64, u64)], max: usize) -> Vec<(u64, u64)> {
+    if curve.len() <= max || max < 2 {
+        return curve.to_vec();
+    }
+    let stride = curve.len().div_ceil(max - 1);
+    let mut out: Vec<(u64, u64)> = curve.iter().copied().step_by(stride).collect();
+    if out.last() != curve.last() {
+        out.push(*curve.last().unwrap());
+    }
+    out
+}
+
+fn curve_json(curve: &[(u64, u64)]) -> Json {
+    Json::Arr(
+        sample_curve(curve, 33)
+            .iter()
+            .map(|&(x, y)| Json::Arr(vec![Json::from_u64(x), Json::from_u64(y)]))
+            .collect(),
+    )
+}
+
+/// Serialize reports into the committed-benchmark JSON shape. Everything
+/// here is deterministic from `(seed, cases, corpus)` — signature
+/// counts, curves, and corpus digests are bit-stable across hosts.
+pub fn to_json(reports: &[FuzzReport]) -> Json {
+    let mut root = Json::obj();
+    root.set("bench", Json::Str("kfuzz".to_string()));
+    let mut arr = Vec::new();
+    for r in reports {
+        let mut o = Json::obj();
+        o.set("tier", Json::Str(r.tier.to_string()));
+        o.set("seed", Json::from_u64(r.seed));
+        o.set("cases", Json::from_u64(r.cases));
+        o.set("seeded", Json::from_u64(r.seeded));
+        o.set(
+            "baseline_signatures",
+            Json::from_u64(r.baseline.sigs.len() as u64),
+        );
+        o.set(
+            "guided_signatures",
+            Json::from_u64(r.guided.sigs.len() as u64),
+        );
+        o.set(
+            "corpus_entries",
+            Json::from_u64(r.guided.corpus.len() as u64),
+        );
+        o.set(
+            "findings",
+            Json::from_u64((r.baseline.findings.len() + r.guided.findings.len()) as u64),
+        );
+        o.set("baseline_curve", curve_json(&r.baseline.curve));
+        o.set("guided_curve", curve_json(&r.guided.curve));
+        o.set(
+            "corpus_fnv",
+            Json::Str(format!(
+                "{:#018x}",
+                fluke_core::kfuzz::text_digest(&corpus_to_text(&r.guided.corpus))
+            )),
+        );
+        arr.push(o);
+    }
+    root.set("campaigns", Json::Arr(arr));
+    root
+}
+
+/// Regression-gate fresh reports, optionally against a committed
+/// `BENCH_fuzz.json`. Hard failures:
+///
+/// * any finding (all reachable kernel bugs are supposed to be fixed
+///   and pinned — a finding is a new one, reproducer attached);
+/// * a guided campaign that does not reach **strictly more** signatures
+///   than its same-budget baseline (the coverage-guidance claim);
+/// * a tier present in the committed baseline but not re-run, or whose
+///   guided coverage collapsed below 80% of the committed count.
+pub fn check(committed: &Json, reports: &[FuzzReport]) -> Vec<String> {
+    let mut errs = Vec::new();
+    for r in reports {
+        let findings = r.baseline.findings.len() + r.guided.findings.len();
+        if findings > 0 {
+            errs.push(format!("{}: {} unfixed finding(s)", r.tier, findings));
+        }
+        if r.guided.sigs.len() <= r.baseline.sigs.len() {
+            errs.push(format!(
+                "{}: guided coverage {} does not dominate baseline {}",
+                r.tier,
+                r.guided.sigs.len(),
+                r.baseline.sigs.len()
+            ));
+        }
+    }
+    let Some(campaigns) = committed.get("campaigns").and_then(|s| s.items()) else {
+        errs.push("committed baseline has no \"campaigns\" array".to_string());
+        return errs;
+    };
+    for c in campaigns {
+        let Some(tier) = c.get("tier").and_then(|j| j.as_str()) else {
+            continue;
+        };
+        let Some(f) = reports.iter().find(|r| r.tier == tier) else {
+            errs.push(format!("{tier}: in committed baseline but not re-run"));
+            continue;
+        };
+        if let Some(n) = c.get("guided_signatures").and_then(|j| j.as_u64()) {
+            let floor = n * 4 / 5;
+            if (f.guided.sigs.len() as u64) < floor {
+                errs.push(format!(
+                    "{tier}: guided coverage collapsed {} → {} (< 80% of committed)",
+                    n,
+                    f.guided.sigs.len()
+                ));
+            }
+        }
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A bounded comparison: the guided campaign strictly dominates the
+    /// baseline's signature count under the same small budget, with no
+    /// findings. (The full budget runs in the dedicated bin and CI's
+    /// kfuzz-smoke step.)
+    #[test]
+    fn guided_dominates_baseline_on_a_bounded_budget() {
+        let r = compare(Tier::Differential, 7, 40, &[]);
+        assert!(
+            r.guided.sigs.len() > r.baseline.sigs.len(),
+            "guided {} <= baseline {}",
+            r.guided.sigs.len(),
+            r.baseline.sigs.len()
+        );
+        assert!(r.reproducers().is_empty(), "{:?}", r.reproducers());
+        assert!(!r.guided.corpus.is_empty());
+    }
+
+    /// The JSON gate catches non-domination, findings-free-ness, and a
+    /// committed tier that wasn't re-run.
+    #[test]
+    fn check_gates_domination_and_coverage() {
+        let r = compare(Tier::Differential, 7, 24, &[]);
+        let committed = to_json(std::slice::from_ref(&r));
+        assert!(check(&committed, std::slice::from_ref(&r)).is_empty());
+
+        // A committed tier that wasn't re-run is flagged.
+        assert!(!check(&committed, &[]).is_empty());
+
+        // Swapping the campaigns fakes a guided run that lost to its
+        // baseline; the gate must refuse it.
+        let mut swapped = compare(Tier::Differential, 7, 24, &[]);
+        std::mem::swap(&mut swapped.baseline, &mut swapped.guided);
+        assert!(!check(&committed, std::slice::from_ref(&swapped)).is_empty());
+    }
+
+    /// Curve sampling keeps endpoints and bounds the length.
+    #[test]
+    fn curve_sampling_preserves_shape() {
+        let curve: Vec<(u64, u64)> = (1..=100).map(|i| (i, i / 2)).collect();
+        let s = sample_curve(&curve, 33);
+        assert!(s.len() <= 33, "{}", s.len());
+        assert_eq!(s.first(), curve.first());
+        assert_eq!(s.last(), curve.last());
+        assert_eq!(sample_curve(&curve, 200), curve);
+    }
+}

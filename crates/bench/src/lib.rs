@@ -8,6 +8,7 @@
 
 pub mod ablation;
 pub mod kfault_sweep;
+pub mod kfuzz;
 pub mod krec_sweep;
 pub mod memfast;
 pub mod mp_scaling;

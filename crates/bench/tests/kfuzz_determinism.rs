@@ -1,0 +1,94 @@
+//! kfuzz determinism: a campaign is a pure function of
+//! `(seed, cases, guided, tier, initial corpus)`.
+//!
+//! Two runs with identical inputs must agree bit-for-bit on the
+//! coverage map (every signature, not just the count), the mutation
+//! schedule (the content hash of every program executed, in order), the
+//! coverage-growth curve, and the serialized final corpus. This is what
+//! makes the committed `corpus/` and `BENCH_fuzz.json` replayable in CI
+//! on any host.
+
+use fluke_bench::kfuzz::sample_curve;
+use fluke_core::kfuzz::{
+    campaign, corpus_from_text, corpus_to_text, program_from_text, program_to_text, Campaign, Tier,
+};
+
+fn assert_identical(a: &Campaign, b: &Campaign) {
+    assert_eq!(a.sigs, b.sigs, "coverage maps differ");
+    assert_eq!(a.schedule, b.schedule, "mutation schedules differ");
+    assert_eq!(a.curve, b.curve, "coverage-growth curves differ");
+    assert_eq!(
+        corpus_to_text(&a.corpus),
+        corpus_to_text(&b.corpus),
+        "serialized corpora differ"
+    );
+    assert_eq!(a.findings.len(), b.findings.len());
+}
+
+/// Guided differential campaigns replay bit-identically, including when
+/// seeded with an initial corpus that itself came from a prior run.
+#[test]
+fn guided_campaigns_replay_bit_identically() {
+    let seed_run = campaign(11, 12, true, Tier::Differential, &[]);
+    let initial = seed_run.corpus;
+    let a = campaign(11, 16, true, Tier::Differential, &initial);
+    let b = campaign(11, 16, true, Tier::Differential, &initial);
+    assert_identical(&a, &b);
+    // The seed corpus's coverage is contributed up front, so every
+    // signature it earns is in the final map.
+    let mut seed_sigs = std::collections::BTreeSet::new();
+    for p in &initial {
+        let (sigs, _) = fluke_core::kfuzz::judge(Tier::Differential, p);
+        seed_sigs.extend(sigs);
+    }
+    assert!(a.sigs.is_superset(&seed_sigs));
+}
+
+/// Baseline (unguided) campaigns replay bit-identically too, and the
+/// robustness tier is as deterministic as the differential one.
+#[test]
+fn baseline_and_robustness_replay_bit_identically() {
+    let a = campaign(3, 10, false, Tier::Differential, &[]);
+    let b = campaign(3, 10, false, Tier::Differential, &[]);
+    assert_identical(&a, &b);
+    assert!(a.corpus.is_empty(), "baseline keeps no corpus");
+
+    let ra = campaign(5, 10, true, Tier::Robustness, &[]);
+    let rb = campaign(5, 10, true, Tier::Robustness, &[]);
+    assert_identical(&ra, &rb);
+}
+
+/// The corpus text format round-trips whole corpora, and the committed
+/// `corpus/` files (when present) parse and replay deterministically.
+#[test]
+fn corpus_files_round_trip_and_reseed() {
+    let run = campaign(9, 10, true, Tier::Differential, &[]);
+    let text = corpus_to_text(&run.corpus);
+    let back = corpus_from_text(&text).expect("round trip");
+    assert_eq!(corpus_to_text(&back), text);
+    for p in &run.corpus {
+        let t = program_to_text(p);
+        assert_eq!(program_from_text(&t).expect("program round trip"), *p);
+    }
+
+    // The committed corpus seeds must stay parseable (CI loads them).
+    for tier in ["differential", "robustness"] {
+        let path = format!("{}/../../corpus/{tier}.kfz", env!("CARGO_MANIFEST_DIR"));
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            let corpus = corpus_from_text(&text).expect("committed corpus parses");
+            assert!(!corpus.is_empty(), "{path} is empty");
+            assert_eq!(corpus_to_text(&corpus), text, "{path} not canonical");
+        }
+    }
+}
+
+/// Curve sampling (used by the committed report) is deterministic and
+/// endpoint-preserving on real campaign curves.
+#[test]
+fn report_curves_are_deterministic() {
+    let a = campaign(2, 14, true, Tier::Differential, &[]);
+    let s1 = sample_curve(&a.curve, 33);
+    let s2 = sample_curve(&a.curve, 33);
+    assert_eq!(s1, s2);
+    assert_eq!(s1.last(), a.curve.last());
+}

@@ -154,6 +154,15 @@ pub struct Config {
     /// and transitions the kernel performs regardless, so runs are
     /// bit-identical either way (the golden-digest proof obligation).
     pub kspan: bool,
+    /// Syscall-flow integrity checking (`flowcheck`) knob. Off by
+    /// default: a disabled checker costs one predictable branch per
+    /// syscall completion. Enabled, it shadows every object lifecycle
+    /// (create → use → move → destroy, per the `SysDesc`-derived flow
+    /// graph) and every blocked call's restart re-entry against
+    /// `fluke_api::flow`, recording violations as structured data on the
+    /// host side — it never changes simulated state, charges, or
+    /// results, so runs are bit-identical either way.
+    pub flowcheck: bool,
     /// Use the software-TLB + page-run bulk memory fast path (host-side
     /// only: simulated cycle charges, traces and stats are bit-identical
     /// with this on or off). Off selects the uncached byte-at-a-time
@@ -206,6 +215,7 @@ impl Config {
             trace: TraceConfig::default(),
             kprof: false,
             kspan: false,
+            flowcheck: false,
             fast_mem: true,
             kfault: None,
             big_lock: false,
@@ -245,6 +255,7 @@ impl Config {
             trace: TraceConfig::default(),
             kprof: false,
             kspan: false,
+            flowcheck: false,
             fast_mem: true,
             kfault: None,
             big_lock: false,
@@ -331,6 +342,13 @@ impl Config {
     /// Enable the `kspan` causal request-tracing layer.
     pub fn with_kspan(mut self) -> Self {
         self.kspan = true;
+        self
+    }
+
+    /// Enable the `flowcheck` syscall-flow integrity checker (see
+    /// [`Config::flowcheck`]).
+    pub fn with_flowcheck(mut self) -> Self {
+        self.flowcheck = true;
         self
     }
 
@@ -505,6 +523,19 @@ mod tests {
         c.validate().unwrap();
         let c = Config::interrupt_pp().with_kprof().with_kspan();
         assert!(c.kprof && c.kspan);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn flowcheck_knob_defaults_off() {
+        for c in Config::all_five() {
+            assert!(!c.flowcheck, "{}", c.label);
+        }
+        let c = Config::process_np().with_flowcheck();
+        assert!(c.flowcheck);
+        c.validate().unwrap();
+        let c = Config::interrupt_pp().with_flowcheck().with_kprof();
+        assert!(c.flowcheck && c.kprof);
         c.validate().unwrap();
     }
 

@@ -236,6 +236,15 @@ impl Kernel {
     /// `*_create(ebx=vaddr, ...)`: create an object of `ty` at `vaddr` in
     /// the caller's space. The page must be mapped and writable (objects
     /// occupy application memory).
+    /// A region/mapping window `[base, base+size)` is valid iff it is
+    /// non-empty and its last byte fits in the 32-bit address space.
+    /// Enforced wherever geometry enters the kernel (create and
+    /// state-install), so the page-range walks downstream can assume
+    /// `base + size - 1` never wraps.
+    fn valid_window(base: u32, size: u32) -> bool {
+        size != 0 && base.checked_add(size - 1).is_some()
+    }
+
     fn obj_create(&mut self, cx: &mut SysCtx, ty: ObjType) -> SysResult {
         let t = cx.t;
         let vaddr = cx.arg(self, ARG_HANDLE);
@@ -251,7 +260,7 @@ impl Kernel {
                 let size = cx.arg(self, ARG_COUNT);
                 let base = cx.arg(self, ARG_VAL);
                 let keeper_tok = cx.arg(self, ARG_SBUF);
-                if size == 0 {
+                if !Self::valid_window(base, size) {
                     return Err(Self::fail(ErrorCode::InvalidArg));
                 }
                 let keeper = if keeper_tok != 0 {
@@ -278,7 +287,7 @@ impl Kernel {
                 let base = cx.arg(self, ARG_VAL);
                 let region_tok = cx.arg(self, ARG_SBUF);
                 let offset = cx.arg(self, ARG_RBUF);
-                if size == 0 {
+                if !Self::valid_window(base, size) {
                     return Err(Self::fail(ErrorCode::InvalidArg));
                 }
                 let region = self.resolve_region_handle(t, region_tok)?;
@@ -500,6 +509,12 @@ impl Kernel {
         if words.len() > cap {
             return Err(Self::fail(ErrorCode::BufferTooSmall));
         }
+        // The whole destination window must fit below the top of the
+        // address space; wrapping would marshal into low memory.
+        let bytes = (words.len() as u32) * 4;
+        if bytes > 0 && buf.checked_add(bytes - 1).is_none() {
+            return Err(Self::fail(ErrorCode::InvalidArg));
+        }
         for (i, w) in words.iter().enumerate() {
             self.write_user_u32(t, buf + (i as u32) * 4, *w)?;
         }
@@ -595,6 +610,12 @@ impl Kernel {
         let buf = cx.arg(self, ARG_SBUF);
         let n = (cx.arg(self, ARG_COUNT) as usize).min(fluke_api::state::MAX_FRAME_WORDS);
         let oid = self.lookup_typed(t, vaddr, ty)?;
+        // The whole source window must fit below the top of the address
+        // space; wrapping would unmarshal from low memory.
+        let bytes = (n as u32) * 4;
+        if bytes > 0 && buf.checked_add(bytes - 1).is_none() {
+            return Err(Self::fail(ErrorCode::InvalidArg));
+        }
         let mut words = Vec::with_capacity(n);
         for i in 0..n {
             words.push(self.read_user_u32(t, buf + (i as u32) * 4)?);
@@ -635,6 +656,9 @@ impl Kernel {
             }
             ObjStateFrame::Cond(_) | ObjStateFrame::Pset(_) | ObjStateFrame::Space(_) => {}
             ObjStateFrame::Region(f) => {
+                if !Self::valid_window(f.base, f.size) {
+                    return Err(Self::fail(ErrorCode::InvalidArg));
+                }
                 let keeper = if f.keeper_token != 0 {
                     Some(self.lookup_typed(caller, f.keeper_token, ObjType::Port)?)
                 } else {
@@ -656,6 +680,9 @@ impl Kernel {
                 *keeper_token = f.keeper_token;
             }
             ObjStateFrame::Mapping(f) => {
+                if !Self::valid_window(f.base, f.size) {
+                    return Err(Self::fail(ErrorCode::InvalidArg));
+                }
                 let region = self.resolve_region_handle(caller, f.region_token)?;
                 let Some(ObjData::Mapping {
                     space,
@@ -1275,7 +1302,8 @@ impl Kernel {
         };
         let (owner, base, size) = (*owner, *base, *size);
         let first = base / abi::PAGE_SIZE;
-        let last = (base + size - 1) / abi::PAGE_SIZE;
+        // Geometry is validated at create/install; saturate as a backstop.
+        let last = base.saturating_add(size.saturating_sub(1)) / abi::PAGE_SIZE;
         let mut touched = 0u64;
         if let Some(s) = self.spaces.get_mut(owner.0) {
             for p in first..=last {
@@ -1315,7 +1343,8 @@ impl Kernel {
         *w = writable;
         let (space, base, size) = (*space, *base, *size);
         let first = base / abi::PAGE_SIZE;
-        let last = (base + size - 1) / abi::PAGE_SIZE;
+        // Geometry is validated at create/install; saturate as a backstop.
+        let last = base.saturating_add(size.saturating_sub(1)) / abi::PAGE_SIZE;
         if let Some(s) = self.spaces.get_mut(space.0) {
             s.unmap_vpn_range(first, last);
         }
@@ -1351,9 +1380,17 @@ impl Kernel {
         if len == 0 || offset.saturating_add(len) > size {
             return Err(Self::fail(ErrorCode::InvalidArg));
         }
-        let start = base + offset;
+        // With the window validated at create/install and
+        // `offset + len <= size` checked above, neither sum can wrap; the
+        // checked form keeps that invariant local instead of assumed.
+        let Some(start) = base.checked_add(offset) else {
+            return Err(Self::fail(ErrorCode::InvalidArg));
+        };
+        let Some(end) = start.checked_add(len - 1) else {
+            return Err(Self::fail(ErrorCode::InvalidArg));
+        };
         let first = start / abi::PAGE_SIZE;
-        let last = (start + len - 1) / abi::PAGE_SIZE;
+        let last = end / abi::PAGE_SIZE;
         for p in first..=last {
             let present = self
                 .spaces

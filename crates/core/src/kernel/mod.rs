@@ -218,6 +218,10 @@ pub struct Kernel {
     /// The `krec` snapshot recorder (armed by `cfg.krec`; `None` — and
     /// zero-cost — otherwise). Host-side state, never part of a snapshot.
     pub(crate) krec: Option<crate::krec::Krec>,
+    /// The `flowcheck` syscall-flow integrity checker (enabled by
+    /// `cfg.flowcheck`; inert — one branch per completion — otherwise).
+    /// Host-side state, never part of a snapshot.
+    pub flowcheck: crate::flowcheck::Flowcheck,
 }
 
 impl Kernel {
@@ -240,6 +244,7 @@ impl Kernel {
         let cfg_kspan = cfg.kspan;
         let cfg_kfault = cfg.kfault;
         let cfg_krec = cfg.krec;
+        let cfg_flowcheck = cfg.flowcheck;
         let timeslice = cfg.timeslice;
         let cpus = (0..cfg.num_cpus)
             .map(|id| CpuSlot {
@@ -286,6 +291,7 @@ impl Kernel {
             dispatch_suppress: false,
             audit: None,
             krec: cfg_krec.map(crate::krec::Krec::new),
+            flowcheck: crate::flowcheck::Flowcheck::new(cfg_flowcheck),
         })
     }
 
@@ -1402,6 +1408,9 @@ impl Kernel {
             let now = self.cur_cpu().cpu.now;
             self.kspan.on_close(t, now);
         }
+        // The registers still hold the completed entrypoint and its
+        // arguments here — exactly what the flow checker needs.
+        self.flowcheck_exit(t, code);
         let Some(th) = self.threads.get_mut(t.0) else {
             return;
         };

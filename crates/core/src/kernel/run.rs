@@ -412,6 +412,7 @@ impl Kernel {
             r
         };
         let restarting = self.threads.get(cur.0).and_then(|t| t.inflight).is_some();
+        self.flowcheck_entry(cur, restarting);
         if retained {
             self.dispatch_suppress = true;
         }
@@ -524,6 +525,7 @@ impl Kernel {
     fn finish_syscall(&mut self, cur: ThreadId, code: ErrorCode, interrupt_model: bool) {
         // The entrypoint (and thus its class) is still in `eax` here; the
         // result code overwrites it below.
+        self.flowcheck_exit(cur, code);
         let class = {
             let th = self.threads.get_mut(cur.0).expect("current");
             let class = Sys::from_u32(th.regs.get(Reg::Eax)).map(|s| s.class());

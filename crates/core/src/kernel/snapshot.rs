@@ -236,6 +236,9 @@ impl Kernel {
             dispatch_suppress,
             audit: None,
             krec: None,
+            // Host-side checker: a restored twin boots with it off (the
+            // restored config never enables it — see `Snap for Config`).
+            flowcheck: crate::flowcheck::Flowcheck::default(),
         };
         if k.active >= k.cpus.len() || k.cpus.len() != k.cfg.num_cpus {
             return Err(SnapError::Invalid("cpu slot count"));

@@ -1112,6 +1112,10 @@ impl Snap for Config {
             port_index: r.bool()?,
             label: intern_static(r.str()?),
             krec: None,
+            // `flowcheck`, like `krec`, is host-side observability and is
+            // not part of the snapshot contract: a restored twin boots
+            // with the checker off and digest-matches either way.
+            flowcheck: false,
         })
     }
 }

@@ -635,6 +635,20 @@ impl Kernel {
             self.kprof.preempt_latency().clone(),
         );
 
+        // Flow-integrity checking (zeros when the checker is off, so the
+        // rows — and the documented inventory — are always present).
+        r.counter("kernel.flowcheck.checks", self.flowcheck.checks);
+        r.counter(
+            "kernel.flowcheck.violations",
+            self.flowcheck.violations_total,
+        );
+        // Process-wide kfuzz campaign counters (like the auditor coverage
+        // counters above: they accumulate across every kernel this
+        // process built, and read zero outside a fuzzing run).
+        r.counter("kernel.fuzz.programs", crate::kfuzz::programs_run());
+        r.counter("kernel.fuzz.signatures", crate::kfuzz::signatures_seen());
+        r.counter("kernel.fuzz.findings", crate::kfuzz::findings_seen());
+
         if self.kspan.enabled {
             r.counter("kernel.kspan.requests", self.kspan.completed().len() as u64);
             r.counter("kernel.kspan.aborted", self.kspan.aborted());

@@ -29,9 +29,11 @@
 pub mod config;
 pub mod conn;
 pub mod events;
+pub mod flowcheck;
 pub mod ids;
 pub mod kernel;
 pub mod kfault;
+pub mod kfuzz;
 pub mod kprof;
 pub mod krec;
 pub mod kspan;
@@ -46,6 +48,7 @@ pub mod trace;
 pub mod waitq;
 
 pub use config::{Config, ExecModel, Preemption, TraceConfig, PP_CHUNK_BYTES};
+pub use flowcheck::{Flowcheck, Violation, ViolationKind};
 pub use ids::{ConnId, ObjId, SpaceId, ThreadId};
 pub use kernel::{block_audit_hits, Kernel, MemAccessError, MemRun, RunExit};
 pub use kfault::{Kfault, KfaultConfig, KfaultKind};

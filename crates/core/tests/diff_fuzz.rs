@@ -190,7 +190,9 @@ fn fnv(acc: &mut u64, bytes: &[u8]) {
 /// Run one synthesized case under `cfg` and project the outcome.
 fn run_case(cfg: Config, case: &Case) -> Outcome {
     let label = cfg.label;
-    let mut k = Kernel::new(cfg.with_tracing(1 << 16));
+    // Flowcheck is armed on every case: the whole fixed-seed suite must
+    // stay inside the SysDesc-derived syscall-flow graph (asserted below).
+    let mut k = Kernel::new(cfg.with_tracing(1 << 16).with_flowcheck());
     let mut server = ChildProc::with_mem(&mut k, 0x0010_0000, 0x4000);
     let mut client = ChildProc::with_mem(&mut k, 0x0020_0000, 0x4000);
     let worker = ChildProc::with_mem(&mut k, 0x0030_0000, 0x4000);
@@ -326,6 +328,12 @@ fn run_case(cfg: Config, case: &Case) -> Outcome {
     fnv(&mut mem, &k.read_mem(submit.space, ring, n_ops * 16));
     fnv(&mut mem, &k.read_mem(submit.space, s_dst, drained));
 
+    assert!(
+        k.flowcheck.violations.is_empty(),
+        "flow-graph violations under {label}: {:?}",
+        k.flowcheck.violations
+    );
+
     Outcome {
         uv: k.trace.user_visible(),
         regs: [st, ct, wt, bt, dt]
@@ -352,10 +360,12 @@ fn configs() -> [Config; 4] {
 }
 
 fn case_count() -> u64 {
-    std::env::var("FLUKE_FUZZ_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(64)
+    // Structured parsing: a malformed or out-of-range knob fails the
+    // suite loudly instead of silently falling back to the default.
+    match fluke_core::kfuzz::env_knob("FLUKE_FUZZ_CASES", 64, 1, 1 << 20) {
+        Ok(n) => n,
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// The fuzzer law: every seeded program produces an identical
